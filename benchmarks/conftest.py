@@ -1,0 +1,31 @@
+"""Shared settings for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper at reduced scale
+(sample counts scaled, repeat counts reduced) and asserts the paper's
+*qualitative* finding on the result. Timings come from pytest-benchmark;
+run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scale applied to Table IV / Table VII sample counts inside benchmarks.
+BENCH_SCALE = 0.1
+BENCH_GAMMA = 30
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_gamma() -> int:
+    return BENCH_GAMMA
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED

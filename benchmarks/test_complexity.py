@@ -1,0 +1,44 @@
+"""Benchmark E9 — empirical check of the Eq. (13) complexity claims.
+
+Paper finding reproduced: SAFE's fit time grows near-linearly with the
+number of records (the §IV-D analysis), while TFC's grows quadratically
+with the feature count, overtaking SAFE on wide data.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import complexity
+
+
+def test_complexity_scaling(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        complexity.run,
+        kwargs=dict(
+            n_values=(1000, 2000, 4000),
+            k1_values=(5, 20),
+            m_values=(20, 60),
+            gamma=25,
+            seed=bench_seed,
+            verbose=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Near-linear in N: allow generous slack for constant-dominated small
+    # runs, but rule out quadratic behaviour.
+    assert result.n_scaling_exponent < 1.6, (
+        f"N-scaling exponent {result.n_scaling_exponent:.2f} suggests "
+        "super-linear cost, contradicting Eq. 13"
+    )
+    # More mining trees must not make SAFE cheaper.
+    (k_small, t_small), (k_big, t_big) = result.k1_sweep
+    assert t_big >= 0.5 * t_small
+    # On wide data TFC's M^2 generation loses to SAFE's path mining.
+    m_small, safe_small, tfc_small = result.m_sweep[0]
+    m_big, safe_big, tfc_big = result.m_sweep[-1]
+    tfc_growth = tfc_big / max(tfc_small, 1e-6)
+    safe_growth = safe_big / max(safe_small, 1e-6)
+    assert tfc_growth > safe_growth, (
+        f"TFC growth {tfc_growth:.1f}x should exceed SAFE growth "
+        f"{safe_growth:.1f}x as M goes {m_small}->{m_big}"
+    )

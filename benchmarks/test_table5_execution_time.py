@@ -1,0 +1,51 @@
+"""Benchmark E3 — regenerates Table V (execution time).
+
+Paper finding reproduced: SAFE (and the RAND/IMP ablations sharing its
+selection pipeline) run far faster than the exhaustive TFC and the
+per-node-search FCTree, with the gap widening on wide datasets (paper:
+SAFE averages 0.13× FCTree's and 0.08× TFC's time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_benchmark
+from repro.experiments import fit_method, table5
+
+METHODS = ("FCT", "TFC", "RAND", "IMP", "SAFE")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fit_time_per_method(benchmark, method, bench_gamma, bench_seed):
+    """pytest-benchmark timing of each AutoFE method on spambase (M=57)."""
+    train, valid, __ = load_benchmark("spambase", scale=0.1, seed=bench_seed)
+    benchmark.pedantic(
+        fit_method,
+        kwargs=dict(name=method, train=train, valid=valid,
+                    gamma=bench_gamma, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table5_ordering_on_wide_dataset(benchmark, bench_gamma, bench_seed):
+    """The paper's qualitative ordering: SAFE ≪ TFC, SAFE < FCT on wide M."""
+    result = benchmark.pedantic(
+        table5.run,
+        kwargs=dict(
+            datasets=("spambase",),
+            methods=METHODS,
+            scale=0.1,
+            gamma=bench_gamma,
+            seed=bench_seed,
+            verbose=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    row = result.seconds["spambase"]
+    assert row["SAFE"] < row["TFC"], f"SAFE {row['SAFE']:.2f}s vs TFC {row['TFC']:.2f}s"
+    assert row["SAFE"] < 2.0 * row["FCT"] + 1.0, (
+        f"SAFE {row['SAFE']:.2f}s should be comparable to or below FCT {row['FCT']:.2f}s"
+    )

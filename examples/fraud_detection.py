@@ -1,0 +1,73 @@
+"""Fraud detection at business scale — the paper's motivating workload.
+
+Run:  python examples/fraud_detection.py [--scale 0.005]
+
+Reproduces the Table VIII setting on the ``data1`` surrogate (81 features,
+~1.5% fraud rate): fit SAFE on heavily imbalanced transaction-style data,
+then compare the three production classifiers (LR, RF, XGB) on original
+vs. SAFE features. Also demonstrates the deployment flow the paper's
+"real-time inference" requirement implies: the fitted plan is saved to
+JSON, reloaded, and used to score single transactions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import (
+    SAFE,
+    FeatureTransformer,
+    SAFEConfig,
+    load_business,
+    make_classifier,
+    roc_auc_score,
+)
+
+
+def main(scale: float) -> None:
+    train, valid, test = load_business("data1", scale=scale)
+    pos_rate = 100 * float(train.y.mean())
+    print(f"data1 surrogate: {train.n_rows} train rows, {train.n_cols} features, "
+          f"{pos_rate:.2f}% fraud")
+
+    safe = SAFE(SAFEConfig(n_iterations=1, gamma=40))
+    psi = safe.fit(train, valid)
+    trace = safe.traces_[0]
+    print(f"SAFE: {trace.n_paths} tree paths -> {trace.n_combinations} combinations "
+          f"-> {trace.n_generated} generated -> {psi.n_output_features} selected")
+
+    train_new, test_new = psi.transform(train), psi.transform(test)
+    print(f"\n{'CLF':4s}  {'ORIG':>7s}  {'SAFE':>7s}")
+    for clf_name in ("lr", "rf", "xgb"):
+        aucs = {}
+        for label, (tr, te) in (("ORIG", (train, test)), ("SAFE", (train_new, test_new))):
+            clf = make_classifier(clf_name)
+            clf.fit(tr.X, tr.require_labels())
+            aucs[label] = 100 * roc_auc_score(te.y, clf.predict_proba(te.X)[:, 1])
+        print(f"{clf_name.upper():4s}  {aucs['ORIG']:7.2f}  {aucs['SAFE']:7.2f}")
+
+    # Deployment: persist the plan, reload it "in the serving process",
+    # and transform one transaction at a time.
+    with tempfile.TemporaryDirectory() as tmp:
+        plan = Path(tmp) / "fraud_features.json"
+        psi.save(plan)
+        serving = FeatureTransformer.load(plan)
+        clf = make_classifier("xgb")
+        clf.fit(train_new.X, train_new.require_labels())
+        transaction = test.X[0]
+        features = serving.transform_matrix(transaction)
+        score = clf.predict_proba(features.reshape(1, -1))[0, 1]
+        print(f"\nserved one transaction -> fraud score {score:.4f}")
+        print("top generated signals:")
+        for name in serving.feature_names[:5]:
+            print(f"  {name}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.005,
+                        help="fraction of Table VII row counts (1.0 = paper scale)")
+    args = parser.parse_args()
+    main(args.scale)

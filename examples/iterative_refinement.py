@@ -1,0 +1,55 @@
+"""Iterative SAFE: higher-order features across Algorithm 1 rounds.
+
+Run:  python examples/iterative_refinement.py
+
+Figure 4's setting: SAFE is run with increasing iteration budgets on a
+task whose signal needs *composed* features — the label depends on
+(x0 * x1) + (x2 * x3), which no single binary feature captures. One
+iteration discovers the products; a second iteration combines them.
+The example prints the AUC trajectory and the deepest expressions found.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SAFE, Dataset, SAFEConfig, make_classifier, roc_auc_score
+
+
+def make_compositional_task(n: int, seed: int = 0) -> tuple[Dataset, Dataset]:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 8))
+    signal = X[:, 0] * X[:, 1] + X[:, 2] * X[:, 3]
+    y = (signal + 0.3 * rng.normal(size=n) > 0).astype(float)
+    data = Dataset.from_arrays(X, y)
+    cut = int(0.7 * n)
+    return data.take_rows(np.arange(cut)), data.take_rows(np.arange(cut, n))
+
+
+def main() -> None:
+    train, test = make_compositional_task(6000)
+    print("task: y ~ (x0 * x1) + (x2 * x3); linear baseline first\n")
+
+    baseline = make_classifier("lr").fit(train.X, train.require_labels())
+    auc0 = roc_auc_score(test.y, baseline.predict_proba(test.X)[:, 1])
+    print(f"iterations=0 (ORIG)  LR AUC = {auc0:.4f}")
+
+    deepest = None
+    for n_iter in (1, 2, 3):
+        safe = SAFE(SAFEConfig(n_iterations=n_iter, gamma=30))
+        psi = safe.fit(train)
+        tr, te = psi.transform(train), psi.transform(test)
+        clf = make_classifier("lr").fit(tr.X, tr.require_labels())
+        auc = roc_auc_score(te.y, clf.predict_proba(te.X)[:, 1])
+        max_depth = max(e.depth() for e in psi.expressions)
+        print(f"iterations={n_iter}        LR AUC = {auc:.4f} "
+              f"(ran {len(safe.traces_)}, deepest expression depth {max_depth})")
+        deepest = max(psi.expressions, key=lambda e: e.depth())
+
+    print(f"\ndeepest feature found: {deepest.name(train.names)}")
+    print("depth-2 features combine the products discovered in round 1 —")
+    print("exactly the compositionality Algorithm 1's iteration provides.")
+
+
+if __name__ == "__main__":
+    main()

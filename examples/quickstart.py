@@ -1,0 +1,47 @@
+"""Quickstart: fit SAFE on a benchmark surrogate and measure the lift.
+
+Run:  python examples/quickstart.py
+
+This is the smallest end-to-end use of the public API:
+
+1. load a dataset (the ``magic`` surrogate from Table IV),
+2. fit SAFE to learn a feature-generation function Ψ,
+3. transform train/test and compare a downstream classifier's AUC
+   against the original feature space,
+4. inspect the generated features (they are readable formulas).
+"""
+
+from __future__ import annotations
+
+from repro import SAFE, SAFEConfig, load_benchmark, make_classifier, roc_auc_score
+
+
+def main() -> None:
+    train, valid, test = load_benchmark("magic", scale=0.3)
+    print(f"magic surrogate: {train.n_rows} train rows, {train.n_cols} features")
+
+    safe = SAFE(SAFEConfig(n_iterations=1, gamma=40))
+    psi = safe.fit(train, valid)
+    print(f"\nSAFE produced {psi.n_output_features} features; the generated ones:")
+    for name in psi.feature_names:
+        if "(" in name:  # generated features render as formulas
+            print(f"  {name}")
+
+    train_new, test_new = psi.transform(train), psi.transform(test)
+    print()
+    for clf_name in ("lr", "knn", "xgb"):
+        line = []
+        for label, (tr, te) in (("ORIG", (train, test)), ("SAFE", (train_new, test_new))):
+            clf = make_classifier(clf_name)
+            clf.fit(tr.X, tr.require_labels())
+            auc = roc_auc_score(te.y, clf.predict_proba(te.X)[:, 1])
+            line.append(f"{label}={auc:.4f}")
+        print(f"{clf_name.upper():4s} test AUC: " + "  ".join(line))
+
+    # Real-time inference: Ψ maps a single raw row to the new features.
+    row = psi.transform_matrix(test.X[0])
+    print(f"\nsingle-row inference -> vector of {row.shape[0]} generated values")
+
+
+if __name__ == "__main__":
+    main()

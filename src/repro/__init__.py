@@ -1,0 +1,87 @@
+"""repro — full reproduction of *SAFE: Scalable Automatic Feature
+Engineering Framework for Industrial Tasks* (Shi et al., ICDE 2020).
+
+Quickstart::
+
+    from repro import SAFE, SAFEConfig, load_benchmark, make_classifier
+    from repro.metrics import roc_auc_score
+
+    train, valid, test = load_benchmark("magic", scale=0.2)
+    transformer = SAFE(SAFEConfig(n_iterations=1)).fit(train, valid)
+    train_new, test_new = transformer.transform(train), transformer.transform(test)
+    clf = make_classifier("xgb").fit(train_new.X, train_new.y)
+    print(roc_auc_score(test_new.y, clf.predict_proba(test_new.X)[:, 1]))
+
+Subpackages
+-----------
+``repro.core``
+    SAFE itself: generation (path mining + gain-ratio ranking), selection
+    (IV → Pearson → importance), the iterative pipeline, and the fitted
+    :class:`~repro.core.FeatureTransformer` Ψ.
+``repro.boosting``
+    From-scratch histogram gradient boosting (the XGBoost substitute).
+``repro.models``
+    The nine downstream evaluation classifiers of Table III.
+``repro.operators``
+    Extensible operator catalogue + serializable expression trees.
+``repro.baselines``
+    ORIG / FCTree / TFC / RAND / IMP comparison methods.
+``repro.datasets``
+    Seeded synthetic surrogates for the paper's datasets.
+``repro.experiments``
+    One module per paper table/figure, each with a CLI entry point.
+"""
+
+from .baselines import FCTree, ImportantGenerator, OriginalFeatures, RandomGenerator, TFC
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .core import (
+    SAFE,
+    AutoFeatureEngineer,
+    FeatureTransformer,
+    SAFEConfig,
+)
+from .datasets import load_benchmark, load_business, make_classification_task
+from .exceptions import (
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+    OperatorError,
+    ReproError,
+    SchemaError,
+)
+from .metrics import roc_auc_score
+from .models import available_classifiers, make_classifier
+from .operators import Operator, register_operator
+from .tabular import Dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoFeatureEngineer",
+    "ConfigurationError",
+    "DataError",
+    "Dataset",
+    "FCTree",
+    "FeatureTransformer",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "ImportantGenerator",
+    "NotFittedError",
+    "Operator",
+    "OperatorError",
+    "OriginalFeatures",
+    "RandomGenerator",
+    "ReproError",
+    "SAFE",
+    "SAFEConfig",
+    "SchemaError",
+    "TFC",
+    "available_classifiers",
+    "load_benchmark",
+    "load_business",
+    "make_classification_task",
+    "make_classifier",
+    "register_operator",
+    "roc_auc_score",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Comparison methods of Section V: ORIG, FCTree, TFC, RAND, IMP."""
+
+from .autolearn import AutoLearn
+from .fctree import FCTree
+from .orig import OriginalFeatures
+from .random_gen import ImportantGenerator, RandomGenerator
+from .tfc import TFC
+
+__all__ = [
+    "AutoLearn",
+    "FCTree",
+    "ImportantGenerator",
+    "OriginalFeatures",
+    "RandomGenerator",
+    "TFC",
+]

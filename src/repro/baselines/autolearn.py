@@ -1,0 +1,144 @@
+"""AutoLearn baseline (Kaul, Maheshwary & Pudi, ICDM 2017).
+
+The paper's related work (§II) and complexity analysis (§IV-D) treat
+AutoLearn as the representative regression-based generation-selection
+method; §III adopts its ridge / kernel-ridge constructors as binary
+operators. The pipeline, as described in the original paper:
+
+1. **Preprocess** — keep original features with non-trivial information
+   gain against the label (discretized IG).
+2. **Mine pairwise associations** — distance correlation over the
+   surviving feature pairs; pairs above a threshold are *related*.
+3. **Generate** — for each related ordered pair, fit ridge and kernel
+   ridge regressions of one feature on the other and emit the predicted
+   and residual columns (4 features per ordered pair).
+4. **Select** — stability selection: resample the training set, score
+   every candidate by discretized IG each round, and keep features chosen
+   in a majority of rounds; rank survivors by mean IG.
+
+Substitution note (DESIGN.md): the original uses randomized lasso for
+stability selection; we use bootstrap-IG stability, which preserves the
+"stable and informative" criterion without an L1 solver dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.interface import AutoFeatureEngineer
+from ..core.transform import FeatureTransformer
+from ..exceptions import ConfigurationError
+from ..metrics.dependence import related_pairs
+from ..operators.expressions import Expression, Var, fit_applied
+from ..tabular.dataset import Dataset
+from ..tabular.preprocess import clean_matrix
+from ..utils import check_random_state
+from .tfc import _binned_information_gain
+
+
+@dataclass
+class AutoLearn(AutoFeatureEngineer):
+    """Regression-based automatic feature engineering (AutoLearn)."""
+
+    dcor_threshold: float = 0.2
+    ig_threshold: float = 0.01
+    n_stability_rounds: int = 8
+    stability_fraction: float = 0.6
+    max_pairs: int = 200
+    max_output_features: "int | None" = None
+    random_state: "int | None" = 0
+    name: str = "AUTO"
+
+    #: Diagnostics from the last fit.
+    n_related_pairs_: int = field(default=0, repr=False)
+    n_generated_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dcor_threshold <= 1:
+            raise ConfigurationError("dcor_threshold must be in [0, 1]")
+        if self.n_stability_rounds < 1:
+            raise ConfigurationError("n_stability_rounds must be >= 1")
+        if not 0 < self.stability_fraction <= 1:
+            raise ConfigurationError("stability_fraction must be in (0, 1]")
+
+    def fit(
+        self, train: Dataset, valid: "Dataset | None" = None
+    ) -> FeatureTransformer:
+        y = train.require_labels()
+        rng = check_random_state(self.random_state)
+        X = clean_matrix(train.X)
+        max_output = self.max_output_features
+        if max_output is None:
+            max_output = 2 * train.n_cols
+
+        # 1. Preprocess: drop original features with negligible IG.
+        base_scores = np.array(
+            [_binned_information_gain(X[:, j], y, 10) for j in range(train.n_cols)]
+        )
+        informative = [
+            j for j in range(train.n_cols) if base_scores[j] > self.ig_threshold
+        ]
+        if len(informative) < 2:
+            informative = list(np.argsort(-base_scores)[: max(2, train.n_cols // 4)])
+
+        # 2. Mine related pairs by distance correlation.
+        pairs = related_pairs(X[:, informative], threshold=self.dcor_threshold)
+        pairs = [(informative[i], informative[j], s) for i, j, s in pairs]
+        pairs = pairs[: self.max_pairs]
+        self.n_related_pairs_ = len(pairs)
+
+        # 3. Generate ridge / kernel-ridge predicted + residual features.
+        generated: list[Expression] = []
+        seen: set[str] = {f"x{j}" for j in range(train.n_cols)}
+        for i, j, __ in pairs:
+            for a, b in ((i, j), (j, i)):
+                for op_name in ("ridge", "ridge_residual",
+                                "kernel_ridge", "kernel_ridge_residual"):
+                    expr = fit_applied(op_name, (Var(a), Var(b)), train.X)
+                    if expr.key in seen:
+                        continue
+                    seen.add(expr.key)
+                    generated.append(expr)
+        self.n_generated_ = len(generated)
+
+        base: list[Expression] = [Var(j) for j in range(train.n_cols)]
+        candidates = base + generated
+        cols = clean_matrix(
+            np.column_stack([e.evaluate(train.X) for e in candidates])
+        )
+
+        # 4. Stability selection: bootstrap-IG votes.
+        n = train.n_rows
+        votes = np.zeros(len(candidates))
+        mean_ig = np.zeros(len(candidates))
+        keep_per_round = max(max_output, len(base))
+        for __ in range(self.n_stability_rounds):
+            idx = rng.integers(0, n, size=n)
+            y_boot = y[idx]
+            if y_boot.min() == y_boot.max():
+                continue
+            scores = np.array([
+                _binned_information_gain(cols[idx, k], y_boot, 10)
+                for k in range(len(candidates))
+            ])
+            mean_ig += scores
+            chosen = np.argsort(-scores)[:keep_per_round]
+            votes[chosen] += 1
+        mean_ig /= self.n_stability_rounds
+        stable = votes >= self.stability_fraction * self.n_stability_rounds
+        if not stable.any():
+            stable = np.ones(len(candidates), dtype=bool)
+        order = np.lexsort((np.arange(len(candidates)), -mean_ig))
+        final = [k for k in order if stable[k]][:max_output]
+        chosen_exprs = [candidates[k] for k in final] or base
+        return FeatureTransformer(
+            expressions=tuple(chosen_exprs),
+            original_names=train.names,
+            metadata={
+                "method": self.name,
+                "n_related_pairs": self.n_related_pairs_,
+                "n_generated": self.n_generated_,
+            },
+        )

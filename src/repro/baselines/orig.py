@@ -1,0 +1,26 @@
+"""ORIG: the identity baseline (original feature space, Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.interface import AutoFeatureEngineer
+from ..core.transform import FeatureTransformer
+from ..operators.expressions import Var
+from ..tabular.dataset import Dataset
+
+
+@dataclass
+class OriginalFeatures(AutoFeatureEngineer):
+    """Pass-through Ψ returning the original columns unchanged."""
+
+    name: str = "ORIG"
+
+    def fit(
+        self, train: Dataset, valid: "Dataset | None" = None
+    ) -> FeatureTransformer:
+        return FeatureTransformer(
+            expressions=tuple(Var(i) for i in range(train.n_cols)),
+            original_names=train.names,
+            metadata={"method": self.name},
+        )

@@ -1,0 +1,20 @@
+"""Gradient boosting substrate (the from-scratch XGBoost stand-in)."""
+
+from .gbm import GradientBoostingClassifier, GradientBoostingRegressor
+from .histogram import SplitCandidate, best_split_for_feature, feature_histogram, split_gain
+from .losses import LogisticLoss, SquaredLoss, get_loss
+from .tree import Tree, TreePath
+
+__all__ = [
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "LogisticLoss",
+    "SplitCandidate",
+    "SquaredLoss",
+    "Tree",
+    "TreePath",
+    "best_split_for_feature",
+    "feature_histogram",
+    "get_loss",
+    "split_gain",
+]

@@ -1,0 +1,123 @@
+"""Histogram accumulation for split finding.
+
+Gradient boosting here is *histogram-based* (as in XGBoost's ``hist`` tree
+method and LightGBM): each column is pre-binned into quantile codes once,
+and per-node split search reduces to bincounts of gradient/hessian over
+those codes. This keeps pure-numpy training fast enough for the paper's
+benchmark scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """Best split found for one node: feature, bin, gain and child stats."""
+
+    feature: int
+    bin_index: int
+    gain: float
+    grad_left: float
+    hess_left: float
+    grad_right: float
+    hess_right: float
+    n_left: int
+    n_right: int
+
+
+def feature_histogram(
+    codes: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    n_bins: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-bin (gradient sum, hessian sum, count) for one feature column."""
+    if codes.size != grad.size or codes.size != hess.size:
+        raise DataError("codes/grad/hess length mismatch")
+    g = np.bincount(codes, weights=grad, minlength=n_bins)
+    h = np.bincount(codes, weights=hess, minlength=n_bins)
+    c = np.bincount(codes, minlength=n_bins)
+    return g, h, c
+
+
+def split_gain(
+    gl: np.ndarray,
+    hl: np.ndarray,
+    g_total: float,
+    h_total: float,
+    reg_lambda: float,
+    gamma: float,
+) -> np.ndarray:
+    """Vectorized regularized gain for every left-prefix candidate.
+
+    ``gain = 1/2 [G_L^2/(H_L+lam) + G_R^2/(H_R+lam) - G^2/(H+lam)] - gamma``
+    — the split objective of the XGBoost paper the authors cite.
+    """
+    gr = g_total - gl
+    hr = h_total - hl
+    parent = g_total * g_total / (h_total + reg_lambda)
+    gain = 0.5 * (gl * gl / (hl + reg_lambda) + gr * gr / (hr + reg_lambda) - parent)
+    return gain - gamma
+
+
+def best_split_for_feature(
+    codes: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    n_bins: int,
+    reg_lambda: float,
+    gamma: float,
+    min_child_weight: float,
+    min_samples_leaf: int,
+) -> "SplitCandidate | None":
+    """Scan all bin boundaries of one feature; return the best valid split.
+
+    A split at bin ``b`` sends ``code <= b`` left. The last bin is the
+    missing-value code, so it can never move left — missing values always
+    follow the right child (a fixed default direction, documented in
+    DESIGN.md).
+    """
+    g, h, c = feature_histogram(codes, grad, hess, n_bins)
+    if n_bins < 2:
+        return None
+    # Candidate boundaries: after bins 0..n_bins-2 (never isolate only the
+    # missing bin on the right artificially — that is still allowed and
+    # simply means "missing vs rest").
+    gl = np.cumsum(g)[:-1]
+    hl = np.cumsum(h)[:-1]
+    cl = np.cumsum(c)[:-1]
+    g_total = float(g.sum())
+    h_total = float(h.sum())
+    n_total = int(c.sum())
+    gains = split_gain(gl, hl, g_total, h_total, reg_lambda, gamma)
+    cr = n_total - cl
+    hr = h_total - hl
+    valid = (
+        (cl >= min_samples_leaf)
+        & (cr >= min_samples_leaf)
+        & (hl >= min_child_weight)
+        & (hr >= min_child_weight)
+    )
+    if not valid.any():
+        return None
+    gains = np.where(valid, gains, -np.inf)
+    b = int(np.argmax(gains))
+    if not np.isfinite(gains[b]) or gains[b] <= 0:
+        return None
+    return SplitCandidate(
+        feature=-1,  # caller fills in the real column index
+        bin_index=b,
+        gain=float(gains[b]),
+        grad_left=float(gl[b]),
+        hess_left=float(hl[b]),
+        grad_right=float(g_total - gl[b]),
+        hess_right=float(h_total - hl[b]),
+        n_left=int(cl[b]),
+        n_right=int(cr[b]),
+    )

@@ -1,0 +1,72 @@
+"""Second-order losses for gradient boosting.
+
+Each loss exposes gradients and hessians of the objective w.r.t. the raw
+(margin) prediction, as in the XGBoost formulation the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..utils import sigmoid
+
+
+@dataclass(frozen=True)
+class LogisticLoss:
+    """Binary cross-entropy on logits: grad = p - y, hess = p (1 - p)."""
+
+    name: str = "logistic"
+
+    def base_score(self, y: np.ndarray) -> float:
+        """Log-odds of the prior positive rate (clipped away from 0/1)."""
+        p = float(np.clip(np.mean(y), 1e-6, 1 - 1e-6))
+        return float(np.log(p / (1.0 - p)))
+
+    def grad_hess(self, y: np.ndarray, margin: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        p = sigmoid(margin)
+        grad = p - y
+        hess = np.maximum(p * (1.0 - p), 1e-16)
+        return grad, hess
+
+    def transform(self, margin: np.ndarray) -> np.ndarray:
+        """Margin -> probability."""
+        return sigmoid(margin)
+
+    def loss(self, y: np.ndarray, margin: np.ndarray) -> float:
+        p = np.clip(sigmoid(margin), 1e-12, 1 - 1e-12)
+        return float(-(y * np.log(p) + (1 - y) * np.log(1 - p)).mean())
+
+
+@dataclass(frozen=True)
+class SquaredLoss:
+    """Half squared error: grad = pred - y, hess = 1."""
+
+    name: str = "squared"
+
+    def base_score(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def grad_hess(self, y: np.ndarray, margin: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        grad = margin - y
+        hess = np.ones_like(margin)
+        return grad, hess
+
+    def transform(self, margin: np.ndarray) -> np.ndarray:
+        return margin
+
+    def loss(self, y: np.ndarray, margin: np.ndarray) -> float:
+        return float(0.5 * np.mean((margin - y) ** 2))
+
+
+_LOSSES = {"logistic": LogisticLoss(), "squared": SquaredLoss()}
+
+
+def get_loss(name: str) -> "LogisticLoss | SquaredLoss":
+    """Look up a loss object by name (``"logistic"`` or ``"squared"``)."""
+    try:
+        return _LOSSES[name]
+    except KeyError:
+        raise DataError(f"unknown loss {name!r}; options: {sorted(_LOSSES)}") from None

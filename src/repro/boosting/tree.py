@@ -1,0 +1,317 @@
+"""Regression tree for gradient boosting, with root-to-leaf path export.
+
+The tree is grown depth-wise on pre-binned codes (histogram split search)
+and stored in flat arrays. Besides prediction it exposes the two pieces of
+structure SAFE consumes:
+
+* :meth:`Tree.paths` — for every parent-of-leaf node ``l_j``, the distinct
+  split features on the root→``l_j`` path together with each feature's set
+  of split values (the paper's ``p_j`` and ``V_i``);
+* :meth:`Tree.feature_gains` — per-feature total gain and split count, the
+  ingredients of XGBoost's average-gain importance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+
+
+@dataclass(frozen=True)
+class TreePath:
+    """Distinct split features along one root→leaf-parent path.
+
+    Attributes
+    ----------
+    features:
+        Column indices in order of first appearance on the path.
+    split_values:
+        Mapping from column index to the tuple of raw threshold values the
+        feature splits on along this path (a feature can appear several
+        times, hence a set of values — the paper's ``V_i``).
+    """
+
+    features: tuple[int, ...]
+    split_values: dict[int, tuple[float, ...]]
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+
+@dataclass
+class Tree:
+    """A fitted regression tree in flat-array form.
+
+    Internal nodes satisfy ``feature[i] >= 0``; leaves have
+    ``feature[i] == -1`` and carry ``value[i]``. The split condition is
+    ``x[feature] <= threshold`` → left child; missing (non-finite) values
+    go right (fixed default direction).
+    """
+
+    max_depth: int = 6
+    min_samples_leaf: int = 5
+    min_child_weight: float = 1e-3
+    reg_lambda: float = 1.0
+    gamma: float = 0.0
+    colsample: float = 1.0
+
+    feature: np.ndarray = field(default=None, repr=False)
+    threshold: np.ndarray = field(default=None, repr=False)
+    threshold_bin: np.ndarray = field(default=None, repr=False)
+    left: np.ndarray = field(default=None, repr=False)
+    right: np.ndarray = field(default=None, repr=False)
+    value: np.ndarray = field(default=None, repr=False)
+    gain: np.ndarray = field(default=None, repr=False)
+    n_samples: np.ndarray = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Growing
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        codes: np.ndarray,
+        edges: "list[np.ndarray]",
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rng: "np.random.Generator | None" = None,
+    ) -> "Tree":
+        """Grow the tree on binned ``codes`` against ``grad``/``hess``.
+
+        ``edges[j]`` holds the interior quantile edges of column ``j`` so
+        that bin index ``b`` maps back to the raw threshold ``edges[j][b]``.
+        """
+        if self.max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        n_rows, n_cols = codes.shape
+        # Vectorized histogram layout: every feature gets a fixed-width
+        # slot of `stride` bins, so one flattened bincount per node builds
+        # all per-feature histograms at once (columns with fewer effective
+        # bins simply leave their tail slots empty).
+        stride = max(len(e) for e in edges) + 2 if edges else 2
+        offsets = (np.arange(n_cols, dtype=np.int64) * stride)[None, :]
+        codes_offset = codes + offsets
+        n_edges = np.array([len(e) for e in edges], dtype=np.int64)
+        nodes: list[dict] = []
+
+        def new_node(depth: int, idx: np.ndarray) -> int:
+            nodes.append(
+                {
+                    "feature": -1,
+                    "threshold": np.nan,
+                    "threshold_bin": -1,
+                    "left": -1,
+                    "right": -1,
+                    "value": 0.0,
+                    "gain": 0.0,
+                    "n_samples": idx.size,
+                    "_depth": depth,
+                    "_idx": idx,
+                }
+            )
+            return len(nodes) - 1
+
+        root = new_node(0, np.arange(n_rows))
+        stack = [root]
+        all_cols = np.arange(n_cols)
+        n_sub = max(1, int(round(self.colsample * n_cols)))
+        while stack:
+            node_id = stack.pop()
+            node = nodes[node_id]
+            idx = node["_idx"]
+            g_sum = float(grad[idx].sum())
+            h_sum = float(hess[idx].sum())
+            node["value"] = -g_sum / (h_sum + self.reg_lambda)
+            if (
+                node["_depth"] >= self.max_depth
+                or idx.size < 2 * self.min_samples_leaf
+                or h_sum < 2 * self.min_child_weight
+            ):
+                continue
+            # One flattened bincount builds every feature's (grad, hess,
+            # count) histogram; cumulative sums then scan all candidate
+            # boundaries of all features simultaneously.
+            flat = codes_offset[idx].ravel()
+            g_node = grad[idx]
+            h_node = hess[idx]
+            length = n_cols * stride
+            g_hist = np.bincount(
+                flat, weights=np.repeat(g_node, n_cols), minlength=length
+            ).reshape(n_cols, stride)
+            h_hist = np.bincount(
+                flat, weights=np.repeat(h_node, n_cols), minlength=length
+            ).reshape(n_cols, stride)
+            c_hist = np.bincount(flat, minlength=length).reshape(n_cols, stride)
+            gl = np.cumsum(g_hist, axis=1)[:, :-1]
+            hl = np.cumsum(h_hist, axis=1)[:, :-1]
+            cl = np.cumsum(c_hist, axis=1)[:, :-1]
+            gr = g_sum - gl
+            hr = h_sum - hl
+            cr = idx.size - cl
+            parent_term = g_sum * g_sum / (h_sum + self.reg_lambda)
+            gains = 0.5 * (
+                gl * gl / (hl + self.reg_lambda)
+                + gr * gr / (hr + self.reg_lambda)
+                - parent_term
+            ) - self.gamma
+            valid = (
+                (cl >= self.min_samples_leaf)
+                & (cr >= self.min_samples_leaf)
+                & (hl >= self.min_child_weight)
+                & (hr >= self.min_child_weight)
+                # Boundaries past a feature's missing code are vacuous.
+                & (np.arange(stride - 1)[None, :] <= n_edges[:, None])
+            )
+            if n_sub < n_cols and rng is not None:
+                keep_cols = rng.choice(all_cols, size=n_sub, replace=False)
+                col_mask = np.zeros(n_cols, dtype=bool)
+                col_mask[keep_cols] = True
+                valid &= col_mask[:, None]
+            gains = np.where(valid, gains, -np.inf)
+            best_flat = int(np.argmax(gains))
+            j, b = divmod(best_flat, stride - 1)
+            if not np.isfinite(gains[j, b]) or gains[j, b] <= 0:
+                continue
+            best_gain = float(gains[j, b])
+            col_edges = edges[j]
+            # bin b is the last bin that goes left; x <= edges[b] goes left.
+            # If b exceeds the interior edges (can only happen when the
+            # "real value vs missing" boundary is chosen), the threshold is
+            # +inf: every real value goes left, missing goes right.
+            threshold = float(col_edges[b]) if b < len(col_edges) else np.inf
+            go_left = codes[idx, j] <= b
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            if left_idx.size == 0 or right_idx.size == 0:
+                continue
+            node["feature"] = j
+            node["threshold"] = threshold
+            node["threshold_bin"] = b
+            node["gain"] = best_gain
+            left_id = new_node(node["_depth"] + 1, left_idx)
+            right_id = new_node(node["_depth"] + 1, right_idx)
+            node["left"] = left_id
+            node["right"] = right_id
+            stack.append(left_id)
+            stack.append(right_id)
+
+        self.feature = np.array([n["feature"] for n in nodes], dtype=np.int64)
+        self.threshold = np.array([n["threshold"] for n in nodes], dtype=np.float64)
+        self.threshold_bin = np.array([n["threshold_bin"] for n in nodes], dtype=np.int64)
+        self.left = np.array([n["left"] for n in nodes], dtype=np.int64)
+        self.right = np.array([n["right"] for n in nodes], dtype=np.int64)
+        self.value = np.array([n["value"] for n in nodes], dtype=np.float64)
+        self.gain = np.array([n["gain"] for n in nodes], dtype=np.float64)
+        self.n_samples = np.array([n["n_samples"] for n in nodes], dtype=np.int64)
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        self._check_fitted()
+        return int(self.feature.size)
+
+    @property
+    def n_leaves(self) -> int:
+        self._check_fitted()
+        return int((self.feature == -1).sum())
+
+    def _check_fitted(self) -> None:
+        if self.feature is None:
+            raise NotFittedError("Tree not fitted")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf values for raw (unbinned) input rows, vectorized."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        node_ids = np.zeros(n, dtype=np.int64)
+        active = self.feature[node_ids] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            nid = node_ids[rows]
+            feats = self.feature[nid]
+            thr = self.threshold[nid]
+            vals = X[rows, feats]
+            go_left = vals <= thr  # NaN comparisons are False -> right
+            node_ids[rows] = np.where(go_left, self.left[nid], self.right[nid])
+            active[rows] = self.feature[node_ids[rows]] >= 0
+        return self.value[node_ids]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id per row (for diagnostics)."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        node_ids = np.zeros(n, dtype=np.int64)
+        active = self.feature[node_ids] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            nid = node_ids[rows]
+            go_left = X[rows, self.feature[nid]] <= self.threshold[nid]
+            node_ids[rows] = np.where(go_left, self.left[nid], self.right[nid])
+            active[rows] = self.feature[node_ids[rows]] >= 0
+        return node_ids
+
+    # ------------------------------------------------------------------
+    # Structure export (what SAFE consumes)
+    # ------------------------------------------------------------------
+    def paths(self) -> list[TreePath]:
+        """Root→leaf-parent paths as the paper defines them.
+
+        For every internal node that is the parent of at least one leaf,
+        emit the distinct split features encountered from the root down to
+        and including that node, along with each feature's collected split
+        values.
+        """
+        self._check_fitted()
+        out: list[TreePath] = []
+        if self.feature[0] == -1:  # single-leaf tree
+            return out
+
+        def is_leaf(i: int) -> bool:
+            return self.feature[i] == -1
+
+        # DFS carrying the (ordered distinct features, values) state.
+        stack: list[tuple[int, tuple[int, ...], dict[int, tuple[float, ...]]]] = [
+            (0, (), {})
+        ]
+        while stack:
+            node, feats, values = stack.pop()
+            f = int(self.feature[node])
+            thr = float(self.threshold[node])
+            if f in values:
+                new_feats = feats
+                new_values = dict(values)
+                new_values[f] = values[f] + (thr,)
+            else:
+                new_feats = feats + (f,)
+                new_values = dict(values)
+                new_values[f] = (thr,)
+            l, r = int(self.left[node]), int(self.right[node])
+            if is_leaf(l) or is_leaf(r):
+                out.append(TreePath(features=new_feats, split_values=new_values))
+            for child in (l, r):
+                if not is_leaf(child):
+                    stack.append((child, new_feats, new_values))
+        return out
+
+    def feature_gains(self) -> dict[int, tuple[float, int]]:
+        """Per-feature ``(total_gain, split_count)`` over internal nodes."""
+        self._check_fitted()
+        out: dict[int, tuple[float, int]] = {}
+        for f, g in zip(self.feature, self.gain):
+            if f < 0:
+                continue
+            total, count = out.get(int(f), (0.0, 0))
+            out[int(f)] = (total + float(g), count + 1)
+        return out
+
+    def split_features(self) -> set[int]:
+        """The set of features used anywhere in the tree."""
+        self._check_fitted()
+        return {int(f) for f in self.feature if f >= 0}

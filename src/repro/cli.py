@@ -1,0 +1,149 @@
+"""Command-line interface for the SAFE feature-engineering workflow.
+
+The paper's deployment story is: learn Ψ offline, persist it, and serve
+it (interpretably, in real time) next to any downstream model. The CLI
+mirrors that lifecycle on CSV files:
+
+* ``fit``        — learn Ψ from a labeled training CSV, write a JSON plan
+* ``transform``  — apply a saved plan to a CSV, write the generated CSV
+* ``evaluate``   — compare original vs. plan features for a classifier
+* ``inspect``    — print a saved plan's features (the interpretability view)
+
+Usage::
+
+    python -m repro fit --train train.csv --plan psi.json --method SAFE
+    python -m repro transform --plan psi.json --input new.csv --output out.csv
+    python -m repro evaluate --train train.csv --test test.csv --plan psi.json
+    python -m repro inspect --plan psi.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.transform import FeatureTransformer
+from .experiments.runner import METHOD_ORDER, make_method
+from .metrics import roc_auc_score
+from .models import PAPER_CLASSIFIERS, make_classifier
+from .tabular.io import load_csv, save_csv
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    train = load_csv(args.train, label_column=args.label_column)
+    valid = (
+        load_csv(args.valid, label_column=args.label_column)
+        if args.valid
+        else None
+    )
+    method = make_method(
+        args.method,
+        gamma=args.gamma,
+        seed=args.seed,
+        n_iterations=args.iterations,
+        max_output_features=args.max_features,
+    )
+    transformer = method.fit(train, valid)
+    transformer.save(args.plan)
+    print(f"fitted {args.method}: {transformer.n_output_features} features "
+          f"-> {args.plan}")
+    for name in transformer.feature_names[: args.show]:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    transformer = FeatureTransformer.load(args.plan)
+    data = load_csv(args.input, label_column=args.label_column)
+    if data.names != transformer.original_names:
+        # Column order may differ between exports; realign by name.
+        data = data.select(list(transformer.original_names))
+    out = transformer.transform(data)
+    save_csv(out, args.output, label_column=args.label_column)
+    print(f"transformed {out.n_rows} rows x {out.n_cols} features -> {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    train = load_csv(args.train, label_column=args.label_column)
+    test = load_csv(args.test, label_column=args.label_column)
+    rows = [("ORIG", train, test)]
+    if args.plan:
+        transformer = FeatureTransformer.load(args.plan)
+        rows.append(("PLAN", transformer.transform(train), transformer.transform(test)))
+    for label, tr, te in rows:
+        clf = make_classifier(args.classifier)
+        clf.fit(tr.X, tr.require_labels())
+        auc = roc_auc_score(te.require_labels(), clf.predict_proba(te.X)[:, 1])
+        print(f"{label}: {args.classifier.upper()} test AUC = {auc:.4f}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    transformer = FeatureTransformer.load(args.plan)
+    print(transformer.describe())
+    meta = transformer.metadata
+    if meta:
+        print("metadata:")
+        for key, value in meta.items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAFE automatic feature engineering (ICDE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fit = sub.add_parser("fit", help="learn a feature-generation plan")
+    fit.add_argument("--train", required=True, type=Path)
+    fit.add_argument("--valid", type=Path, default=None)
+    fit.add_argument("--plan", required=True, type=Path)
+    fit.add_argument("--method", default="SAFE",
+                     choices=list(METHOD_ORDER) + ["AUTO"])
+    fit.add_argument("--gamma", type=int, default=50)
+    fit.add_argument("--iterations", type=int, default=1)
+    fit.add_argument("--max-features", type=int, default=None)
+    fit.add_argument("--label-column", default="label")
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--show", type=int, default=10,
+                     help="number of feature formulas to print")
+    fit.set_defaults(func=_cmd_fit)
+
+    transform = sub.add_parser("transform", help="apply a saved plan to a CSV")
+    transform.add_argument("--plan", required=True, type=Path)
+    transform.add_argument("--input", required=True, type=Path)
+    transform.add_argument("--output", required=True, type=Path)
+    transform.add_argument("--label-column", default="label")
+    transform.set_defaults(func=_cmd_transform)
+
+    evaluate = sub.add_parser("evaluate", help="AUC of original vs plan features")
+    evaluate.add_argument("--train", required=True, type=Path)
+    evaluate.add_argument("--test", required=True, type=Path)
+    evaluate.add_argument("--plan", type=Path, default=None)
+    evaluate.add_argument("--classifier", default="xgb",
+                          choices=list(PAPER_CLASSIFIERS))
+    evaluate.add_argument("--label-column", default="label")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    inspect = sub.add_parser("inspect", help="print a saved plan")
+    inspect.add_argument("--plan", required=True, type=Path)
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): exit quietly.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

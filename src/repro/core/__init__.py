@@ -1,0 +1,44 @@
+"""SAFE core: the paper's primary contribution."""
+
+from .config import SAFEConfig
+from .generation import (
+    Combination,
+    RankedCombination,
+    combinations_from_paths,
+    fit_mining_model,
+    generate_features,
+    mined_search_space_size,
+    rank_combinations,
+    search_space_size,
+)
+from .interface import AutoFeatureEngineer
+from .pipeline import SAFE, IterationTrace
+from .selection import (
+    SelectionReport,
+    filter_by_information_value,
+    rank_by_importance,
+    remove_redundant_features,
+    select_features,
+)
+from .transform import FeatureTransformer
+
+__all__ = [
+    "AutoFeatureEngineer",
+    "Combination",
+    "FeatureTransformer",
+    "IterationTrace",
+    "RankedCombination",
+    "SAFE",
+    "SAFEConfig",
+    "SelectionReport",
+    "combinations_from_paths",
+    "filter_by_information_value",
+    "fit_mining_model",
+    "generate_features",
+    "mined_search_space_size",
+    "rank_by_importance",
+    "rank_combinations",
+    "remove_redundant_features",
+    "search_space_size",
+    "select_features",
+]

@@ -1,0 +1,205 @@
+"""Feature generation stage (§IV-B): mine, rank, and apply.
+
+Three steps, mirroring the paper exactly:
+
+1. **Mine feature combination relations** — train the small XGBoost-style
+   model, read off every root→leaf-parent path, and form candidate
+   combinations from the distinct split features on each path (subsets of
+   size 1..``max_combination_size``). Combinations recurring on several
+   paths are merged, pooling their split values.
+2. **Sort feature combinations** (Algorithm 2) — partition training rows
+   by each combination's split values and rank combinations by the
+   information gain ratio of the induced partition; keep the top γ.
+3. **Generate features** — apply each operator of matching arity to each
+   surviving combination. Non-commutative operators are applied to every
+   ordered arrangement (the paper treats ``÷`` as multiple operators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations as iter_combinations
+from itertools import permutations as iter_permutations
+
+import numpy as np
+
+from ..boosting.gbm import GradientBoostingClassifier
+from ..boosting.tree import TreePath
+from ..metrics.information import cells_from_split_values, information_gain_ratio
+from ..operators.base import Operator, resolve_operators
+from ..operators.expressions import Applied, Expression, fit_applied
+
+
+@dataclass(frozen=True)
+class Combination:
+    """A candidate feature combination with pooled split values.
+
+    ``features`` holds *current-iteration* column indices (sorted);
+    ``split_values[f]`` pools every split value observed for feature ``f``
+    across all paths that contained this combination.
+    """
+
+    features: tuple[int, ...]
+    split_values: tuple[tuple[float, ...], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.features)
+
+
+@dataclass(frozen=True)
+class RankedCombination:
+    """A combination together with its Algorithm 2 score."""
+
+    combination: Combination
+    gain_ratio: float
+
+
+def fit_mining_model(
+    X: np.ndarray,
+    y: np.ndarray,
+    eval_set: "tuple[np.ndarray, np.ndarray] | None",
+    n_estimators: int,
+    max_depth: int,
+    learning_rate: float,
+    random_state: "int | None",
+) -> GradientBoostingClassifier:
+    """Train the path-mining GBM (Algorithm 1 line 3)."""
+    model = GradientBoostingClassifier(
+        n_estimators=n_estimators,
+        max_depth=max_depth,
+        learning_rate=learning_rate,
+        random_state=random_state,
+    )
+    model.fit(X, y, eval_set=eval_set)
+    return model
+
+
+def combinations_from_paths(
+    paths: "list[TreePath]",
+    max_size: int = 2,
+) -> list[Combination]:
+    """Form merged candidate combinations from tree paths (line 4).
+
+    Every subset (size 1..``max_size``) of each path's distinct split
+    features is a candidate; identical subsets from different paths are
+    merged by pooling split values, which is why the realized search space
+    is far below the worst case of Eq. (5).
+    """
+    pooled: dict[tuple[int, ...], dict[int, set[float]]] = {}
+    for path in paths:
+        feats = path.features
+        for size in range(1, min(max_size, len(feats)) + 1):
+            for subset in iter_combinations(sorted(feats), size):
+                store = pooled.setdefault(subset, {f: set() for f in subset})
+                for f in subset:
+                    store[f].update(path.split_values.get(f, ()))
+    out = []
+    for subset, values in sorted(pooled.items()):
+        out.append(
+            Combination(
+                features=subset,
+                split_values=tuple(
+                    tuple(sorted(values[f])) for f in subset
+                ),
+            )
+        )
+    return out
+
+
+def rank_combinations(
+    X: np.ndarray,
+    y: np.ndarray,
+    combos: "list[Combination]",
+    gamma: int,
+) -> list[RankedCombination]:
+    """Algorithm 2: score each combination by information gain ratio.
+
+    Rows are partitioned into ``prod_f (|V_f| + 1)`` cells by the pooled
+    split values; the top-γ combinations by gain ratio survive.
+    """
+    scored: list[RankedCombination] = []
+    for combo in combos:
+        if not combo.features:
+            continue
+        cells = cells_from_split_values(
+            X, list(combo.features), [np.asarray(v) for v in combo.split_values]
+        )
+        ratio = information_gain_ratio(y, cells)
+        scored.append(RankedCombination(combination=combo, gain_ratio=ratio))
+    scored.sort(key=lambda r: (-r.gain_ratio, r.combination.features))
+    return scored[:gamma]
+
+
+def _arrangements(features: tuple[int, ...], op: Operator) -> "list[tuple[int, ...]]":
+    """Argument orders to try: one for commutative ops, all otherwise."""
+    if op.commutative or len(features) == 1:
+        return [features]
+    return [p for p in iter_permutations(features)]
+
+
+def generate_features(
+    ranked: "list[RankedCombination]",
+    operator_names: "tuple[str, ...]",
+    base_expressions: "list[Expression]",
+    X_original: np.ndarray,
+    existing_keys: "set[str]",
+) -> list[Expression]:
+    """Apply operators to ranked combinations (line 6).
+
+    ``base_expressions[i]`` is the expression behind current column ``i``
+    (a bare :class:`Var` in iteration 0), so chained iterations compose
+    expressions over *original* columns, keeping Ψ serving-ready.
+    Stateful operators are fitted on ``X_original`` here. Duplicate
+    expressions (same canonical key, including anything already in
+    ``existing_keys``) are skipped.
+    """
+    operators = resolve_operators(operator_names)
+    by_arity: dict[int, list[Operator]] = {}
+    for op in operators:
+        by_arity.setdefault(op.arity, []).append(op)
+    seen = set(existing_keys)
+    out: list[Expression] = []
+    for item in ranked:
+        combo = item.combination
+        ops = by_arity.get(combo.size, [])
+        for op in ops:
+            for arrangement in _arrangements(combo.features, op):
+                children = tuple(base_expressions[f] for f in arrangement)
+                expr: Expression = fit_applied(op, children, X_original)
+                if expr.key in seen:
+                    continue
+                seen.add(expr.key)
+                out.append(expr)
+    return out
+
+
+def search_space_size(n_features: int, operator_counts: "dict[int, int]") -> float:
+    """Exhaustive search-space size T of Eq. (3) (ordered subsets × ops)."""
+    total = 0.0
+    for arity, n_ops in operator_counts.items():
+        if arity > n_features:
+            continue
+        arrangements = 1.0
+        for k in range(arity):
+            arrangements *= n_features - k
+        total += arrangements * n_ops
+    return total
+
+
+def mined_search_space_size(
+    paths: "list[TreePath]",
+    operator_counts: "dict[int, int]",
+) -> float:
+    """Path-restricted search-space bound T* of Eq. (5)."""
+    total = 0.0
+    for path in paths:
+        p = len(path)
+        for arity, n_ops in operator_counts.items():
+            if arity > p:
+                continue
+            arrangements = 1.0
+            for k in range(arity):
+                arrangements *= p - k
+            total += arrangements * n_ops
+    return total

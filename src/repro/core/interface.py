@@ -1,0 +1,37 @@
+"""Common interface implemented by SAFE and every baseline method.
+
+Each automatic feature engineering method is an object with a ``name``
+and a ``fit(train, valid=None) -> FeatureTransformer`` method, so the
+experiment harness can treat ORIG / FCTree / TFC / RAND / IMP / SAFE
+uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..tabular.dataset import Dataset
+from .transform import FeatureTransformer
+
+
+class AutoFeatureEngineer(ABC):
+    """Base class for automatic feature engineering methods."""
+
+    #: Short display name used in experiment tables ("SAFE", "FCT", ...).
+    name: str = ""
+
+    @abstractmethod
+    def fit(
+        self, train: Dataset, valid: "Dataset | None" = None
+    ) -> FeatureTransformer:
+        """Learn a feature-generation function Ψ from labeled data."""
+
+    def fit_transform(
+        self, train: Dataset, valid: "Dataset | None" = None
+    ) -> "tuple[FeatureTransformer, Dataset]":
+        """Convenience: fit Ψ and apply it to the training set."""
+        transformer = self.fit(train, valid)
+        return transformer, transformer.transform(train)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,170 @@
+"""Feature selection stage (§IV-C): IV filter, redundancy removal, ranking.
+
+Three computationally-cheap stages, applied in order:
+
+1. :func:`filter_by_information_value` — Algorithm 3. Features whose IV
+   (Eq. 6, β equal-frequency bins) does not exceed α are dropped; the
+   default α = 0.1 keeps "medium" predictors and above (Table I).
+2. :func:`remove_redundant_features` — Algorithm 4 with the intended
+   semantics (see DESIGN.md): process features in decreasing IV order and
+   keep a feature iff its |Pearson| with every already-kept feature is
+   below θ = 0.8, so the higher-IV member of each correlated pair wins.
+3. :func:`rank_by_importance` — order survivors by the ranking GBM's
+   average split gain and truncate to the output budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..boosting.gbm import GradientBoostingClassifier
+from ..exceptions import DataError
+from ..metrics.information import information_value, pearson_matrix
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Bookkeeping of one pass through the three selection stages."""
+
+    n_candidates: int
+    kept_after_iv: tuple[int, ...]
+    kept_after_redundancy: tuple[int, ...]
+    final_order: tuple[int, ...]
+    information_values: tuple[float, ...]
+
+
+def information_values_safe(X: np.ndarray, y: np.ndarray, n_bins: int) -> np.ndarray:
+    """Per-column IV; columns that cannot be scored (constant) get 0."""
+    ivs = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        col = X[:, j]
+        finite = col[np.isfinite(col)]
+        if finite.size == 0 or np.all(finite == finite[0]):
+            continue
+        ivs[j] = information_value(col, y, n_bins=n_bins)
+    return ivs
+
+
+def filter_by_information_value(
+    X: np.ndarray,
+    y: np.ndarray,
+    alpha: float,
+    n_bins: int,
+    min_keep: int = 1,
+    n_jobs: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3: keep columns with ``IV > alpha``.
+
+    Returns ``(kept_indices, ivs_of_all_columns)``. If the threshold would
+    empty the pool the top ``min_keep`` columns by IV are retained instead
+    (the deployed system must always emit *some* features). ``n_jobs``
+    fans the per-column IV computation across processes (§IV-E.2).
+    """
+    if X.ndim != 2 or X.shape[1] == 0:
+        raise DataError("filter_by_information_value expects a non-empty matrix")
+    if n_jobs != 1:
+        from ..parallel import parallel_information_values
+
+        ivs = parallel_information_values(X, y, n_bins, n_jobs=n_jobs)
+    else:
+        ivs = information_values_safe(X, y, n_bins)
+    kept = np.flatnonzero(ivs > alpha)
+    if kept.size < min_keep:
+        kept = np.argsort(-ivs)[:min_keep]
+        kept.sort()
+    return kept, ivs
+
+
+def remove_redundant_features(
+    X: np.ndarray,
+    ivs: np.ndarray,
+    theta: float,
+) -> np.ndarray:
+    """Algorithm 4 (intended semantics): greedy de-correlation by IV.
+
+    Features are visited in decreasing IV order; a feature is kept iff its
+    absolute Pearson correlation with every feature kept so far is at most
+    ``theta``. Ties in IV break by column order for determinism.
+    """
+    if X.shape[1] != ivs.size:
+        raise DataError("ivs length must match number of columns")
+    if X.shape[1] == 0:
+        return np.empty(0, dtype=np.int64)
+    corr = np.abs(pearson_matrix(X))
+    order = np.lexsort((np.arange(ivs.size), -ivs))
+    kept: list[int] = []
+    for j in order:
+        if all(corr[j, k] <= theta for k in kept):
+            kept.append(int(j))
+    kept.sort()
+    return np.asarray(kept, dtype=np.int64)
+
+
+def rank_by_importance(
+    X: np.ndarray,
+    y: np.ndarray,
+    eval_set: "tuple[np.ndarray, np.ndarray] | None",
+    n_estimators: int,
+    max_depth: int,
+    top_k: "int | None",
+    random_state: "int | None",
+) -> np.ndarray:
+    """Stage 3: order columns by GBM average split gain, truncate to top_k.
+
+    Columns the model never split on inherit importance 0 and sort last;
+    ties break by column order. Returns column indices, best first.
+    """
+    model = GradientBoostingClassifier(
+        n_estimators=n_estimators,
+        max_depth=max_depth,
+        random_state=random_state,
+    )
+    model.fit(X, y, eval_set=eval_set)
+    importance = model.feature_importances_
+    order = np.lexsort((np.arange(importance.size), -importance))
+    if top_k is not None:
+        order = order[:top_k]
+    return order
+
+
+def select_features(
+    X: np.ndarray,
+    y: np.ndarray,
+    eval_set: "tuple[np.ndarray, np.ndarray] | None",
+    alpha: float,
+    iv_bins: int,
+    theta: float,
+    ranking_n_estimators: int,
+    ranking_max_depth: int,
+    max_output: "int | None",
+    random_state: "int | None",
+    n_jobs: int = 1,
+) -> SelectionReport:
+    """Run the full three-stage pipeline; returns indices into ``X``."""
+    kept_iv, ivs = filter_by_information_value(X, y, alpha, iv_bins, n_jobs=n_jobs)
+    sub = X[:, kept_iv]
+    kept_red_local = remove_redundant_features(sub, ivs[kept_iv], theta)
+    kept_red = kept_iv[kept_red_local]
+    sub2 = X[:, kept_red]
+    eval_sub = None
+    if eval_set is not None:
+        eval_sub = (eval_set[0][:, kept_red], eval_set[1])
+    order_local = rank_by_importance(
+        sub2,
+        y,
+        eval_sub,
+        n_estimators=ranking_n_estimators,
+        max_depth=ranking_max_depth,
+        top_k=max_output,
+        random_state=random_state,
+    )
+    final = kept_red[order_local]
+    return SelectionReport(
+        n_candidates=X.shape[1],
+        kept_after_iv=tuple(int(i) for i in kept_iv),
+        kept_after_redundancy=tuple(int(i) for i in kept_red),
+        final_order=tuple(int(i) for i in final),
+        information_values=tuple(float(v) for v in ivs),
+    )

@@ -1,0 +1,44 @@
+"""Seeded synthetic surrogates for the paper's datasets (see DESIGN.md)."""
+
+from .benchmark import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    BenchmarkInfo,
+    benchmark_info,
+    load_benchmark,
+)
+from .business import (
+    BUSINESS_DATASETS,
+    BUSINESS_NAMES,
+    DEFAULT_BUSINESS_SCALE,
+    BusinessInfo,
+    business_info,
+    load_business,
+)
+from .synth import (
+    INTERACTION_KINDS,
+    PlantedInteraction,
+    SyntheticTask,
+    SyntheticTaskSpec,
+    build_task,
+    make_classification_task,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "BUSINESS_DATASETS",
+    "BUSINESS_NAMES",
+    "BenchmarkInfo",
+    "BusinessInfo",
+    "DEFAULT_BUSINESS_SCALE",
+    "INTERACTION_KINDS",
+    "PlantedInteraction",
+    "SyntheticTask",
+    "SyntheticTaskSpec",
+    "benchmark_info",
+    "build_task",
+    "load_benchmark",
+    "load_business",
+    "make_classification_task",
+]

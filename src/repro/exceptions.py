@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause, while
+still distinguishing configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data is malformed (wrong shape, dtype, or empty)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A transform/predict was attempted before ``fit``."""
+
+
+class SchemaError(DataError):
+    """Column names or feature schema do not match expectations."""
+
+
+class OperatorError(ReproError, ValueError):
+    """An operator was applied with the wrong arity or invalid inputs."""

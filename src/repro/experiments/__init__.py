@@ -1,0 +1,33 @@
+"""Paper experiment reproductions, one module per table/figure.
+
+Each module exposes ``run(...)`` for programmatic use and a CLI entry
+point (``python -m repro.experiments.<module>``):
+
+* :mod:`~repro.experiments.table3` — Table III, classification AUC.
+* :mod:`~repro.experiments.table5` — Table V, execution time.
+* :mod:`~repro.experiments.table6` — Table VI, feature stability (JSD).
+* :mod:`~repro.experiments.table8` — Table VIII, business-scale fraud.
+* :mod:`~repro.experiments.fig3` — Figure 3, feature importance.
+* :mod:`~repro.experiments.fig4` — Figure 4, AUC vs iterations.
+* :mod:`~repro.experiments.assumptions` — §IV-B assumption check.
+* :mod:`~repro.experiments.search_space` — Eq. (3) vs Eq. (5) reduction.
+* :mod:`~repro.experiments.complexity` — §IV-D Eq. (13) scaling validation.
+"""
+
+from .runner import (
+    METHOD_ORDER,
+    MethodRun,
+    average_lift,
+    evaluate_transformer,
+    fit_method,
+    make_method,
+)
+
+__all__ = [
+    "METHOD_ORDER",
+    "MethodRun",
+    "average_lift",
+    "evaluate_transformer",
+    "fit_method",
+    "make_method",
+]

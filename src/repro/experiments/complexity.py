@@ -1,0 +1,127 @@
+"""Experiment E9 — empirical validation of the §IV-D complexity analysis.
+
+Eq. (13) bounds SAFE's cost by ``O(N · K1 · (K1 + K2))``: *linear in the
+number of records* and controlled by the internal GBM tree counts. This
+experiment measures SAFE's fit time while sweeping
+
+* the training-set size N (at fixed M, K1, K2) — expecting near-linear
+  growth (log-log slope ≈ 1), and
+* the mining tree count K1 (at fixed N) — expecting monotone growth,
+
+and contrasts it with TFC's O(N·M²) by sweeping the feature count M,
+where SAFE's path mining keeps cost flat while TFC's exhausts quadratic
+pair enumeration.
+
+Run: ``python -m repro.experiments.complexity``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import TFC
+from ..core import SAFE, SAFEConfig
+from ..datasets import SyntheticTaskSpec, build_task
+from ..utils import Timer
+from .reporting import banner, format_table, save_results
+
+
+@dataclass(frozen=True)
+class ComplexityResult:
+    n_sweep: list  # (N, seconds)
+    k1_sweep: list  # (K1, seconds)
+    m_sweep: list  # (M, safe_seconds, tfc_seconds)
+    n_scaling_exponent: float
+
+
+def _task(m: int, seed: int = 0) -> "SyntheticTaskSpec":
+    return SyntheticTaskSpec(
+        n_features=m,
+        n_informative=min(8, m),
+        n_interactions=4,
+        seed=seed,
+    )
+
+
+def _time_safe(train, gamma: int, k1: int = 20, k2: int = 20) -> float:
+    cfg = SAFEConfig(gamma=gamma, mining_n_estimators=k1, ranking_n_estimators=k2)
+    timer = Timer()
+    SAFE(cfg).fit(train)
+    return timer.elapsed()
+
+
+def run(
+    n_values: "tuple[int, ...]" = (1000, 2000, 4000, 8000),
+    k1_values: "tuple[int, ...]" = (5, 10, 20, 40),
+    m_values: "tuple[int, ...]" = (10, 20, 40, 80),
+    gamma: int = 30,
+    seed: int = 0,
+    verbose: bool = True,
+) -> ComplexityResult:
+    task = build_task(_task(20, seed))
+
+    n_sweep = []
+    for n in n_values:
+        train = task.sample(n, seed=seed + n)
+        n_sweep.append((n, _time_safe(train, gamma)))
+
+    k1_sweep = []
+    train_fixed = task.sample(4000, seed=seed + 1)
+    for k1 in k1_values:
+        k1_sweep.append((k1, _time_safe(train_fixed, gamma, k1=k1)))
+
+    m_sweep = []
+    for m in m_values:
+        wide = build_task(_task(m, seed)).sample(2000, seed=seed + m)
+        safe_s = _time_safe(wide, gamma)
+        timer = Timer()
+        TFC().fit(wide)
+        m_sweep.append((m, safe_s, timer.elapsed()))
+
+    # Log-log slope of time vs N estimates the scaling exponent.
+    logs_n = np.log([n for n, __ in n_sweep])
+    logs_t = np.log([max(t, 1e-4) for __, t in n_sweep])
+    exponent = float(np.polyfit(logs_n, logs_t, 1)[0])
+
+    if verbose:
+        print(banner("Complexity validation (Eq. 13): SAFE cost scaling"))
+        print(format_table(["N (rows)", "SAFE seconds"],
+                           [[n, t] for n, t in n_sweep]))
+        print(f"log-log scaling exponent in N: {exponent:.2f} "
+              f"(Eq. 13 predicts ~1.0, i.e. linear)\n")
+        print(format_table(["K1 (mining trees)", "SAFE seconds"],
+                           [[k, t] for k, t in k1_sweep]))
+        print()
+        print(format_table(["M (features)", "SAFE s", "TFC s (O(N*M^2))"],
+                           [[m, s, t] for m, s, t in m_sweep]))
+    return ComplexityResult(
+        n_sweep=n_sweep,
+        k1_sweep=k1_sweep,
+        m_sweep=m_sweep,
+        n_scaling_exponent=exponent,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args()
+    result = run(seed=args.seed)
+    if args.out:
+        save_results(
+            {
+                "n_sweep": result.n_sweep,
+                "k1_sweep": result.k1_sweep,
+                "m_sweep": result.m_sweep,
+                "n_scaling_exponent": result.n_scaling_exponent,
+            },
+            args.out,
+        )
+
+
+if __name__ == "__main__":
+    main()

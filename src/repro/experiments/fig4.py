@@ -1,0 +1,88 @@
+"""Experiment E5 — Figure 4: performance at different iterations.
+
+Run SAFE with nIter = 1..R on the Figure 4 datasets (valley, banknote,
+gina surrogates) and track test AUC of an XGB probe after each setting.
+The reproduction target is the figure's shape: AUC improves in early
+iterations and then plateaus ("the features will not be updated, and the
+performance keeps unchanged").
+
+Run: ``python -m repro.experiments.fig4 [--rounds R] [--scale S]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from ..datasets import BENCHMARK_NAMES, load_benchmark
+from .reporting import banner, format_table, save_results
+from .runner import evaluate_transformer, fit_method
+
+DEFAULT_DATASETS: tuple[str, ...] = ("valley", "banknote")
+DEFAULT_CLASSIFIER: str = "xgb"
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    curves: dict  # dataset -> list of (n_iterations, auc*100)
+
+
+def run(
+    datasets: "tuple[str, ...]" = DEFAULT_DATASETS,
+    rounds: int = 5,
+    classifier: str = DEFAULT_CLASSIFIER,
+    scale: float = 0.3,
+    gamma: int = 40,
+    seed: int = 0,
+    verbose: bool = True,
+) -> Fig4Result:
+    curves: dict[str, list[tuple[int, float]]] = {}
+    for ds in datasets:
+        train, valid, test = load_benchmark(ds, scale=scale, seed=seed)
+        curve = []
+        for n_iter in range(1, rounds + 1):
+            info = fit_method("SAFE", train, valid, gamma=gamma, seed=seed,
+                              n_iterations=n_iter)
+            auc = evaluate_transformer(
+                info.transformer, train, test, (classifier,)
+            )[classifier]
+            curve.append((n_iter, auc))
+        curves[ds] = curve
+        if verbose:
+            print(banner(f"Figure 4 — {ds}: AUC vs SAFE iterations ({classifier})"))
+            print(format_table(
+                ["Iterations", "AUC x100"],
+                [[n, a] for n, a in curve],
+            ))
+            print()
+    return Fig4Result(curves=curves)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--classifier", type=str, default=DEFAULT_CLASSIFIER)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--datasets", type=str, default=",".join(DEFAULT_DATASETS))
+    parser.add_argument("--gamma", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args()
+    datasets = (
+        BENCHMARK_NAMES if args.datasets == "all"
+        else tuple(s.strip() for s in args.datasets.split(","))
+    )
+    result = run(
+        datasets=datasets,
+        rounds=args.rounds,
+        classifier=args.classifier.lower(),
+        scale=args.scale,
+        gamma=args.gamma,
+        seed=args.seed,
+    )
+    if args.out:
+        save_results({"curves": result.curves}, args.out)
+
+
+if __name__ == "__main__":
+    main()

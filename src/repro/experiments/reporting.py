@@ -1,0 +1,56 @@
+"""Plain-text table rendering and result persistence for experiments.
+
+Every experiment module prints rows in the same shape as the paper's
+tables and can dump its raw results as JSON for later inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_digits: int = 2,
+) -> str:
+    """Render an aligned monospace table (paper-style)."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_results(payload: dict, path: "str | Path") -> None:
+    """Persist raw experiment output as JSON."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(payload, indent=2, default=_jsonify))
+
+
+def _jsonify(obj: object) -> object:
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    if hasattr(obj, "__dict__"):
+        return vars(obj)
+    return str(obj)
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(len(title), 20)
+    return f"{rule}\n{title}\n{rule}"

@@ -1,0 +1,126 @@
+"""Shared experiment machinery: method factories and evaluation loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..baselines import (
+    AutoLearn,
+    FCTree,
+    ImportantGenerator,
+    OriginalFeatures,
+    RandomGenerator,
+    TFC,
+)
+from ..core import SAFE, AutoFeatureEngineer, FeatureTransformer, SAFEConfig
+from ..exceptions import ConfigurationError
+from ..metrics import roc_auc_score
+from ..models import make_classifier
+from ..tabular.dataset import Dataset
+from ..utils import Timer
+
+#: Method ordering used across the paper's tables. AutoLearn ("AUTO") is
+#: additionally available via make_method — the paper analyzes its
+#: complexity (§IV-D) but does not include it in the experimental tables.
+METHOD_ORDER: tuple[str, ...] = ("ORIG", "FCT", "TFC", "RAND", "IMP", "SAFE")
+
+
+def make_method(
+    name: str,
+    gamma: int = 50,
+    seed: "int | None" = 0,
+    n_iterations: int = 1,
+    max_output_features: "int | None" = None,
+) -> AutoFeatureEngineer:
+    """Build a fresh method instance by table abbreviation.
+
+    All pair-sampling methods share the same γ and output budget so the
+    comparison matches §V-A.1 ("the maximum number of RAND, IMP and SAFE
+    output features are set to 2M").
+    """
+    cfg = SAFEConfig(
+        gamma=gamma,
+        random_state=seed,
+        n_iterations=n_iterations,
+        max_output_features=max_output_features,
+    )
+    key = name.strip().upper()
+    if key == "ORIG":
+        return OriginalFeatures()
+    if key == "FCT":
+        return FCTree(random_state=seed, max_output_features=max_output_features)
+    if key == "TFC":
+        return TFC(max_output_features=max_output_features)
+    if key == "RAND":
+        return RandomGenerator(cfg)
+    if key == "IMP":
+        return ImportantGenerator(cfg)
+    if key == "SAFE":
+        return SAFE(cfg)
+    if key == "AUTO":
+        return AutoLearn(random_state=seed, max_output_features=max_output_features)
+    raise ConfigurationError(
+        f"unknown method {name!r}; options: {METHOD_ORDER + ('AUTO',)}"
+    )
+
+
+@dataclass(frozen=True)
+class MethodRun:
+    """Output of fitting one method on one dataset."""
+
+    method: str
+    transformer: FeatureTransformer
+    fit_seconds: float
+
+
+def fit_method(
+    name: str,
+    train: Dataset,
+    valid: "Dataset | None",
+    gamma: int = 50,
+    seed: "int | None" = 0,
+    n_iterations: int = 1,
+) -> MethodRun:
+    """Fit one method and record wall-clock time."""
+    method = make_method(name, gamma=gamma, seed=seed, n_iterations=n_iterations)
+    timer = Timer()
+    transformer = method.fit(train, valid)
+    return MethodRun(method=name, transformer=transformer, fit_seconds=timer.elapsed())
+
+
+def evaluate_transformer(
+    transformer: FeatureTransformer,
+    train: Dataset,
+    test: Dataset,
+    classifiers: "tuple[str, ...]",
+    clf_kwargs: "dict[str, dict] | None" = None,
+) -> dict[str, float]:
+    """Train each classifier on Ψ(train) and report test AUC (×100)."""
+    train_new = transformer.transform(train)
+    test_new = transformer.transform(test)
+    out: dict[str, float] = {}
+    for clf_name in classifiers:
+        kwargs = (clf_kwargs or {}).get(clf_name, {})
+        clf = make_classifier(clf_name, **kwargs)
+        clf.fit(train_new.X, train_new.require_labels())
+        scores = clf.predict_proba(test_new.X)[:, 1]
+        out[clf_name] = 100.0 * roc_auc_score(test_new.require_labels(), scores)
+    return out
+
+
+def average_lift(
+    per_method: "dict[str, dict[str, float]]",
+    baseline: str = "ORIG",
+    target: str = "SAFE",
+) -> float:
+    """Mean relative AUC improvement of ``target`` over ``baseline`` (%)."""
+    base = per_method[baseline]
+    tgt = per_method[target]
+    lifts = [
+        100.0 * (tgt[clf] - base[clf]) / base[clf]
+        for clf in base
+        if base[clf] > 0
+    ]
+    return float(np.mean(lifts)) if lifts else 0.0

@@ -1,0 +1,92 @@
+"""Experiment E3 — Table V: execution time of each AutoFE method.
+
+Wall-clock time to fit each method's Ψ on each benchmark surrogate. The
+reproduction target is the *ordering* of the paper's Table V: SAFE, RAND
+and IMP are comparable and dramatically cheaper than FCTree, which is in
+turn cheaper than TFC on wide datasets (paper: SAFE runs in 0.13× FCT and
+0.08× TFC time on average).
+
+Run: ``python -m repro.experiments.table5 [--scale S]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from ..datasets import BENCHMARK_NAMES, load_benchmark
+from .reporting import banner, format_table, save_results
+from .runner import fit_method
+
+DEFAULT_DATASETS: tuple[str, ...] = ("banknote", "phoneme", "wind", "magic", "spambase")
+DEFAULT_METHODS: tuple[str, ...] = ("FCT", "TFC", "RAND", "IMP", "SAFE")
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    seconds: dict  # dataset -> method -> fit seconds
+    ratios: dict  # method pair ratios, e.g. {"SAFE/FCT": 0.12, ...}
+
+
+def run(
+    datasets: "tuple[str, ...]" = DEFAULT_DATASETS,
+    methods: "tuple[str, ...]" = DEFAULT_METHODS,
+    scale: float = 0.15,
+    gamma: int = 40,
+    seed: int = 0,
+    verbose: bool = True,
+) -> Table5Result:
+    seconds: dict[str, dict[str, float]] = {}
+    for ds in datasets:
+        train, valid, __ = load_benchmark(ds, scale=scale, seed=seed)
+        per_method: dict[str, float] = {}
+        for m in methods:
+            info = fit_method(m, train, valid, gamma=gamma, seed=seed)
+            per_method[m] = info.fit_seconds
+        seconds[ds] = per_method
+    ratios: dict[str, float] = {}
+    if "SAFE" in methods:
+        for ref in ("FCT", "TFC"):
+            if ref in methods:
+                pairs = [
+                    seconds[ds]["SAFE"] / seconds[ds][ref]
+                    for ds in datasets
+                    if seconds[ds][ref] > 0
+                ]
+                ratios[f"SAFE/{ref}"] = sum(pairs) / len(pairs) if pairs else float("nan")
+    if verbose:
+        print(banner(f"Table V — execution time in seconds (scale={scale})"))
+        rows = [[ds] + [seconds[ds][m] for m in methods] for ds in datasets]
+        print(format_table(["Dataset"] + list(methods), rows, float_digits=2))
+        for key, value in ratios.items():
+            paper = {"SAFE/FCT": 0.13, "SAFE/TFC": 0.08}[key]
+            print(f"mean {key} time ratio: {value:.3f} (paper: {paper:.2f})")
+    return Table5Result(seconds=seconds, ratios=ratios)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--datasets", type=str, default=",".join(DEFAULT_DATASETS))
+    parser.add_argument("--methods", type=str, default=",".join(DEFAULT_METHODS))
+    parser.add_argument("--gamma", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args()
+    datasets = (
+        BENCHMARK_NAMES if args.datasets == "all"
+        else tuple(s.strip() for s in args.datasets.split(","))
+    )
+    result = run(
+        datasets=datasets,
+        methods=tuple(s.strip().upper() for s in args.methods.split(",")),
+        scale=args.scale,
+        gamma=args.gamma,
+        seed=args.seed,
+    )
+    if args.out:
+        save_results({"seconds": result.seconds, "ratios": result.ratios}, args.out)
+
+
+if __name__ == "__main__":
+    main()

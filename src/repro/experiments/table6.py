@@ -1,0 +1,92 @@
+"""Experiment E4 — Table VI: stability of the generated features.
+
+Repeat each AutoFE method T times with different seeds, pool the
+identities of its generated features (canonical expression keys), and
+score the pooled frequency distribution against the ideal
+(same 2M features every run) with Jensen-Shannon divergence — Eq. (14–15)
+and §V-A.5. Lower is more stable; the reproduction target is SAFE having
+the lowest (or near-lowest) JSD, with FCT/RAND/IMP above it. TFC is
+excluded exactly as in the paper ("the execution time of TFC is too
+long").
+
+Run: ``python -m repro.experiments.table6 [--repeats T] [--scale S]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from ..datasets import BENCHMARK_NAMES, load_benchmark
+from ..metrics import feature_stability
+from .reporting import banner, format_table, save_results
+from .runner import fit_method
+
+DEFAULT_DATASETS: tuple[str, ...] = ("banknote", "phoneme", "magic")
+DEFAULT_METHODS: tuple[str, ...] = ("FCT", "RAND", "IMP", "SAFE")
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    jsd: dict  # dataset -> method -> JSD score
+
+
+def run(
+    datasets: "tuple[str, ...]" = DEFAULT_DATASETS,
+    methods: "tuple[str, ...]" = DEFAULT_METHODS,
+    repeats: int = 10,
+    scale: float = 0.1,
+    gamma: int = 40,
+    seed: int = 0,
+    verbose: bool = True,
+) -> Table6Result:
+    jsd: dict[str, dict[str, float]] = {}
+    for ds in datasets:
+        per_method: dict[str, float] = {}
+        for m in methods:
+            runs = []
+            for t in range(repeats):
+                # New data draw and new method seed each repetition, as the
+                # paper repeats the whole AutoFE procedure.
+                train, valid, __ = load_benchmark(ds, scale=scale, seed=seed + 1000 * t)
+                info = fit_method(m, train, valid, gamma=gamma, seed=seed + t)
+                runs.append(list(info.transformer.feature_keys))
+            n_nominal = max(len(r) for r in runs)
+            per_method[m] = feature_stability(runs, n_features_per_run=n_nominal)
+        jsd[ds] = per_method
+    if verbose:
+        print(banner(f"Table VI — feature stability (JSD, T={repeats}, lower=better)"))
+        rows = [[ds] + [jsd[ds][m] for m in methods] for ds in datasets]
+        print(format_table(["Dataset"] + list(methods), rows, float_digits=4))
+    return Table6Result(jsd=jsd)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="T repetitions (paper uses 100)")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--datasets", type=str, default=",".join(DEFAULT_DATASETS))
+    parser.add_argument("--methods", type=str, default=",".join(DEFAULT_METHODS))
+    parser.add_argument("--gamma", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args()
+    datasets = (
+        BENCHMARK_NAMES if args.datasets == "all"
+        else tuple(s.strip() for s in args.datasets.split(","))
+    )
+    result = run(
+        datasets=datasets,
+        methods=tuple(s.strip().upper() for s in args.methods.split(",")),
+        repeats=args.repeats,
+        scale=args.scale,
+        gamma=args.gamma,
+        seed=args.seed,
+    )
+    if args.out:
+        save_results({"jsd": result.jsd}, args.out)
+
+
+if __name__ == "__main__":
+    main()

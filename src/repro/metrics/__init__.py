@@ -1,0 +1,44 @@
+"""Evaluation and feature-scoring metrics."""
+
+from .auc import accuracy_score, roc_auc_score, roc_curve
+from .dependence import distance_correlation, related_pairs
+from .divergence import feature_stability, js_divergence, kl_divergence
+from .information import (
+    DEFAULT_IV_THRESHOLD,
+    DEFAULT_PEARSON_THRESHOLD,
+    IV_PREDICTIVE_POWER_BANDS,
+    cells_from_split_values,
+    entropy,
+    information_gain,
+    information_gain_ratio,
+    information_value,
+    information_values,
+    iv_predictive_power,
+    partition_entropy,
+    pearson_correlation,
+    pearson_matrix,
+)
+
+__all__ = [
+    "DEFAULT_IV_THRESHOLD",
+    "DEFAULT_PEARSON_THRESHOLD",
+    "IV_PREDICTIVE_POWER_BANDS",
+    "accuracy_score",
+    "cells_from_split_values",
+    "distance_correlation",
+    "entropy",
+    "feature_stability",
+    "information_gain",
+    "information_gain_ratio",
+    "information_value",
+    "information_values",
+    "iv_predictive_power",
+    "js_divergence",
+    "kl_divergence",
+    "partition_entropy",
+    "pearson_correlation",
+    "pearson_matrix",
+    "related_pairs",
+    "roc_auc_score",
+    "roc_curve",
+]

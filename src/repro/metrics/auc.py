@@ -1,0 +1,71 @@
+"""Area Under the ROC Curve, the paper's sole evaluation metric.
+
+Implemented via the rank-statistic (Mann-Whitney U) formulation with
+midrank tie handling, which is exact and O(N log N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import rankdata
+
+from ..exceptions import DataError
+
+
+def roc_auc_score(y_true: "np.ndarray | list", y_score: "np.ndarray | list") -> float:
+    """AUC of ``y_score`` against binary labels ``y_true``.
+
+    Raises :class:`DataError` when only one class is present (AUC is
+    undefined in that case), matching scikit-learn behaviour.
+    """
+    y = np.asarray(y_true, dtype=np.float64).ravel()
+    s = np.asarray(y_score, dtype=np.float64).ravel()
+    if y.size != s.size:
+        raise DataError(f"y_true has {y.size} entries, y_score has {s.size}")
+    if y.size == 0:
+        raise DataError("empty input to roc_auc_score")
+    pos = y == 1
+    n_pos = int(pos.sum())
+    n_neg = y.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("roc_auc_score requires both classes present")
+    ranks = rankdata(s, method="average")
+    pos_rank_sum = float(ranks[pos].sum())
+    u = pos_rank_sum - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def roc_curve(
+    y_true: "np.ndarray | list", y_score: "np.ndarray | list"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute ``(fpr, tpr, thresholds)`` at every distinct score cut.
+
+    Used by examples/diagnostics; AUC itself uses the rank formulation.
+    """
+    y = np.asarray(y_true, dtype=np.float64).ravel()
+    s = np.asarray(y_score, dtype=np.float64).ravel()
+    if y.size != s.size or y.size == 0:
+        raise DataError("roc_curve requires equal-length nonempty inputs")
+    order = np.argsort(-s, kind="mergesort")
+    y_sorted = y[order]
+    s_sorted = s[order]
+    distinct = np.r_[np.flatnonzero(np.diff(s_sorted)), y.size - 1]
+    tps = np.cumsum(y_sorted == 1)[distinct].astype(np.float64)
+    fps = np.cumsum(y_sorted != 1)[distinct].astype(np.float64)
+    n_pos = float((y == 1).sum())
+    n_neg = float((y != 1).sum())
+    tpr = tps / n_pos if n_pos else np.zeros_like(tps)
+    fpr = fps / n_neg if n_neg else np.zeros_like(fps)
+    tpr = np.r_[0.0, tpr]
+    fpr = np.r_[0.0, fpr]
+    thresholds = np.r_[np.inf, s_sorted[distinct]]
+    return fpr, tpr, thresholds
+
+
+def accuracy_score(y_true: "np.ndarray | list", y_pred: "np.ndarray | list") -> float:
+    """Plain accuracy, used in a few diagnostics."""
+    y = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    if y.size != p.size or y.size == 0:
+        raise DataError("accuracy_score requires equal-length nonempty inputs")
+    return float((y == p).mean())

@@ -1,0 +1,82 @@
+"""Dependence measures beyond Pearson: distance correlation.
+
+AutoLearn [24] mines *related* feature pairs with distance correlation
+(Székely et al., 2007), which detects nonlinear association that Pearson
+misses. The exact statistic is O(N²) in memory and time, so
+:func:`distance_correlation` computes it on a deterministic subsample —
+the association decision AutoLearn makes is threshold-based and robust to
+subsampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+_MAX_EXACT = 512
+
+
+def _double_centered_distance(x: np.ndarray) -> np.ndarray:
+    d = np.abs(x[:, None] - x[None, :])
+    row_mean = d.mean(axis=1, keepdims=True)
+    col_mean = d.mean(axis=0, keepdims=True)
+    return d - row_mean - col_mean + d.mean()
+
+
+def distance_correlation(
+    x: "np.ndarray | list",
+    y: "np.ndarray | list",
+    max_samples: int = _MAX_EXACT,
+) -> float:
+    """Distance correlation in [0, 1]; 0 iff (asymptotically) independent.
+
+    Rows beyond ``max_samples`` are reduced by a deterministic stride
+    subsample so the O(N²) pairwise-distance matrices stay bounded.
+    """
+    a = np.asarray(x, dtype=np.float64).ravel()
+    b = np.asarray(y, dtype=np.float64).ravel()
+    if a.size != b.size:
+        raise DataError("inputs to distance_correlation must have equal length")
+    if a.size < 4:
+        raise DataError("distance_correlation needs at least 4 samples")
+    ok = np.isfinite(a) & np.isfinite(b)
+    a, b = a[ok], b[ok]
+    if a.size < 4:
+        return 0.0
+    if a.size > max_samples:
+        stride = int(np.ceil(a.size / max_samples))
+        a, b = a[::stride], b[::stride]
+    A = _double_centered_distance(a)
+    B = _double_centered_distance(b)
+    n2 = float(a.size * a.size)
+    dcov2 = (A * B).sum() / n2
+    dvar_a = (A * A).sum() / n2
+    dvar_b = (B * B).sum() / n2
+    denom = np.sqrt(dvar_a * dvar_b)
+    if denom <= 0:
+        return 0.0
+    return float(np.sqrt(max(dcov2, 0.0) / denom))
+
+
+def related_pairs(
+    X: np.ndarray,
+    threshold: float = 0.2,
+    max_samples: int = _MAX_EXACT,
+) -> list[tuple[int, int, float]]:
+    """All column pairs whose distance correlation exceeds ``threshold``.
+
+    Returns ``(i, j, dcor)`` triples sorted by decreasing association —
+    AutoLearn's "mining pairwise feature associations" step.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError("related_pairs expects a matrix")
+    out: list[tuple[int, int, float]] = []
+    for i in range(X.shape[1]):
+        for j in range(i + 1, X.shape[1]):
+            score = distance_correlation(X[:, i], X[:, j], max_samples=max_samples)
+            if score > threshold:
+                out.append((i, j, score))
+    out.sort(key=lambda t: (-t[2], t[0], t[1]))
+    return out

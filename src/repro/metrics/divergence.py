@@ -1,0 +1,104 @@
+"""Divergence measures and the paper's feature-stability score.
+
+Section V-A.5 evaluates how *stable* an AutoFE method is: run it ``T``
+times, pool the ``2MT`` generated feature identities, and compare the
+observed frequency distribution against the ideal one (the same ``2M``
+features appearing all ``T`` times) using Jensen-Shannon divergence
+(Eq. 14–15). Lower is better.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError
+
+_EPS = 1e-12
+
+
+def kl_divergence(p: "np.ndarray | list", q: "np.ndarray | list") -> float:
+    """Kullback-Leibler divergence ``KLD(P || Q)`` in nats (Eq. 15).
+
+    Inputs are normalized to sum to one. Zero entries of ``p`` contribute
+    nothing; zero entries of ``q`` where ``p > 0`` are smoothed by eps so
+    the result stays finite (the reference JSD usage guarantees
+    ``q > 0`` wherever ``p > 0`` anyway).
+    """
+    p = np.asarray(p, dtype=np.float64).ravel()
+    q = np.asarray(q, dtype=np.float64).ravel()
+    if p.size != q.size:
+        raise DataError("p and q must have equal length")
+    if p.size == 0:
+        raise DataError("empty distributions")
+    if (p < 0).any() or (q < 0).any():
+        raise DataError("distributions must be nonnegative")
+    ps, qs = p.sum(), q.sum()
+    if ps <= 0 or qs <= 0:
+        raise DataError("distributions must have positive mass")
+    p = p / ps
+    q = q / qs
+    nz = p > 0
+    return float((p[nz] * np.log(p[nz] / np.maximum(q[nz], _EPS))).sum())
+
+
+def js_divergence(p: "np.ndarray | list", q: "np.ndarray | list") -> float:
+    """Jensen-Shannon divergence (Eq. 14): symmetric, bounded by ln 2."""
+    p = np.asarray(p, dtype=np.float64).ravel()
+    q = np.asarray(q, dtype=np.float64).ravel()
+    if p.size != q.size:
+        raise DataError("p and q must have equal length")
+    ps, qs = p.sum(), q.sum()
+    if ps <= 0 or qs <= 0:
+        raise DataError("distributions must have positive mass")
+    p = p / ps
+    q = q / qs
+    m = 0.5 * (p + q)
+    return 0.5 * (kl_divergence(p, m) + kl_divergence(q, m))
+
+
+def feature_stability(
+    runs: Sequence[Iterable[Hashable]],
+    n_features_per_run: "int | None" = None,
+) -> float:
+    """Stability of generated-feature identities across repeated runs.
+
+    Parameters
+    ----------
+    runs:
+        One iterable of feature identifiers (e.g. canonical expression
+        strings) per repetition of the AutoFE procedure.
+    n_features_per_run:
+        The nominal output size ``2M``; defaults to the largest run size.
+
+    Returns
+    -------
+    float
+        ``JSD(observed || ideal)`` where *observed* is the pooled frequency
+        distribution of distinct features across runs and *ideal* is the
+        best case of the same ``2M`` features recurring in every run
+        (paper §V-A.5). 0 means perfectly stable.
+    """
+    runs = [list(run) for run in runs]
+    if not runs:
+        raise DataError("feature_stability needs at least one run")
+    t = len(runs)
+    if n_features_per_run is None:
+        n_features_per_run = max(len(run) for run in runs)
+    if n_features_per_run <= 0:
+        raise DataError("runs contain no features")
+    counter: Counter = Counter()
+    for run in runs:
+        counter.update(set(run))
+    observed = np.array(sorted(counter.values(), reverse=True), dtype=np.float64)
+    # Ideal: the same n features, each occurring in all t runs.
+    ideal = np.full(n_features_per_run, float(t))
+    # Align supports: pad the shorter distribution with zero-mass bins.
+    size = max(observed.size, ideal.size)
+    obs_pad = np.zeros(size)
+    obs_pad[: observed.size] = observed
+    ideal_pad = np.zeros(size)
+    ideal_pad[: ideal.size] = ideal
+    return js_divergence(obs_pad, ideal_pad)

@@ -1,0 +1,214 @@
+"""Information-theoretic feature scores from the paper.
+
+* **Information value** (Eq. 6, Algorithm 3) with the Table I predictive-
+  power bands — the first selection stage.
+* **Pearson correlation** (Eq. 7, Algorithm 4) — the redundancy stage.
+* **Entropy / information gain / information gain ratio** over partitions
+  induced by split values — the combination-ranking criterion of
+  Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataError
+from ..tabular.binning import Binner
+
+#: Table I of the paper: IV ranges and their conventional interpretation.
+IV_PREDICTIVE_POWER_BANDS: tuple[tuple[float, float, str], ...] = (
+    (0.0, 0.02, "useless"),
+    (0.02, 0.1, "weak"),
+    (0.1, 0.3, "medium"),
+    (0.3, 0.5, "strong"),
+    (0.5, float("inf"), "extremely strong"),
+)
+
+#: Default IV threshold alpha from the paper ("we take ... alpha = 0.1").
+DEFAULT_IV_THRESHOLD: float = 0.1
+
+#: Default Pearson threshold theta from the paper (Table II discussion).
+DEFAULT_PEARSON_THRESHOLD: float = 0.8
+
+_EPS = 1e-12
+
+
+def iv_predictive_power(iv: float) -> str:
+    """Map an IV value to its Table I band label."""
+    if iv < 0:
+        raise DataError("information value cannot be negative")
+    for lo, hi, label in IV_PREDICTIVE_POWER_BANDS:
+        if lo <= iv < hi:
+            return label
+    return IV_PREDICTIVE_POWER_BANDS[-1][2]
+
+
+def information_value(
+    x: "np.ndarray | list",
+    y: "np.ndarray | list",
+    n_bins: int = 10,
+) -> float:
+    """Information value of feature ``x`` against binary target ``y``.
+
+    Implements Eq. (6): ``IV = sum_i (p_i - q_i) * ln(p_i / q_i)`` where
+    ``p_i``/``q_i`` are the shares of positive/negative records landing in
+    equal-frequency bin ``i``. Empty-class bins are smoothed with a small
+    epsilon (the standard WoE practice) so the sum stays finite.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size:
+        raise DataError("x and y must have equal length")
+    if x.size == 0:
+        raise DataError("empty input to information_value")
+    n_pos = float((y == 1).sum())
+    n_neg = float((y != 1).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("information_value requires both classes present")
+    codes = Binner(n_bins=n_bins, strategy="quantile").fit_transform(x)
+    n_codes = int(codes.max()) + 1
+    pos_counts = np.bincount(codes[y == 1], minlength=n_codes).astype(np.float64)
+    neg_counts = np.bincount(codes[y != 1], minlength=n_codes).astype(np.float64)
+    p = np.maximum(pos_counts / n_pos, _EPS)
+    q = np.maximum(neg_counts / n_neg, _EPS)
+    occupied = (pos_counts + neg_counts) > 0
+    woe = np.log(p / q)
+    return float(((p - q) * woe)[occupied].sum())
+
+
+def information_values(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_bins: int = 10,
+) -> np.ndarray:
+    """Vector of IVs, one per column of ``X``."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError("information_values expects a matrix")
+    return np.array(
+        [information_value(X[:, j], y, n_bins=n_bins) for j in range(X.shape[1])]
+    )
+
+
+def pearson_correlation(x: "np.ndarray | list", y: "np.ndarray | list") -> float:
+    """Pearson correlation per Eq. (7); 0.0 when either side is constant."""
+    a = np.asarray(x, dtype=np.float64).ravel()
+    b = np.asarray(y, dtype=np.float64).ravel()
+    if a.size != b.size:
+        raise DataError("inputs to pearson_correlation must have equal length")
+    if a.size < 2:
+        raise DataError("pearson_correlation needs at least 2 samples")
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.sqrt((a * a).sum()) * np.sqrt((b * b).sum())
+    if denom == 0:
+        return 0.0
+    return float(np.clip((a * b).sum() / denom, -1.0, 1.0))
+
+
+def pearson_matrix(X: np.ndarray) -> np.ndarray:
+    """Pairwise |column| correlation matrix with constant-safe handling."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError("pearson_matrix expects a matrix")
+    centered = X - X.mean(axis=0)
+    norms = np.sqrt((centered * centered).sum(axis=0))
+    # A column whose centered norm is at float-cancellation level (its
+    # spread is pure rounding noise relative to its magnitude) behaves as
+    # constant; correlating such noise is meaningless and depends on
+    # summation order, so zero it deterministically.
+    scale = np.abs(X).max(axis=0)
+    noise_floor = np.sqrt(X.shape[0]) * np.finfo(np.float64).eps * (scale + 1.0) * 16
+    constant = norms <= noise_floor
+    safe = norms.copy()
+    safe[constant] = 1.0
+    normalized = centered / safe
+    corr = normalized.T @ normalized
+    corr[constant, :] = 0.0
+    corr[:, constant] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return np.clip(corr, -1.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Entropy / gain over induced partitions (Algorithm 2 machinery)
+# ----------------------------------------------------------------------
+def entropy(y: "np.ndarray | list") -> float:
+    """Shannon entropy (nats) of a discrete label vector."""
+    y = np.asarray(y).ravel()
+    if y.size == 0:
+        return 0.0
+    _, counts = np.unique(y, return_counts=True)
+    p = counts / y.size
+    return float(-(p * np.log(np.maximum(p, _EPS))).sum())
+
+
+def partition_entropy(y: np.ndarray, cells: np.ndarray) -> float:
+    """Weighted label entropy after partitioning rows by ``cells`` ids."""
+    y = np.asarray(y).ravel()
+    cells = np.asarray(cells).ravel()
+    if y.size != cells.size:
+        raise DataError("y and cells must have equal length")
+    if y.size == 0:
+        return 0.0
+    total = 0.0
+    _, inverse, counts = np.unique(cells, return_inverse=True, return_counts=True)
+    # Entropy per cell computed from positive share (binary labels).
+    n_cells = counts.size
+    pos_per_cell = np.bincount(inverse, weights=(y == 1).astype(np.float64), minlength=n_cells)
+    for c in range(n_cells):
+        n_c = counts[c]
+        p1 = pos_per_cell[c] / n_c
+        p0 = 1.0 - p1
+        h = 0.0
+        for p in (p0, p1):
+            if p > 0:
+                h -= p * np.log(p)
+        total += (n_c / y.size) * h
+    return float(total)
+
+
+def cells_from_split_values(
+    X: np.ndarray,
+    feature_indices: "list[int] | tuple[int, ...]",
+    split_values: "list[np.ndarray]",
+) -> np.ndarray:
+    """Assign each row a partition-cell id from feature split values.
+
+    This realizes the Algorithm 2 partition: feature ``f`` with split-value
+    set ``V_f`` divides records into ``|V_f| + 1`` intervals; the cross
+    product over the combination's features yields
+    ``prod_f (|V_f| + 1)`` cells.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if len(feature_indices) != len(split_values):
+        raise ConfigurationError("feature_indices and split_values length mismatch")
+    if not feature_indices:
+        raise ConfigurationError("need at least one feature to build cells")
+    cell = np.zeros(X.shape[0], dtype=np.int64)
+    stride = 1
+    for f, values in zip(feature_indices, split_values):
+        values = np.unique(np.asarray(values, dtype=np.float64))
+        interval = np.searchsorted(values, X[:, f], side="left")
+        cell += stride * interval
+        stride *= values.size + 1
+    return cell
+
+
+def information_gain(y: np.ndarray, cells: np.ndarray) -> float:
+    """Entropy reduction achieved by the partition ``cells``."""
+    return max(0.0, entropy(y) - partition_entropy(y, cells))
+
+
+def information_gain_ratio(y: np.ndarray, cells: np.ndarray) -> float:
+    """Information gain normalized by the partition's intrinsic entropy.
+
+    The gain-ratio form (Quinlan) penalizes partitions with many tiny
+    cells, preventing high-cardinality feature combinations from winning
+    the Algorithm 2 ranking by sheer fragmentation.
+    """
+    gain = information_gain(y, cells)
+    split_info = entropy(cells)
+    if split_info <= _EPS:
+        return 0.0
+    return float(gain / split_info)

@@ -1,0 +1,34 @@
+"""The nine downstream evaluation classifiers (Table III), from scratch."""
+
+from .adaboost import AdaBoostClassifier
+from .base import Classifier, prepare_features, prepare_training
+from .forest import ExtraTreesClassifier, RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .linear import LinearSVMClassifier, LogisticRegression
+from .mlp import MLPClassifier
+from .registry import (
+    PAPER_CLASSIFIERS,
+    XGBClassifier,
+    available_classifiers,
+    make_classifier,
+)
+from .tree import ClassificationTree, DecisionTreeClassifier
+
+__all__ = [
+    "AdaBoostClassifier",
+    "Classifier",
+    "ClassificationTree",
+    "DecisionTreeClassifier",
+    "ExtraTreesClassifier",
+    "KNeighborsClassifier",
+    "LinearSVMClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "PAPER_CLASSIFIERS",
+    "RandomForestClassifier",
+    "XGBClassifier",
+    "available_classifiers",
+    "make_classifier",
+    "prepare_features",
+    "prepare_training",
+]

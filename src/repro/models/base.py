@@ -1,0 +1,67 @@
+"""Shared classifier contract and input handling.
+
+Every evaluation classifier implements the familiar trio ``fit`` /
+``predict_proba`` / ``predict`` on numpy arrays with binary 0/1 labels.
+Because generated features can contain extreme magnitudes, every model
+routes its input through :func:`prepare_features`, the single sanitation
+choke point (non-finite → 0, magnitude clipping).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+from ..tabular.preprocess import clean_matrix
+from ..utils import as_label_vector
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Structural type implemented by all nine evaluation models."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier": ...
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray: ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def prepare_features(X: "np.ndarray | list") -> np.ndarray:
+    """Validate and sanitize a feature matrix for model consumption."""
+    return clean_matrix(X)
+
+
+def prepare_training(
+    X: "np.ndarray | list", y: "np.ndarray | list"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a training pair; labels must be binary 0/1."""
+    X = prepare_features(X)
+    y = as_label_vector(y, X.shape[0])
+    if np.unique(y).size < 2:
+        raise DataError("training labels contain a single class")
+    return X, y
+
+
+def check_n_features(X: np.ndarray, n_expected: int, model: str) -> None:
+    if X.shape[1] != n_expected:
+        raise DataError(
+            f"{model}: X has {X.shape[1]} features, model was fit with {n_expected}"
+        )
+
+
+def proba_from_positive(p1: np.ndarray) -> np.ndarray:
+    """Stack P(y=0), P(y=1) columns from the positive-class probability."""
+    p1 = np.clip(np.asarray(p1, dtype=np.float64).ravel(), 0.0, 1.0)
+    return np.column_stack([1.0 - p1, p1])
+
+
+def predict_from_proba(proba: np.ndarray) -> np.ndarray:
+    return (proba[:, 1] >= 0.5).astype(np.float64)
+
+
+def ensure_fitted(flag: object, model: str) -> None:
+    if flag is None:
+        raise NotFittedError(f"{model} is not fitted")

@@ -1,0 +1,105 @@
+"""Bagged tree ensembles: random forest and extremely randomized trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tabular.split import bootstrap_indices
+from ..utils import check_random_state
+from .base import (
+    check_n_features,
+    ensure_fitted,
+    prepare_features,
+    prepare_training,
+    proba_from_positive,
+    predict_from_proba,
+)
+from .tree import ClassificationTree
+
+
+@dataclass
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART trees with sqrt-feature subsampling.
+
+    Defaults follow sklearn's shape (gini, sqrt features, bootstrap) with a
+    reduced tree count sized for the pure-numpy substrate; Table III/VIII
+    only require the model to be a consistent probe across feature sets.
+    """
+
+    n_estimators: int = 40
+    criterion: str = "gini"
+    max_depth: "int | None" = 12
+    min_samples_leaf: int = 1
+    max_features: "int | float | str | None" = "sqrt"
+    bootstrap: bool = True
+    max_bins: int = 64
+    random_state: "int | None" = 0
+    splitter: str = "best"
+
+    trees_: list = field(default_factory=list, repr=False)
+    n_features_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_estimators < 1:
+            raise ConfigurationError("n_estimators must be >= 1")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = prepare_training(X, y)
+        rng = check_random_state(self.random_state)
+        self.n_features_ = X.shape[1]
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                idx = bootstrap_indices(X.shape[0], random_state=rng)
+                Xb, yb = X[idx], y[idx]
+                if np.unique(yb).size < 2:  # degenerate resample; draw again
+                    idx = bootstrap_indices(X.shape[0], random_state=rng)
+                    Xb, yb = X[idx], y[idx]
+                if np.unique(yb).size < 2:
+                    Xb, yb = X, y
+            else:
+                Xb, yb = X, y
+            tree = ClassificationTree(
+                criterion=self.criterion,
+                splitter=self.splitter,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                max_bins=self.max_bins,
+                random_state=rng,
+            ).fit(Xb, yb)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        ensure_fitted(self.trees_ or None, "RandomForestClassifier")
+        X = prepare_features(X)
+        check_n_features(X, self.n_features_, "RandomForestClassifier")
+        acc = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            acc += tree.predict_proba(X)[:, 1]
+        return proba_from_positive(acc / len(self.trees_))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return predict_from_proba(self.predict_proba(X))
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean normalized impurity-decrease importance across trees."""
+        ensure_fitted(self.trees_ or None, "RandomForestClassifier")
+        acc = np.zeros(self.n_features_)
+        for tree in self.trees_:
+            acc += tree.feature_importances_
+        total = acc.sum()
+        return acc / total if total > 0 else acc
+
+
+@dataclass
+class ExtraTreesClassifier(RandomForestClassifier):
+    """Extremely randomized trees: random thresholds, no bootstrap."""
+
+    bootstrap: bool = False
+    splitter: str = "random"

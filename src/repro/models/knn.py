@@ -1,0 +1,82 @@
+"""k-nearest-neighbours classifier (brute force, chunked distances)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tabular.preprocess import StandardScaler
+from .base import (
+    check_n_features,
+    ensure_fitted,
+    prepare_features,
+    prepare_training,
+    proba_from_positive,
+    predict_from_proba,
+)
+
+
+@dataclass
+class KNeighborsClassifier:
+    """kNN with Euclidean distance; ``weights`` selects vote weighting.
+
+    Inputs are standardized internally so generated features on wildly
+    different scales cannot dominate the metric. Distance computation is
+    chunked to bound memory at ``chunk_size * n_train`` floats.
+    """
+
+    n_neighbors: int = 5
+    weights: str = "uniform"
+    chunk_size: int = 256
+
+    X_: "np.ndarray | None" = field(default=None, repr=False)
+    y_: "np.ndarray | None" = field(default=None, repr=False)
+    scaler_: "StandardScaler | None" = field(default=None, repr=False)
+    n_features_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_neighbors < 1:
+            raise ConfigurationError("n_neighbors must be >= 1")
+        if self.weights not in ("uniform", "distance"):
+            raise ConfigurationError(f"unknown weights {self.weights!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = prepare_training(X, y)
+        self.n_features_ = X.shape[1]
+        self.scaler_ = StandardScaler().fit(X)
+        self.X_ = self.scaler_.transform(X)
+        self.y_ = y
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        ensure_fitted(self.X_, "KNeighborsClassifier")
+        X = prepare_features(X)
+        check_n_features(X, self.n_features_, "KNeighborsClassifier")
+        Q = self.scaler_.transform(X)
+        k = min(self.n_neighbors, self.X_.shape[0])
+        train_sq = (self.X_ * self.X_).sum(axis=1)
+        p1 = np.empty(Q.shape[0])
+        for start in range(0, Q.shape[0], self.chunk_size):
+            chunk = Q[start : start + self.chunk_size]
+            d2 = (
+                (chunk * chunk).sum(axis=1)[:, None]
+                - 2.0 * chunk @ self.X_.T
+                + train_sq[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            labels = self.y_[nn]
+            if self.weights == "uniform":
+                p1[start : start + chunk.shape[0]] = labels.mean(axis=1)
+            else:
+                d = np.sqrt(np.take_along_axis(d2, nn, axis=1))
+                wts = 1.0 / np.maximum(d, 1e-12)
+                p1[start : start + chunk.shape[0]] = (
+                    (labels * wts).sum(axis=1) / wts.sum(axis=1)
+                )
+        return proba_from_positive(p1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return predict_from_proba(self.predict_proba(X))

@@ -1,0 +1,157 @@
+"""Linear models: L2 logistic regression and linear (squared-hinge) SVM.
+
+Both are trained with scipy's L-BFGS on standardized inputs (the scaler is
+fitted inside the model so the classifier remains a self-contained probe;
+standardization is a monotone per-feature affine map and does not change
+what Table III measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from ..exceptions import ConfigurationError
+from ..tabular.preprocess import StandardScaler
+from ..utils import sigmoid
+from .base import (
+    check_n_features,
+    ensure_fitted,
+    prepare_features,
+    prepare_training,
+    proba_from_positive,
+    predict_from_proba,
+)
+
+
+@dataclass
+class LogisticRegression:
+    """Binary logistic regression with L2 penalty (C = 1 / reg strength)."""
+
+    C: float = 1.0
+    max_iter: int = 200
+    tol: float = 1e-6
+    fit_intercept: bool = True
+
+    coef_: "np.ndarray | None" = field(default=None, repr=False)
+    intercept_: float = field(default=0.0, repr=False)
+    scaler_: "StandardScaler | None" = field(default=None, repr=False)
+    n_features_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.C <= 0:
+            raise ConfigurationError("C must be positive")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = prepare_training(X, y)
+        self.n_features_ = X.shape[1]
+        self.scaler_ = StandardScaler().fit(X)
+        Z = self.scaler_.transform(X)
+        n, m = Z.shape
+        reg = 1.0 / (self.C * n)
+
+        def objective(params: np.ndarray) -> tuple[float, np.ndarray]:
+            w = params[:m]
+            b = params[m] if self.fit_intercept else 0.0
+            margin = Z @ w + b
+            p = sigmoid(margin)
+            eps = 1e-12
+            nll = -np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+            loss = nll + 0.5 * reg * float(w @ w)  # L2 on weights only
+            resid = (p - y) / n
+            grad_w = Z.T @ resid + reg * w
+            grad = np.concatenate([grad_w, [resid.sum()]]) if self.fit_intercept else grad_w
+            return loss, grad
+
+        x0 = np.zeros(m + (1 if self.fit_intercept else 0))
+        result = optimize.minimize(
+            objective, x0, jac=True, method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "ftol": self.tol},
+        )
+        params = result.x
+        self.coef_ = params[:m]
+        self.intercept_ = float(params[m]) if self.fit_intercept else 0.0
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        ensure_fitted(self.coef_, "LogisticRegression")
+        X = prepare_features(X)
+        check_n_features(X, self.n_features_, "LogisticRegression")
+        Z = self.scaler_.transform(X)
+        return Z @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return proba_from_positive(sigmoid(self.decision_function(X)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return predict_from_proba(self.predict_proba(X))
+
+
+@dataclass
+class LinearSVMClassifier:
+    """Linear SVM with squared hinge loss and L2 penalty (liblinear-style).
+
+    ``predict_proba`` squashes the margin through a sigmoid — a monotone
+    map, sufficient for the AUC evaluations the paper performs.
+    """
+
+    C: float = 1.0
+    max_iter: int = 200
+    tol: float = 1e-6
+    fit_intercept: bool = True
+
+    coef_: "np.ndarray | None" = field(default=None, repr=False)
+    intercept_: float = field(default=0.0, repr=False)
+    scaler_: "StandardScaler | None" = field(default=None, repr=False)
+    n_features_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.C <= 0:
+            raise ConfigurationError("C must be positive")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVMClassifier":
+        X, y = prepare_training(X, y)
+        self.n_features_ = X.shape[1]
+        self.scaler_ = StandardScaler().fit(X)
+        Z = self.scaler_.transform(X)
+        n, m = Z.shape
+        t = 2.0 * y - 1.0  # {-1, +1}
+
+        def objective(params: np.ndarray) -> tuple[float, np.ndarray]:
+            w = params[:m]
+            b = params[m] if self.fit_intercept else 0.0
+            margin = t * (Z @ w + b)
+            slack = np.maximum(0.0, 1.0 - margin)
+            loss = 0.5 * float(w @ w) + self.C * float((slack * slack).sum()) / n
+            coef_grad = -2.0 * self.C * (slack * t) / n
+            grad_w = w + Z.T @ coef_grad
+            if self.fit_intercept:
+                grad = np.concatenate([grad_w, [coef_grad.sum()]])
+            else:
+                grad = grad_w
+            return loss, grad
+
+        x0 = np.zeros(m + (1 if self.fit_intercept else 0))
+        result = optimize.minimize(
+            objective, x0, jac=True, method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "ftol": self.tol},
+        )
+        params = result.x
+        self.coef_ = params[:m]
+        self.intercept_ = float(params[m]) if self.fit_intercept else 0.0
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        ensure_fitted(self.coef_, "LinearSVMClassifier")
+        X = prepare_features(X)
+        check_n_features(X, self.n_features_, "LinearSVMClassifier")
+        Z = self.scaler_.transform(X)
+        return Z @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return proba_from_positive(sigmoid(self.decision_function(X)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return predict_from_proba(self.predict_proba(X))

@@ -1,0 +1,141 @@
+"""Multi-layer perceptron trained with Adam on mini-batches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tabular.preprocess import StandardScaler
+from ..utils import check_random_state, sigmoid
+from .base import (
+    check_n_features,
+    ensure_fitted,
+    prepare_features,
+    prepare_training,
+    proba_from_positive,
+    predict_from_proba,
+)
+
+
+@dataclass
+class MLPClassifier:
+    """One-hidden-layer ReLU network with a sigmoid output unit.
+
+    Follows sklearn's default architecture (hidden size 100, Adam,
+    lr 1e-3, batch 200) with a reduced epoch budget sized for the numpy
+    substrate; training uses binary cross-entropy. Inputs are standardized
+    internally (sklearn leaves this to the user; doing it inside keeps the
+    probe self-contained and scale-robust for generated features).
+    """
+
+    hidden_size: int = 100
+    learning_rate: float = 1e-3
+    batch_size: int = 200
+    max_epochs: int = 30
+    alpha: float = 1e-4  # L2 penalty, sklearn default
+    tol: float = 1e-5
+    patience: int = 5
+    random_state: "int | None" = 0
+
+    scaler_: "StandardScaler | None" = field(default=None, repr=False)
+    W1_: "np.ndarray | None" = field(default=None, repr=False)
+    b1_: "np.ndarray | None" = field(default=None, repr=False)
+    W2_: "np.ndarray | None" = field(default=None, repr=False)
+    b2_: float = field(default=0.0, repr=False)
+    n_features_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.hidden_size < 1:
+            raise ConfigurationError("hidden_size must be >= 1")
+        if self.max_epochs < 1:
+            raise ConfigurationError("max_epochs must be >= 1")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = prepare_training(X, y)
+        rng = check_random_state(self.random_state)
+        self.n_features_ = X.shape[1]
+        self.scaler_ = StandardScaler().fit(X)
+        Z = self.scaler_.transform(X)
+        n, m = Z.shape
+        h = self.hidden_size
+        # He initialization for the ReLU layer, Glorot-ish for the head.
+        W1 = rng.normal(0.0, np.sqrt(2.0 / m), size=(m, h))
+        b1 = np.zeros(h)
+        W2 = rng.normal(0.0, np.sqrt(1.0 / h), size=h)
+        b2 = 0.0
+        # Adam state.
+        mw1 = np.zeros_like(W1); vw1 = np.zeros_like(W1)
+        mb1 = np.zeros_like(b1); vb1 = np.zeros_like(b1)
+        mw2 = np.zeros_like(W2); vw2 = np.zeros_like(W2)
+        mb2 = 0.0; vb2 = 0.0
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        best_loss = np.inf
+        stall = 0
+        for _ in range(self.max_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                Zb, yb = Z[batch], y[batch]
+                nb = Zb.shape[0]
+                # Forward.
+                A = Zb @ W1 + b1
+                H = np.maximum(A, 0.0)
+                logits = H @ W2 + b2
+                p = sigmoid(logits)
+                loss = -np.mean(
+                    yb * np.log(p + 1e-12) + (1 - yb) * np.log(1 - p + 1e-12)
+                )
+                epoch_loss += loss
+                n_batches += 1
+                # Backward.
+                dlogits = (p - yb) / nb
+                gW2 = H.T @ dlogits + self.alpha * W2
+                gb2 = dlogits.sum()
+                dH = np.outer(dlogits, W2)
+                dA = dH * (A > 0)
+                gW1 = Zb.T @ dA + self.alpha * W1
+                gb1 = dA.sum(axis=0)
+                # Adam updates.
+                step += 1
+                bc1 = 1 - beta1**step
+                bc2 = 1 - beta2**step
+                for grad, mom, vel, param in (
+                    (gW1, mw1, vw1, W1),
+                    (gb1, mb1, vb1, b1),
+                    (gW2, mw2, vw2, W2),
+                ):
+                    mom *= beta1; mom += (1 - beta1) * grad
+                    vel *= beta2; vel += (1 - beta2) * grad * grad
+                    param -= self.learning_rate * (mom / bc1) / (np.sqrt(vel / bc2) + eps)
+                mb2 = beta1 * mb2 + (1 - beta1) * gb2
+                vb2 = beta2 * vb2 + (1 - beta2) * gb2 * gb2
+                b2 -= self.learning_rate * (mb2 / bc1) / (np.sqrt(vb2 / bc2) + eps)
+            epoch_loss /= max(n_batches, 1)
+            if epoch_loss < best_loss - self.tol:
+                best_loss = epoch_loss
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.patience:
+                    break
+        self.W1_, self.b1_, self.W2_, self.b2_ = W1, b1, W2, float(b2)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        ensure_fitted(self.W1_, "MLPClassifier")
+        X = prepare_features(X)
+        check_n_features(X, self.n_features_, "MLPClassifier")
+        Z = self.scaler_.transform(X)
+        H = np.maximum(Z @ self.W1_ + self.b1_, 0.0)
+        return H @ self.W2_ + self.b2_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return proba_from_positive(sigmoid(self.decision_function(X)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return predict_from_proba(self.predict_proba(X))

@@ -1,0 +1,69 @@
+"""Name-based classifier factory matching the paper's CLF abbreviations.
+
+Table III evaluates nine classifiers: AB, DT, ET, kNN, LR, MLP, RF, SVM
+and XGB. :func:`make_classifier` builds a fresh default-configured
+instance from any of these names (case-insensitive, long or short form).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..boosting.gbm import GradientBoostingClassifier
+from ..exceptions import ConfigurationError
+from .adaboost import AdaBoostClassifier
+from .forest import ExtraTreesClassifier, RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .linear import LinearSVMClassifier, LogisticRegression
+from .mlp import MLPClassifier
+from .tree import DecisionTreeClassifier
+
+
+class XGBClassifier(GradientBoostingClassifier):
+    """The paper's "XGB" column: our boosting substrate, XGBoost-ish defaults."""
+
+    def __init__(self, **kwargs) -> None:
+        defaults = {"n_estimators": 50, "max_depth": 6, "learning_rate": 0.3}
+        defaults.update(kwargs)
+        super().__init__(**defaults)
+
+
+_FACTORIES: dict[str, Callable[..., object]] = {
+    "ab": AdaBoostClassifier,
+    "adaboost": AdaBoostClassifier,
+    "dt": DecisionTreeClassifier,
+    "decision_tree": DecisionTreeClassifier,
+    "et": ExtraTreesClassifier,
+    "extra_trees": ExtraTreesClassifier,
+    "knn": KNeighborsClassifier,
+    "lr": LogisticRegression,
+    "logistic_regression": LogisticRegression,
+    "mlp": MLPClassifier,
+    "rf": RandomForestClassifier,
+    "random_forest": RandomForestClassifier,
+    "svm": LinearSVMClassifier,
+    "linear_svm": LinearSVMClassifier,
+    "xgb": XGBClassifier,
+    "xgboost": XGBClassifier,
+}
+
+#: Canonical Table III ordering of the nine evaluation classifiers.
+PAPER_CLASSIFIERS: tuple[str, ...] = (
+    "ab", "dt", "et", "knn", "lr", "mlp", "rf", "svm", "xgb",
+)
+
+
+def make_classifier(name: str, **kwargs) -> object:
+    """Instantiate a classifier by its paper abbreviation or long name."""
+    key = name.strip().lower()
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown classifier {name!r}; options: {sorted(set(_FACTORIES))}"
+        )
+    return factory(**kwargs)
+
+
+def available_classifiers() -> list[str]:
+    """Canonical short names, in Table III order."""
+    return list(PAPER_CLASSIFIERS)

@@ -1,0 +1,45 @@
+"""Operator catalogue, registry, and serializable expression trees."""
+
+from .base import (
+    PAPER_OPERATOR_SET,
+    Operator,
+    available_operators,
+    get_operator,
+    register_operator,
+    resolve_operators,
+)
+from .binary import BINARY_OPERATORS
+from .expressions import (
+    Applied,
+    Expression,
+    Var,
+    evaluate_expressions,
+    expression_from_dict,
+    expression_from_json,
+    fit_applied,
+)
+from .domain import DOMAIN_OPERATORS
+from .learned import LEARNED_OPERATORS
+from .nary import NARY_OPERATORS
+from .unary import UNARY_OPERATORS
+
+__all__ = [
+    "Applied",
+    "BINARY_OPERATORS",
+    "DOMAIN_OPERATORS",
+    "Expression",
+    "LEARNED_OPERATORS",
+    "NARY_OPERATORS",
+    "Operator",
+    "PAPER_OPERATOR_SET",
+    "UNARY_OPERATORS",
+    "Var",
+    "available_operators",
+    "evaluate_expressions",
+    "expression_from_dict",
+    "expression_from_json",
+    "fit_applied",
+    "get_operator",
+    "register_operator",
+    "resolve_operators",
+]

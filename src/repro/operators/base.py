@@ -1,0 +1,119 @@
+"""Operator abstraction and registry.
+
+Section III of the paper requires that "an applicable automatic feature
+engineering algorithm framework should not limit operators and new
+operators should be easily added". This module provides:
+
+* :class:`Operator` — the extension point. An operator has a name, an
+  arity, a commutativity flag (non-commutative operators such as ``÷`` are
+  effectively *two* operators, handled by generating both argument orders),
+  an optional ``fit`` step for stateful operators (normalizers,
+  discretizers, GroupByThen*), and a pure ``apply``.
+* a process-global registry with :func:`register_operator` /
+  :func:`get_operator` / :func:`available_operators`.
+
+Operator state must be JSON-serializable (dicts of lists/floats) so fitted
+feature-generation plans can be persisted and served for the paper's
+*real-time inference* requirement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import OperatorError
+
+
+class Operator(ABC):
+    """Base class for all feature-construction operators.
+
+    Subclasses set the class attributes and implement :meth:`apply`;
+    stateful operators additionally override :meth:`fit`.
+    """
+
+    #: Registry key; unique across the process.
+    name: str = ""
+    #: Number of input columns consumed.
+    arity: int = 1
+    #: Whether argument order matters. Non-commutative operators are applied
+    #: to each ordered arrangement of a combination.
+    commutative: bool = False
+    #: Human-oriented infix/function symbol used by Expression.format.
+    symbol: str = ""
+
+    def fit(self, *cols: np.ndarray) -> "dict | None":
+        """Learn serializable state from training columns (default: none)."""
+        return None
+
+    @abstractmethod
+    def apply(self, state: "dict | None", *cols: np.ndarray) -> np.ndarray:
+        """Compute the generated column from input columns (+ fitted state)."""
+
+    # ------------------------------------------------------------------
+    def check_arity(self, n: int) -> None:
+        if n != self.arity:
+            raise OperatorError(
+                f"operator {self.name!r} takes {self.arity} inputs, got {n}"
+            )
+
+    def format(self, *operands: str) -> str:
+        """Render a readable expression string, e.g. ``(x1 + x2)``."""
+        is_infix_symbol = 0 < len(self.symbol) <= 3 and not any(
+            ch.isalnum() or ch == "_" for ch in self.symbol
+        )
+        if self.arity == 2 and is_infix_symbol:
+            return f"({operands[0]} {self.symbol} {operands[1]})"
+        inner = ", ".join(operands)
+        return f"{self.symbol or self.name}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Operator {self.name} arity={self.arity}>"
+
+
+_REGISTRY: dict[str, Operator] = {}
+
+
+def register_operator(op: Operator, overwrite: bool = False) -> Operator:
+    """Add an operator instance to the global registry.
+
+    Registering a duplicate name without ``overwrite=True`` raises, so user
+    extensions cannot silently shadow the built-in catalogue.
+    """
+    if not op.name:
+        raise OperatorError("operator must define a non-empty name")
+    if op.arity < 1:
+        raise OperatorError(f"operator {op.name!r} has invalid arity {op.arity}")
+    if op.name in _REGISTRY and not overwrite:
+        raise OperatorError(f"operator {op.name!r} already registered")
+    _REGISTRY[op.name] = op
+    return op
+
+
+def get_operator(name: str) -> Operator:
+    """Look up a registered operator by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise OperatorError(
+            f"unknown operator {name!r}; known: {sorted(_REGISTRY)[:20]}"
+        ) from None
+
+
+def available_operators(arity: "int | None" = None) -> list[str]:
+    """Names of registered operators, optionally filtered by arity."""
+    names = sorted(_REGISTRY)
+    if arity is None:
+        return names
+    return [n for n in names if _REGISTRY[n].arity == arity]
+
+
+def resolve_operators(names: Iterable[str]) -> list[Operator]:
+    """Map operator names to instances, validating each."""
+    return [get_operator(n) for n in names]
+
+
+#: The experiment operator set of Section V: the four basic arithmetic ops.
+PAPER_OPERATOR_SET: tuple[str, ...] = ("add", "sub", "mul", "div")

@@ -1,0 +1,149 @@
+"""Domain-specific operators (§III: "operators that apply in specific
+fields, we call them domain-specific operators, such as lag operators in
+time series analysis").
+
+These assume the *row order* of the dataset is meaningful (event time),
+which is exactly the setting of the paper's transaction workloads. They
+are registered like any other operator, demonstrating the framework's
+"new operators should be easily added" requirement for a whole operator
+*family* rather than a single function:
+
+* ``lag1`` / ``lag2``     — the value k rows earlier (series head padded
+  with the training mean);
+* ``diff1``               — first difference ``x_t - x_{t-1}``;
+* ``rolling_mean5`` / ``rolling_std5`` — trailing-window statistics;
+* ``ewm``                 — exponentially weighted mean (span 5).
+
+All are unary and stateful only in their padding value, so serving with a
+stream of rows reproduces training semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Operator, register_operator
+
+
+def _train_mean(x: np.ndarray) -> float:
+    finite = x[np.isfinite(x)]
+    return float(finite.mean()) if finite.size else 0.0
+
+
+class _LagOp(Operator):
+    """Value ``k`` rows earlier; the first ``k`` rows use the fitted mean."""
+
+    arity = 1
+    k = 1
+
+    def fit(self, x):
+        return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}
+
+    def apply(self, state, x):
+        x = np.asarray(x, dtype=np.float64)
+        pad = (state or {}).get("pad", 0.0)
+        out = np.full_like(x, pad)
+        if x.size > self.k:
+            out[self.k :] = x[: -self.k]
+        return out
+
+
+class Lag1Op(_LagOp):
+    name = "lag1"
+    symbol = "lag1"
+    k = 1
+
+
+class Lag2Op(_LagOp):
+    name = "lag2"
+    symbol = "lag2"
+    k = 2
+
+
+class Diff1Op(Operator):
+    """First difference; row 0 diffs against the fitted mean."""
+
+    name = "diff1"
+    arity = 1
+    symbol = "diff1"
+
+    def fit(self, x):
+        return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}
+
+    def apply(self, state, x):
+        x = np.asarray(x, dtype=np.float64)
+        pad = (state or {}).get("pad", 0.0)
+        prev = np.empty_like(x)
+        prev[0] = pad
+        if x.size > 1:
+            prev[1:] = x[:-1]
+        return x - prev
+
+
+class _RollingOp(Operator):
+    """Trailing-window statistic over the last ``window`` rows (inclusive)."""
+
+    arity = 1
+    window = 5
+
+    def fit(self, x):
+        return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}
+
+    @staticmethod
+    def _stat(block: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def apply(self, state, x):
+        x = np.asarray(x, dtype=np.float64)
+        pad = (state or {}).get("pad", 0.0)
+        padded = np.concatenate([np.full(self.window - 1, pad), x])
+        out = np.empty_like(x)
+        for i in range(x.size):
+            out[i] = self._stat(padded[i : i + self.window])
+        return out
+
+
+class RollingMean5Op(_RollingOp):
+    name = "rolling_mean5"
+    symbol = "rolling_mean5"
+
+    @staticmethod
+    def _stat(block):
+        return float(block.mean())
+
+
+class RollingStd5Op(_RollingOp):
+    name = "rolling_std5"
+    symbol = "rolling_std5"
+
+    @staticmethod
+    def _stat(block):
+        return float(block.std())
+
+
+class EwmOp(Operator):
+    """Exponentially weighted mean with span 5 (alpha = 2/(span+1))."""
+
+    name = "ewm"
+    arity = 1
+    symbol = "ewm"
+    alpha = 2.0 / 6.0
+
+    def fit(self, x):
+        return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}
+
+    def apply(self, state, x):
+        x = np.asarray(x, dtype=np.float64)
+        level = (state or {}).get("pad", 0.0)
+        out = np.empty_like(x)
+        for i, value in enumerate(x):
+            if np.isfinite(value):
+                level = self.alpha * value + (1 - self.alpha) * level
+            out[i] = level
+        return out
+
+
+DOMAIN_OPERATORS = tuple(
+    register_operator(cls())
+    for cls in (Lag1Op, Lag2Op, Diff1Op, RollingMean5Op, RollingStd5Op, EwmOp)
+)

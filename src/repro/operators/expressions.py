@@ -1,0 +1,185 @@
+"""Serializable expression trees — the representation of Ψ.
+
+Every generated feature is an expression over *original* columns, e.g.
+``(x3 / log(x7))``. This gives the framework the two industrial properties
+the paper insists on:
+
+* **interpretability** — :meth:`Expression.name` renders a human-readable
+  formula using the dataset's own column names;
+* **real-time inference** — :meth:`Expression.evaluate` maps a raw input
+  matrix (even a single row) straight to the generated feature, and
+  :meth:`Expression.to_dict` / :func:`expression_from_dict` round-trip the
+  whole plan through JSON for deployment.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import OperatorError, SchemaError
+from .base import Operator, get_operator
+
+
+class Expression(ABC):
+    """A feature as a tree of operator applications over original columns."""
+
+    @abstractmethod
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Compute the feature column from the raw original matrix."""
+
+    @abstractmethod
+    def name(self, column_names: "tuple[str, ...] | None" = None) -> str:
+        """Readable formula; falls back to ``x{i}`` placeholders."""
+
+    @abstractmethod
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse of from_dict)."""
+
+    @abstractmethod
+    def original_indices(self) -> frozenset[int]:
+        """Indices of original columns referenced anywhere in the tree."""
+
+    @abstractmethod
+    def depth(self) -> int:
+        """Tree height; a bare variable has depth 0."""
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> str:
+        """Canonical identity string (used for dedup and stability)."""
+        return self.name(None)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expression) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Expr {self.key}>"
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expression):
+    """Reference to an original column by position."""
+
+    index: int
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if not 0 <= self.index < X.shape[1]:
+            raise SchemaError(
+                f"expression references column {self.index}, input has {X.shape[1]}"
+            )
+        return X[:, self.index]
+
+    def name(self, column_names=None) -> str:
+        if column_names is not None and 0 <= self.index < len(column_names):
+            return str(column_names[self.index])
+        return f"x{self.index}"
+
+    def to_dict(self) -> dict:
+        return {"type": "var", "index": int(self.index)}
+
+    def original_indices(self) -> frozenset[int]:
+        return frozenset((self.index,))
+
+    def depth(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True, eq=False)
+class Applied(Expression):
+    """An operator applied to child expressions, with fitted state."""
+
+    op_name: str
+    children: tuple[Expression, ...]
+    state: "dict | None" = None
+
+    def __post_init__(self) -> None:
+        op = get_operator(self.op_name)
+        op.check_arity(len(self.children))
+
+    @property
+    def operator(self) -> Operator:
+        return get_operator(self.op_name)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        cols = [child.evaluate(X) for child in self.children]
+        return np.asarray(self.operator.apply(self.state, *cols), dtype=np.float64)
+
+    def name(self, column_names=None) -> str:
+        return self.operator.format(*(c.name(column_names) for c in self.children))
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "apply",
+            "op": self.op_name,
+            "state": self.state,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def original_indices(self) -> frozenset[int]:
+        out: frozenset[int] = frozenset()
+        for child in self.children:
+            out |= child.original_indices()
+        return out
+
+    def depth(self) -> int:
+        return 1 + max(c.depth() for c in self.children)
+
+
+def expression_from_dict(payload: dict) -> Expression:
+    """Rebuild an :class:`Expression` from its ``to_dict`` payload."""
+    kind = payload.get("type")
+    if kind == "var":
+        return Var(index=int(payload["index"]))
+    if kind == "apply":
+        children = tuple(expression_from_dict(c) for c in payload["children"])
+        return Applied(op_name=payload["op"], children=children, state=payload.get("state"))
+    raise OperatorError(f"cannot parse expression payload of type {kind!r}")
+
+
+def expression_from_json(text: str) -> Expression:
+    return expression_from_dict(json.loads(text))
+
+
+def fit_applied(
+    op: "Operator | str",
+    children: tuple[Expression, ...],
+    X_train: np.ndarray,
+) -> Applied:
+    """Fit a (possibly stateful) operator on training data and wrap it.
+
+    The children are evaluated on ``X_train``, the operator's ``fit``
+    learns its state from those columns, and the resulting
+    :class:`Applied` node is ready for arbitrary future inputs.
+    """
+    if isinstance(op, str):
+        op = get_operator(op)
+    op.check_arity(len(children))
+    cols = [child.evaluate(X_train) for child in children]
+    state = op.fit(*cols)
+    return Applied(op_name=op.name, children=children, state=state)
+
+
+def evaluate_expressions(
+    expressions: "list[Expression]",
+    X: np.ndarray,
+) -> np.ndarray:
+    """Evaluate a list of expressions into an ``(n, len(expressions))`` block."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if not expressions:
+        return np.empty((X.shape[0], 0))
+    return np.column_stack([expr.evaluate(X) for expr in expressions])

@@ -1,0 +1,61 @@
+"""Ternary and n-ary operators.
+
+Section III lists the conditional operator ``a ? b : c`` as the canonical
+ternary example, plus MAX/MIN/MEAN accepting multiple inputs ("we divide
+them into different categories when they accept a different number of
+inputs") — so ``max3`` and ``max4`` are distinct registry entries, exactly
+as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Operator, register_operator
+
+
+class ConditionalOp(Operator):
+    """``a ? b : c`` — where ``a`` is truthy (nonzero) pick ``b`` else ``c``."""
+
+    name = "cond"
+    arity = 3
+    commutative = False
+    symbol = "cond"
+
+    def apply(self, state, a, b, c):
+        return np.where(np.asarray(a, dtype=np.float64) != 0, b, c)
+
+    def format(self, *operands):
+        return f"({operands[0]} ? {operands[1]} : {operands[2]})"
+
+
+class _NaryReduceOp(Operator):
+    """Base for MAX/MIN/MEAN at a fixed arity."""
+
+    commutative = True
+    reducer = None  # type: ignore[assignment]
+
+    def apply(self, state, *cols):
+        stacked = np.vstack([np.asarray(c, dtype=np.float64) for c in cols])
+        return type(self).reducer(stacked, axis=0)
+
+
+def _make_reduce(op_label: str, reducer, arity: int) -> Operator:
+    cls = type(
+        f"{op_label.capitalize()}{arity}Op",
+        (_NaryReduceOp,),
+        {
+            "name": f"{op_label}{arity}",
+            "symbol": f"{op_label}{arity}",
+            "arity": arity,
+            "reducer": staticmethod(reducer),
+        },
+    )
+    return register_operator(cls())
+
+
+NARY_OPERATORS = (register_operator(ConditionalOp()),) + tuple(
+    _make_reduce(label, fn, arity)
+    for label, fn in (("max", np.max), ("min", np.min), ("mean", np.mean))
+    for arity in (3, 4)
+)

@@ -1,0 +1,195 @@
+"""Unary operators: mathematical transforms, normalization, discretization.
+
+These implement the Section III catalogue. Domain-restricted transforms
+(log, sqrt, reciprocal) use the standard *protected* variants so generated
+columns stay finite for arbitrary real inputs while remaining monotone on
+the natural domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tabular.binning import codes_from_edges, equal_frequency_edges, equal_width_edges
+from ..utils import sigmoid
+from .base import Operator, register_operator
+
+
+class LogOp(Operator):
+    """Signed log transform: ``sign(x) * log(1 + |x|)``."""
+
+    name = "log"
+    arity = 1
+    symbol = "log"
+
+    def apply(self, state, x):
+        return np.sign(x) * np.log1p(np.abs(x))
+
+
+class SqrtOp(Operator):
+    """Signed square root: ``sign(x) * sqrt(|x|)``."""
+
+    name = "sqrt"
+    arity = 1
+    symbol = "sqrt"
+
+    def apply(self, state, x):
+        return np.sign(x) * np.sqrt(np.abs(x))
+
+
+class SquareOp(Operator):
+    name = "square"
+    arity = 1
+    symbol = "square"
+
+    def apply(self, state, x):
+        return x * x
+
+
+class SigmoidOp(Operator):
+    name = "sigmoid"
+    arity = 1
+    symbol = "sigmoid"
+
+    def apply(self, state, x):
+        return sigmoid(np.asarray(x, dtype=np.float64))
+
+
+class TanhOp(Operator):
+    name = "tanh"
+    arity = 1
+    symbol = "tanh"
+
+    def apply(self, state, x):
+        return np.tanh(x)
+
+
+class RoundOp(Operator):
+    name = "round"
+    arity = 1
+    symbol = "round"
+
+    def apply(self, state, x):
+        return np.round(x)
+
+
+class AbsOp(Operator):
+    name = "abs"
+    arity = 1
+    symbol = "abs"
+
+    def apply(self, state, x):
+        return np.abs(x)
+
+
+class NegateOp(Operator):
+    name = "neg"
+    arity = 1
+    symbol = "neg"
+
+    def apply(self, state, x):
+        return -np.asarray(x, dtype=np.float64)
+
+
+class ReciprocalOp(Operator):
+    """Protected reciprocal: ``1/x`` with ``x == 0`` mapping to 0."""
+
+    name = "reciprocal"
+    arity = 1
+    symbol = "reciprocal"
+
+    def apply(self, state, x):
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros_like(x)
+        nz = x != 0
+        out[nz] = 1.0 / x[nz]
+        return out
+
+
+class ZScoreOp(Operator):
+    """Z-score normalization; state carries the training mean/std."""
+
+    name = "zscore"
+    arity = 1
+    symbol = "zscore"
+
+    def fit(self, x):
+        finite = x[np.isfinite(x)]
+        mean = float(finite.mean()) if finite.size else 0.0
+        std = float(finite.std()) if finite.size else 1.0
+        return {"mean": mean, "std": std if std > 0 else 1.0}
+
+    def apply(self, state, x):
+        state = state or {"mean": 0.0, "std": 1.0}
+        return (x - state["mean"]) / state["std"]
+
+
+class MinMaxOp(Operator):
+    """Min-max normalization to [0, 1]; state carries training min/range."""
+
+    name = "minmax"
+    arity = 1
+    symbol = "minmax"
+
+    def fit(self, x):
+        finite = x[np.isfinite(x)]
+        lo = float(finite.min()) if finite.size else 0.0
+        hi = float(finite.max()) if finite.size else 1.0
+        rng = hi - lo
+        return {"min": lo, "range": rng if rng > 0 else 1.0}
+
+    def apply(self, state, x):
+        state = state or {"min": 0.0, "range": 1.0}
+        return (x - state["min"]) / state["range"]
+
+
+class _DiscretizeBase(Operator):
+    """Shared machinery for fitted-edges discretizers."""
+
+    n_bins = 10
+
+    def apply(self, state, x):
+        edges = np.asarray((state or {}).get("edges", []), dtype=np.float64)
+        return codes_from_edges(np.asarray(x, dtype=np.float64), edges).astype(np.float64)
+
+
+class EqualFrequencyDiscretizeOp(_DiscretizeBase):
+    """Equal-frequency binning into (up to) 10 integer codes."""
+
+    name = "disc_eqfreq"
+    arity = 1
+    symbol = "disc_eqfreq"
+
+    def fit(self, x):
+        return {"edges": equal_frequency_edges(x, self.n_bins).tolist()}
+
+
+class EqualWidthDiscretizeOp(_DiscretizeBase):
+    """Equidistant binning into (up to) 10 integer codes."""
+
+    name = "disc_eqwidth"
+    arity = 1
+    symbol = "disc_eqwidth"
+
+    def fit(self, x):
+        return {"edges": equal_width_edges(x, self.n_bins).tolist()}
+
+
+UNARY_OPERATORS = tuple(
+    register_operator(cls())
+    for cls in (
+        LogOp,
+        SqrtOp,
+        SquareOp,
+        SigmoidOp,
+        TanhOp,
+        RoundOp,
+        AbsOp,
+        NegateOp,
+        ReciprocalOp,
+        ZScoreOp,
+        MinMaxOp,
+        EqualFrequencyDiscretizeOp,
+        EqualWidthDiscretizeOp,
+    )
+)

@@ -1,0 +1,40 @@
+"""Tabular data substrate: named datasets, binning, splits, preprocessing."""
+
+from .binning import (
+    Binner,
+    chimerge_edges,
+    codes_from_edges,
+    equal_frequency_edges,
+    equal_width_edges,
+    quantile_codes_matrix,
+)
+from .dataset import Dataset, default_names
+from .io import load_csv, save_csv
+from .preprocess import MeanImputer, MinMaxScaler, StandardScaler, clean_matrix
+from .split import (
+    bootstrap_indices,
+    fraction_split,
+    kfold_indices,
+    train_valid_test_split,
+)
+
+__all__ = [
+    "Binner",
+    "Dataset",
+    "MeanImputer",
+    "MinMaxScaler",
+    "StandardScaler",
+    "bootstrap_indices",
+    "chimerge_edges",
+    "clean_matrix",
+    "codes_from_edges",
+    "default_names",
+    "equal_frequency_edges",
+    "equal_width_edges",
+    "fraction_split",
+    "kfold_indices",
+    "load_csv",
+    "quantile_codes_matrix",
+    "save_csv",
+    "train_valid_test_split",
+]

@@ -1,0 +1,190 @@
+"""Discretization (binning) primitives.
+
+Binning appears in three places in the paper:
+
+* equal-frequency binning with ``beta`` bins when computing information
+  value (Algorithm 3);
+* quantile binning inside the histogram-based gradient boosting substrate;
+* the unary *discretization* operators of Section III (equidistant,
+  equal-frequency, ChiMerge, clustering binning).
+
+All binners here share the same contract: ``fit`` learns bin edges from a
+1-D column, ``transform`` maps values to integer codes in ``[0, n_bins)``,
+with NaN mapped to a dedicated extra code equal to ``n_bins``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataError, NotFittedError
+
+
+def _check_column(x: "np.ndarray | list") -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise DataError("cannot bin an empty column")
+    return arr
+
+
+def equal_width_edges(x: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior edges of ``n_bins`` equidistant bins over finite values."""
+    if n_bins < 1:
+        raise ConfigurationError("n_bins must be >= 1")
+    finite = x[np.isfinite(x)]
+    if finite.size == 0:
+        return np.empty(0)
+    lo, hi = float(finite.min()), float(finite.max())
+    if lo == hi:
+        return np.empty(0)
+    return np.linspace(lo, hi, n_bins + 1)[1:-1]
+
+
+def equal_frequency_edges(x: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior edges of ``n_bins`` equal-frequency (quantile) bins.
+
+    Duplicate quantiles (from repeated values) are collapsed, so the
+    effective number of bins can be smaller than requested.
+    """
+    if n_bins < 1:
+        raise ConfigurationError("n_bins must be >= 1")
+    finite = x[np.isfinite(x)]
+    if finite.size == 0:
+        return np.empty(0)
+    qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    # method="lower" keeps edges at observed values so duplicates collapse
+    # instead of interpolating phantom boundaries between them.
+    edges = np.unique(np.quantile(finite, qs, method="lower"))
+    # An edge at the maximum would create a permanently-empty top bin.
+    return edges[edges < finite.max()]
+
+
+def codes_from_edges(x: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Map values to integer bin codes given interior ``edges``.
+
+    Values get codes ``0..len(edges)`` (``searchsorted`` semantics, right
+    bin closed on the left); NaN/inf values get code ``len(edges) + 1 - 1``
+    replaced by the dedicated missing code ``len(edges) + 1``.
+    """
+    n_edges = edges.size
+    codes = np.searchsorted(edges, x, side="left").astype(np.int64)
+    missing = ~np.isfinite(x)
+    codes[missing] = n_edges + 1
+    return codes
+
+
+@dataclass
+class Binner:
+    """Fitted-edges binner with a pluggable strategy.
+
+    Parameters
+    ----------
+    n_bins:
+        Requested number of bins (effective count may be lower when the
+        column has few distinct values).
+    strategy:
+        ``"quantile"`` (equal-frequency, the paper's default for IV) or
+        ``"uniform"`` (equidistant).
+    """
+
+    n_bins: int = 10
+    strategy: str = "quantile"
+    edges_: "np.ndarray | None" = field(default=None, repr=False)
+
+    def fit(self, x: "np.ndarray | list") -> "Binner":
+        arr = _check_column(x)
+        if self.strategy == "quantile":
+            self.edges_ = equal_frequency_edges(arr, self.n_bins)
+        elif self.strategy == "uniform":
+            self.edges_ = equal_width_edges(arr, self.n_bins)
+        else:
+            raise ConfigurationError(f"unknown binning strategy {self.strategy!r}")
+        return self
+
+    def transform(self, x: "np.ndarray | list") -> np.ndarray:
+        if self.edges_ is None:
+            raise NotFittedError("Binner.transform called before fit")
+        return codes_from_edges(_check_column(x), self.edges_)
+
+    def fit_transform(self, x: "np.ndarray | list") -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    @property
+    def n_effective_bins(self) -> int:
+        """Number of non-missing codes the fitted binner can emit."""
+        if self.edges_ is None:
+            raise NotFittedError("Binner not fitted")
+        return int(self.edges_.size) + 1
+
+
+def chimerge_edges(
+    x: np.ndarray,
+    y: np.ndarray,
+    max_bins: int = 10,
+    initial_bins: int = 50,
+) -> np.ndarray:
+    """ChiMerge supervised discretization (Kerber, 1992), simplified.
+
+    Start from ``initial_bins`` equal-frequency bins and repeatedly merge
+    the adjacent pair with the smallest chi-square statistic w.r.t. the
+    binary label until ``max_bins`` remain. Returns interior edges.
+    """
+    x = _check_column(x)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if y.size != x.size:
+        raise DataError("x and y length mismatch in chimerge_edges")
+    edges = equal_frequency_edges(x, initial_bins)
+    if edges.size == 0:
+        return edges
+    codes = codes_from_edges(x, edges)
+    n_codes = edges.size + 1
+    # Contingency counts per bin (ignore the missing code).
+    valid = codes <= edges.size
+    pos = np.bincount(codes[valid & (y == 1)], minlength=n_codes).astype(np.float64)
+    neg = np.bincount(codes[valid & (y == 0)], minlength=n_codes).astype(np.float64)
+    counts = [np.array([p, q]) for p, q in zip(pos, neg)]
+    cut_points = list(edges)
+
+    def chi2(a: np.ndarray, b: np.ndarray) -> float:
+        total = a + b
+        grand = total.sum()
+        if grand == 0:
+            return 0.0
+        col_sums = np.array([a.sum(), b.sum()])
+        stat = 0.0
+        for col, obs in ((0, a), (1, b)):
+            expected = total * (col_sums[col] / grand)
+            nz = expected > 0
+            stat += float((((obs - expected) ** 2)[nz] / expected[nz]).sum())
+        return stat
+
+    while len(counts) > max_bins and cut_points:
+        stats = [chi2(counts[i], counts[i + 1]) for i in range(len(counts) - 1)]
+        k = int(np.argmin(stats))
+        counts[k] = counts[k] + counts[k + 1]
+        del counts[k + 1]
+        del cut_points[k]
+    return np.asarray(cut_points, dtype=np.float64)
+
+
+def quantile_codes_matrix(X: np.ndarray, max_bins: int = 64) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Bin every column of a matrix for histogram-based tree learning.
+
+    Returns ``(codes, edges_per_column)`` where ``codes`` is an int matrix
+    of the same shape as ``X`` (missing values mapped to the last code of
+    each column) and ``edges_per_column[j]`` holds the interior edges used
+    for column ``j``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError("quantile_codes_matrix expects a 2-D matrix")
+    n_rows, n_cols = X.shape
+    codes = np.empty((n_rows, n_cols), dtype=np.int64)
+    edges_per_column: list[np.ndarray] = []
+    for j in range(n_cols):
+        edges = equal_frequency_edges(X[:, j], max_bins)
+        edges_per_column.append(edges)
+        codes[:, j] = codes_from_edges(X[:, j], edges)
+    return codes, edges_per_column

@@ -1,0 +1,213 @@
+"""Column-oriented tabular container used throughout the pipeline.
+
+The paper's pipeline (and its real deployment) operates on wide feature
+matrices with named columns. Instead of depending on pandas, this module
+provides :class:`Dataset`, a thin immutable-by-convention wrapper around a
+2-D float64 matrix plus column names and an optional label vector. It is
+deliberately small: named column access, row/column slicing, concatenation
+of generated feature blocks, and schema checks — everything the SAFE
+pipeline needs and nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError, SchemaError
+from ..utils import as_float_matrix, check_random_state
+
+
+def _validate_names(names: Sequence[str], n_cols: int) -> tuple[str, ...]:
+    names = tuple(str(n) for n in names)
+    if len(names) != n_cols:
+        raise SchemaError(f"{len(names)} column names for {n_cols} columns")
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if list(names).count(n) > 1})
+        raise SchemaError(f"duplicate column names: {dupes[:5]}")
+    return names
+
+
+def default_names(n_cols: int, prefix: str = "x") -> tuple[str, ...]:
+    """Generate ``(x0, x1, ...)`` style column names."""
+    return tuple(f"{prefix}{i}" for i in range(n_cols))
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named feature matrix with an optional binary label vector.
+
+    Parameters
+    ----------
+    X:
+        2-D float64 feature matrix of shape ``(n_rows, n_cols)``.
+    names:
+        Column names, one per feature column; must be unique.
+    y:
+        Optional label vector of length ``n_rows`` (binary 0/1 for the
+        classification tasks in the paper).
+    """
+
+    X: np.ndarray
+    names: tuple[str, ...]
+    y: "np.ndarray | None" = field(default=None)
+
+    def __post_init__(self) -> None:
+        X = as_float_matrix(self.X)
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "names", _validate_names(self.names, X.shape[1]))
+        if self.y is not None:
+            y = np.asarray(self.y, dtype=np.float64).ravel()
+            if y.size != X.shape[0]:
+                raise DataError(f"y has {y.size} rows but X has {X.shape[0]}")
+            object.__setattr__(self, "y", y)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        X: "np.ndarray | list",
+        y: "np.ndarray | list | None" = None,
+        names: "Sequence[str] | None" = None,
+    ) -> "Dataset":
+        """Build a dataset, synthesizing ``x0..x{M-1}`` names if omitted."""
+        X = as_float_matrix(X)
+        if names is None:
+            names = default_names(X.shape[1])
+        return cls(X=X, names=tuple(names), y=None if y is None else np.asarray(y))
+
+    # ------------------------------------------------------------------
+    # Shape / schema
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.X.shape
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in set(self.names)
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of column ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def column(self, name_or_index: "str | int") -> np.ndarray:
+        """Return a single column as a 1-D array (a view when possible)."""
+        if isinstance(name_or_index, str):
+            name_or_index = self.index_of(name_or_index)
+        if not 0 <= int(name_or_index) < self.n_cols:
+            raise SchemaError(f"column index {name_or_index} out of range")
+        return self.X[:, int(name_or_index)]
+
+    def columns(self, names: Iterable["str | int"]) -> np.ndarray:
+        """Return several columns stacked as a 2-D matrix."""
+        idx = [self.index_of(n) if isinstance(n, str) else int(n) for n in names]
+        return self.X[:, idx]
+
+    def select(self, names: Iterable["str | int"]) -> "Dataset":
+        """Return a new dataset restricted to ``names`` (order preserved)."""
+        names = list(names)
+        idx = [self.index_of(n) if isinstance(n, str) else int(n) for n in names]
+        new_names = tuple(self.names[i] for i in idx)
+        return Dataset(X=self.X[:, idx].copy(), names=new_names, y=self.y)
+
+    def take_rows(self, rows: np.ndarray) -> "Dataset":
+        """Return a new dataset containing only ``rows`` (index array/mask)."""
+        rows = np.asarray(rows)
+        X = self.X[rows]
+        y = None if self.y is None else self.y[rows]
+        return Dataset(X=X, names=self.names, y=y)
+
+    def head(self, n: int = 5) -> "Dataset":
+        """First ``n`` rows, useful in examples and docs."""
+        return self.take_rows(np.arange(min(n, self.n_rows)))
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def with_columns(self, block: np.ndarray, names: Sequence[str]) -> "Dataset":
+        """Append a block of new feature columns, returning a new dataset.
+
+        Name collisions with existing columns raise :class:`SchemaError`.
+        """
+        block = as_float_matrix(block, name="block")
+        if block.shape[0] != self.n_rows:
+            raise DataError(
+                f"block has {block.shape[0]} rows, dataset has {self.n_rows}"
+            )
+        clash = set(names) & set(self.names)
+        if clash:
+            raise SchemaError(f"column names already present: {sorted(clash)[:5]}")
+        X = np.hstack([self.X, block])
+        return Dataset(X=X, names=self.names + tuple(names), y=self.y)
+
+    def with_labels(self, y: "np.ndarray | list") -> "Dataset":
+        """Return a copy of this dataset with labels attached."""
+        return Dataset(X=self.X, names=self.names, y=np.asarray(y))
+
+    def without_labels(self) -> "Dataset":
+        return Dataset(X=self.X, names=self.names, y=None)
+
+    def require_labels(self) -> np.ndarray:
+        """Return ``y`` or raise if the dataset is unlabeled."""
+        if self.y is None:
+            raise DataError("dataset has no labels but labels are required")
+        return self.y
+
+    def sample(
+        self,
+        n: int,
+        random_state: "int | np.random.Generator | None" = None,
+        replace: bool = False,
+    ) -> "Dataset":
+        """Random row subsample of size ``n``."""
+        rng = check_random_state(random_state)
+        if not replace and n > self.n_rows:
+            raise DataError(f"cannot sample {n} rows from {self.n_rows} without replacement")
+        rows = rng.choice(self.n_rows, size=n, replace=replace)
+        return self.take_rows(rows)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Per-column summary statistics (mean/std/min/max/missing-rate)."""
+        out: dict[str, dict[str, float]] = {}
+        for j, name in enumerate(self.names):
+            col = self.X[:, j]
+            finite = col[np.isfinite(col)]
+            out[name] = {
+                "mean": float(finite.mean()) if finite.size else float("nan"),
+                "std": float(finite.std()) if finite.size else float("nan"),
+                "min": float(finite.min()) if finite.size else float("nan"),
+                "max": float(finite.max()) if finite.size else float("nan"),
+                "missing_rate": float(1.0 - finite.size / max(col.size, 1)),
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lab = "labeled" if self.y is not None else "unlabeled"
+        return f"Dataset({self.n_rows} rows x {self.n_cols} cols, {lab})"

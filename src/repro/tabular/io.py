@@ -1,0 +1,66 @@
+"""Minimal CSV read/write for :class:`~repro.tabular.Dataset`.
+
+Only numeric CSVs with a header row are supported — enough for the
+examples to persist and reload generated feature sets without pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DataError
+from .dataset import Dataset
+
+
+def save_csv(data: Dataset, path: "str | Path", label_column: str = "label") -> None:
+    """Write a dataset (features + optional label column) to CSV."""
+    path = Path(path)
+    header = list(data.names)
+    cols = [data.X]
+    if data.y is not None:
+        header.append(label_column)
+        cols.append(data.y.reshape(-1, 1))
+    matrix = np.hstack(cols)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in matrix:
+            writer.writerow([repr(float(v)) for v in row])
+
+
+def load_csv(path: "str | Path", label_column: "str | None" = "label") -> Dataset:
+    """Read a numeric CSV with header into a :class:`Dataset`.
+
+    If ``label_column`` is present in the header it becomes ``y``;
+    pass ``label_column=None`` to treat every column as a feature.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        rows = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                rows.append([float(v) if v != "" else float("nan") for v in row])
+            except ValueError as exc:
+                raise DataError(f"{path}:{lineno}: non-numeric value ({exc})") from None
+    if not rows:
+        raise DataError(f"{path} has a header but no data rows")
+    matrix = np.asarray(rows, dtype=np.float64)
+    if matrix.shape[1] != len(header):
+        raise DataError(f"{path}: ragged rows (header has {len(header)} fields)")
+    if label_column is not None and label_column in header:
+        k = header.index(label_column)
+        y = matrix[:, k]
+        X = np.delete(matrix, k, axis=1)
+        names = [h for i, h in enumerate(header) if i != k]
+        return Dataset(X=X, names=tuple(names), y=y)
+    return Dataset(X=matrix, names=tuple(header), y=None)

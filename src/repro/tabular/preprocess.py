@@ -1,0 +1,112 @@
+"""Feature preprocessing: scaling and imputation.
+
+Section III of the paper lists normalization (Min-Max, Z-score) as unary
+operators; they are also needed as plain preprocessing for the scale-
+sensitive downstream classifiers (kNN, LR, SVM, MLP). All transformers
+here follow the familiar ``fit``/``transform`` protocol and operate on
+2-D matrices column-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+from ..utils import as_float_matrix
+
+
+@dataclass
+class StandardScaler:
+    """Column-wise z-score scaler; constant columns are left centered."""
+
+    mean_: "np.ndarray | None" = field(default=None, repr=False)
+    scale_: "np.ndarray | None" = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = as_float_matrix(X)
+        self.mean_ = np.nanmean(X, axis=0)
+        std = np.nanstd(X, axis=0)
+        std[std == 0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler not fitted")
+        X = as_float_matrix(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+@dataclass
+class MinMaxScaler:
+    """Column-wise min-max scaler to ``[0, 1]``; constant columns map to 0."""
+
+    min_: "np.ndarray | None" = field(default=None, repr=False)
+    range_: "np.ndarray | None" = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = as_float_matrix(X)
+        self.min_ = np.nanmin(X, axis=0)
+        rng = np.nanmax(X, axis=0) - self.min_
+        rng[rng == 0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler not fitted")
+        X = as_float_matrix(X)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+@dataclass
+class MeanImputer:
+    """Replace non-finite entries with the column mean learned at fit.
+
+    Columns that are entirely non-finite impute to zero.
+    """
+
+    fill_: "np.ndarray | None" = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray) -> "MeanImputer":
+        X = as_float_matrix(X)
+        with np.errstate(invalid="ignore"):
+            masked = np.where(np.isfinite(X), X, np.nan)
+            fill = np.nanmean(masked, axis=0)
+        fill[~np.isfinite(fill)] = 0.0
+        self.fill_ = fill
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.fill_ is None:
+            raise NotFittedError("MeanImputer not fitted")
+        X = as_float_matrix(X).copy()
+        bad = ~np.isfinite(X)
+        if bad.any():
+            cols = np.nonzero(bad)[1]
+            X[bad] = self.fill_[cols]
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def clean_matrix(X: np.ndarray, clip: float = 1e12) -> np.ndarray:
+    """Replace non-finite values with 0 and clip extreme magnitudes.
+
+    Generated features (e.g. division by near-zero) can contain inf/NaN;
+    downstream numpy classifiers require finite input. This is the single
+    sanitation choke point used before model fitting.
+    """
+    X = as_float_matrix(X).copy()
+    X[~np.isfinite(X)] = 0.0
+    np.clip(X, -clip, clip, out=X)
+    return X

@@ -1,0 +1,130 @@
+"""Train/validation/test splitting utilities.
+
+The paper (Table IV) fixes explicit train/valid/test sizes per dataset,
+with small datasets getting no validation split ("we simply use training
+data for validation if necessary"). These helpers reproduce both shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataError
+from ..utils import check_random_state
+from .dataset import Dataset
+
+
+def _split_indices(
+    n: int,
+    sizes: tuple[int, ...],
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> list[np.ndarray]:
+    if sum(sizes) > n:
+        raise DataError(f"requested split sizes {sizes} exceed {n} rows")
+    order = rng.permutation(n) if shuffle else np.arange(n)
+    out = []
+    start = 0
+    for size in sizes:
+        out.append(order[start : start + size])
+        start += size
+    return out
+
+
+def train_valid_test_split(
+    data: Dataset,
+    n_train: int,
+    n_valid: int,
+    n_test: int,
+    random_state: "int | np.random.Generator | None" = None,
+    stratify: bool = True,
+) -> tuple[Dataset, "Dataset | None", Dataset]:
+    """Split ``data`` into explicit-size train/valid/test partitions.
+
+    ``n_valid = 0`` returns ``None`` for the validation split, matching
+    the paper's handling of datasets under 10k samples.
+    When ``stratify`` is set (and labels exist), each partition receives
+    the same positive rate as the full dataset, which matters for the
+    heavily imbalanced business datasets.
+    """
+    if min(n_train, n_test) <= 0 or n_valid < 0:
+        raise ConfigurationError("split sizes must be positive (n_valid may be 0)")
+    rng = check_random_state(random_state)
+    if stratify and data.y is not None:
+        y = data.y
+        pos_idx = np.flatnonzero(y == 1)
+        neg_idx = np.flatnonzero(y != 1)
+        total = data.n_rows
+        parts_per_class: list[list[np.ndarray]] = []
+        for cls_idx in (pos_idx, neg_idx):
+            frac = cls_idx.size / total
+            sizes = [
+                int(round(n_train * frac)),
+                int(round(n_valid * frac)),
+                int(round(n_test * frac)),
+            ]
+            # Rounding can overshoot the class population by a row or two;
+            # shave the overflow off the largest partition.
+            while sum(sizes) > cls_idx.size:
+                sizes[int(np.argmax(sizes))] -= 1
+            local = _split_indices(cls_idx.size, tuple(sizes), rng)
+            parts_per_class.append([cls_idx[ix] for ix in local])
+        merged = [
+            np.concatenate([parts_per_class[0][k], parts_per_class[1][k]])
+            for k in range(3)
+        ]
+        train_idx, valid_idx, test_idx = (rng.permutation(m) for m in merged)
+    else:
+        train_idx, valid_idx, test_idx = _split_indices(
+            data.n_rows, (n_train, n_valid, n_test), rng
+        )
+    train = data.take_rows(train_idx)
+    valid = data.take_rows(valid_idx) if n_valid > 0 and valid_idx.size else None
+    test = data.take_rows(test_idx)
+    return train, valid, test
+
+
+def fraction_split(
+    data: Dataset,
+    train_frac: float = 0.7,
+    valid_frac: float = 0.15,
+    random_state: "int | np.random.Generator | None" = None,
+) -> tuple[Dataset, "Dataset | None", Dataset]:
+    """Fractional convenience wrapper over :func:`train_valid_test_split`."""
+    if not 0 < train_frac < 1 or valid_frac < 0 or train_frac + valid_frac >= 1:
+        raise ConfigurationError("fractions must satisfy 0<train, valid>=0, train+valid<1")
+    n = data.n_rows
+    n_train = int(n * train_frac)
+    n_valid = int(n * valid_frac)
+    n_test = n - n_train - n_valid
+    return train_valid_test_split(data, n_train, n_valid, n_test, random_state)
+
+
+def kfold_indices(
+    n: int,
+    n_folds: int = 5,
+    random_state: "int | np.random.Generator | None" = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``(train_idx, test_idx)`` pairs for k-fold cross-validation."""
+    if n_folds < 2:
+        raise ConfigurationError("n_folds must be >= 2")
+    if n_folds > n:
+        raise DataError(f"cannot make {n_folds} folds from {n} rows")
+    rng = check_random_state(random_state)
+    order = rng.permutation(n)
+    folds = np.array_split(order, n_folds)
+    out = []
+    for k in range(n_folds):
+        test_idx = folds[k]
+        train_idx = np.concatenate([folds[j] for j in range(n_folds) if j != k])
+        out.append((train_idx, test_idx))
+    return out
+
+
+def bootstrap_indices(
+    n: int,
+    random_state: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Sample ``n`` row indices with replacement (bagging)."""
+    rng = check_random_state(random_state)
+    return rng.integers(0, n, size=n)

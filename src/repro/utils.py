@@ -1,0 +1,106 @@
+"""Shared small utilities: RNG handling, validation, timing.
+
+These helpers keep the rest of the codebase free of repeated boilerplate for
+random-state normalization and array validation, mirroring the conventions
+of mainstream ML libraries so the public API feels familiar.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from .exceptions import DataError
+
+#: Union of things accepted wherever a random state is expected.
+RandomStateLike = "int | np.random.Generator | None"
+
+
+def check_random_state(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an ``int`` seed, or
+    an existing generator (returned as-is, so state is shared with the
+    caller).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise DataError(f"cannot interpret {seed!r} as a random state")
+
+
+def as_float_matrix(X: "np.ndarray | list", name: str = "X") -> np.ndarray:
+    """Validate and convert ``X`` to a 2-D C-contiguous float64 matrix."""
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DataError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise DataError(f"{name} has zero rows")
+    if arr.shape[1] == 0:
+        raise DataError(f"{name} has zero columns")
+    return np.ascontiguousarray(arr)
+
+
+def as_label_vector(y: "np.ndarray | list", n_rows: "int | None" = None) -> np.ndarray:
+    """Validate and convert ``y`` to a 1-D float64 vector of 0/1 labels."""
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise DataError("y is empty")
+    if n_rows is not None and arr.size != n_rows:
+        raise DataError(f"y has {arr.size} rows but X has {n_rows}")
+    uniq = np.unique(arr)
+    if not np.isin(uniq, (0.0, 1.0)).all():
+        raise DataError(f"labels must be binary 0/1, got values {uniq[:10]}")
+    return arr
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = z - z.max(axis=axis, keepdims=True)
+    ez = np.exp(shifted)
+    return ez / ez.sum(axis=axis, keepdims=True)
+
+
+class Timer:
+    """Tiny wall-clock timer; ``Timer()`` starts immediately.
+
+    >>> t = Timer()
+    >>> elapsed = t.elapsed()  # seconds since construction
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Return elapsed seconds and reset the clock."""
+        now = time.perf_counter()
+        out = now - self._start
+        self._start = now
+        return out
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a :class:`Timer` for the enclosed block."""
+    yield Timer()

@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic datasets used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tabular import Dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def linear_data(rng) -> Dataset:
+    """800 rows, 6 columns; label depends linearly on x0, x1."""
+    X = rng.normal(size=(800, 6))
+    logit = 1.5 * X[:, 0] - 1.0 * X[:, 1] + 0.3 * rng.normal(size=800)
+    y = (logit > 0).astype(float)
+    return Dataset.from_arrays(X, y)
+
+
+@pytest.fixture
+def interaction_data(rng) -> Dataset:
+    """1200 rows, 8 columns; label driven by x0*x1 and x2-x3 interactions.
+
+    Linear models fail on this; feature engineering with {+,−,×,÷}
+    recovers it — the canonical SAFE test case.
+    """
+    X = rng.normal(size=(1200, 8))
+    logit = (
+        2.0 * X[:, 0] * X[:, 1]
+        + 1.5 * (X[:, 2] - X[:, 3])
+        + 0.4 * rng.normal(size=1200)
+    )
+    y = (logit > 0).astype(float)
+    return Dataset.from_arrays(X, y)
+
+
+@pytest.fixture
+def redundant_data(rng) -> Dataset:
+    """Columns 2/3 are near-copies of 0/1; column 4 is pure noise."""
+    n = 600
+    X = np.empty((n, 5))
+    X[:, 0] = rng.normal(size=n)
+    X[:, 1] = rng.normal(size=n)
+    X[:, 2] = 2.0 * X[:, 0] + 0.01 * rng.normal(size=n)
+    X[:, 3] = -X[:, 1] + 0.01 * rng.normal(size=n)
+    X[:, 4] = rng.normal(size=n)
+    y = (X[:, 0] + X[:, 1] + 0.2 * rng.normal(size=n) > 0).astype(float)
+    return Dataset.from_arrays(X, y)
+
+
+@pytest.fixture
+def tiny_labeled() -> Dataset:
+    """Deterministic 8-row dataset for exact-value assertions."""
+    X = np.array(
+        [
+            [0.0, 10.0],
+            [1.0, 9.0],
+            [2.0, 8.0],
+            [3.0, 7.0],
+            [4.0, 6.0],
+            [5.0, 5.0],
+            [6.0, 4.0],
+            [7.0, 3.0],
+        ]
+    )
+    y = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=float)
+    return Dataset(X=X, names=("a", "b"), y=y)
+
+
+def split_train_test(data: Dataset, n_train: int) -> tuple[Dataset, Dataset]:
+    """Deterministic prefix/suffix split helper for tests."""
+    idx = np.arange(data.n_rows)
+    return data.take_rows(idx[:n_train]), data.take_rows(idx[n_train:])

@@ -1,0 +1,97 @@
+"""Tests for the AutoLearn baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import AutoLearn
+from repro.exceptions import ConfigurationError
+from repro.metrics import roc_auc_score
+from repro.models import LogisticRegression
+from repro.tabular import Dataset
+
+
+@pytest.fixture
+def nonlinear_task(rng):
+    """Label lives in the residual of a nonlinear pair relation."""
+    n = 2500
+    X = rng.normal(size=(n, 6))
+    X[:, 3] = np.sin(2 * X[:, 0]) + 0.3 * rng.normal(size=n)
+    y = ((X[:, 3] - np.sin(2 * X[:, 0])) + 0.3 * X[:, 1] > 0).astype(float)
+    return Dataset.from_arrays(X, y)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dcor_threshold": -0.1},
+            {"dcor_threshold": 1.1},
+            {"n_stability_rounds": 0},
+            {"stability_fraction": 0.0},
+            {"stability_fraction": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AutoLearn(**kwargs)
+
+
+class TestFit:
+    def test_mines_related_pair_and_improves(self, nonlinear_task):
+        train = nonlinear_task.take_rows(np.arange(1700))
+        test = nonlinear_task.take_rows(np.arange(1700, 2500))
+        auto = AutoLearn(ig_threshold=0.0, dcor_threshold=0.25, random_state=0)
+        psi = auto.fit(train)
+        assert auto.n_related_pairs_ >= 1
+        assert auto.n_generated_ >= 4
+        tr, te = psi.transform(train), psi.transform(test)
+        base = LogisticRegression().fit(train.X, train.y)
+        enriched = LogisticRegression().fit(tr.X, tr.require_labels())
+        auc_orig = roc_auc_score(test.y, base.predict_proba(test.X)[:, 1])
+        auc_auto = roc_auc_score(te.y, enriched.predict_proba(te.X)[:, 1])
+        assert auc_auto > auc_orig + 0.05
+
+    def test_generated_features_are_ridge_expressions(self, nonlinear_task):
+        auto = AutoLearn(ig_threshold=0.0, dcor_threshold=0.25, random_state=0)
+        psi = auto.fit(nonlinear_task)
+        assert any("ridge" in key for key in psi.feature_keys)
+
+    def test_output_budget_respected(self, nonlinear_task):
+        psi = AutoLearn(ig_threshold=0.0, max_output_features=4,
+                        random_state=0).fit(nonlinear_task)
+        assert psi.n_output_features <= 4
+
+    def test_no_related_pairs_falls_back_to_originals(self, rng):
+        X = rng.normal(size=(500, 4))  # independent columns
+        y = (X[:, 0] > 0).astype(float)
+        data = Dataset.from_arrays(X, y)
+        psi = AutoLearn(dcor_threshold=0.9, random_state=0).fit(data)
+        assert psi.n_output_features >= 1
+
+    def test_deterministic(self, nonlinear_task):
+        a = AutoLearn(ig_threshold=0.0, random_state=4).fit(nonlinear_task)
+        b = AutoLearn(ig_threshold=0.0, random_state=4).fit(nonlinear_task)
+        assert a.feature_keys == b.feature_keys
+
+    def test_plan_serializable(self, nonlinear_task, tmp_path):
+        from repro.core import FeatureTransformer
+
+        psi = AutoLearn(ig_threshold=0.0, random_state=0).fit(nonlinear_task)
+        path = tmp_path / "auto.json"
+        psi.save(path)
+        back = FeatureTransformer.load(path)
+        assert np.allclose(
+            back.transform_matrix(nonlinear_task.X[:5]),
+            psi.transform_matrix(nonlinear_task.X[:5]),
+            equal_nan=True,
+        )
+
+    def test_available_via_runner(self, nonlinear_task):
+        from repro.experiments import make_method
+
+        method = make_method("AUTO", seed=0)
+        assert method.name == "AUTO"
+        psi = method.fit(nonlinear_task)
+        assert psi.metadata["method"] == "AUTO"

@@ -1,0 +1,55 @@
+"""Tests for GBM diagnostics: staged predictions and tree dumps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting import GradientBoostingClassifier
+from repro.metrics import roc_auc_score
+
+
+@pytest.fixture
+def fitted(rng):
+    X = rng.normal(size=(1500, 4))
+    y = ((X[:, 0] + X[:, 2]) > 0).astype(float)
+    model = GradientBoostingClassifier(n_estimators=15, max_depth=3).fit(X, y)
+    return model, X, y
+
+
+class TestStaged:
+    def test_one_margin_per_round(self, fitted):
+        model, X, __ = fitted
+        staged = model.staged_decision_function(X[:50])
+        assert len(staged) == len(model.trees_)
+
+    def test_last_stage_matches_decision_function(self, fitted):
+        model, X, __ = fitted
+        staged = model.staged_decision_function(X[:100])
+        assert np.allclose(staged[-1], model.decision_function(X[:100]))
+
+    def test_training_auc_improves_over_stages(self, fitted):
+        model, X, y = fitted
+        staged = model.staged_decision_function(X)
+        first = roc_auc_score(y, staged[0])
+        last = roc_auc_score(y, staged[-1])
+        assert last >= first
+
+
+class TestDump:
+    def test_dump_contains_all_trees(self, fitted):
+        model, __, __2 = fitted
+        text = model.dump_trees()
+        assert text.count("tree ") == len(model.trees_)
+        assert "leaf value=" in text
+        assert "gain=" in text
+
+    def test_dump_uses_feature_names(self, fitted):
+        model, __, __2 = fitted
+        text = model.dump_trees(feature_names=("alpha", "beta", "gamma", "delta"))
+        assert "alpha <=" in text or "gamma <=" in text
+
+    def test_dump_falls_back_to_placeholders(self, fitted):
+        model, __, __2 = fitted
+        text = model.dump_trees()
+        assert "x0 <=" in text or "x2 <=" in text

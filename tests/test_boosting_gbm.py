@@ -1,0 +1,155 @@
+"""Tests for repro.boosting.gbm (the XGBoost stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.metrics import roc_auc_score
+
+
+@pytest.fixture
+def xor_like(rng):
+    X = rng.normal(size=(2000, 6))
+    y = ((X[:, 0] * X[:, 1]) > 0).astype(float)
+    return X, y
+
+
+class TestFit:
+    def test_learns_interaction(self, xor_like):
+        X, y = xor_like
+        model = GradientBoostingClassifier(n_estimators=40, max_depth=3).fit(
+            X[:1500], y[:1500]
+        )
+        auc = roc_auc_score(y[1500:], model.predict_proba(X[1500:])[:, 1])
+        assert auc > 0.9
+
+    def test_more_trees_fit_train_better(self, rng):
+        X = rng.normal(size=(800, 4))
+        y = (X[:, 0] + 0.5 * rng.normal(size=800) > 0).astype(float)
+        small = GradientBoostingClassifier(n_estimators=2).fit(X, y)
+        big = GradientBoostingClassifier(n_estimators=50).fit(X, y)
+        auc_small = roc_auc_score(y, small.predict_proba(X)[:, 1])
+        auc_big = roc_auc_score(y, big.predict_proba(X)[:, 1])
+        assert auc_big >= auc_small
+
+    def test_deterministic_given_seed(self, xor_like):
+        X, y = xor_like
+        a = GradientBoostingClassifier(n_estimators=5, random_state=3).fit(X, y)
+        b = GradientBoostingClassifier(n_estimators=5, random_state=3).fit(X, y)
+        assert np.allclose(a.decision_function(X), b.decision_function(X))
+
+    def test_subsample_and_colsample(self, xor_like):
+        X, y = xor_like
+        model = GradientBoostingClassifier(
+            n_estimators=20, subsample=0.5, colsample=0.5
+        ).fit(X, y)
+        auc = roc_auc_score(y, model.predict_proba(X)[:, 1])
+        assert auc > 0.8
+
+    def test_nonbinary_labels_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(DataError):
+            GradientBoostingClassifier().fit(X, np.arange(10))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(subsample=0.0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(max_bins=1)
+
+
+class TestEarlyStopping:
+    def test_stops_before_budget(self, rng):
+        X = rng.normal(size=(1200, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = GradientBoostingClassifier(
+            n_estimators=200, early_stopping_rounds=3
+        ).fit(X[:800], y[:800], eval_set=(X[800:], y[800:]))
+        assert len(model.trees_) < 200
+        assert model.best_iteration_ is not None
+
+    def test_eval_set_shape_checked(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(float)
+        with pytest.raises(DataError):
+            GradientBoostingClassifier().fit(X, y, eval_set=(X[:, :2], y))
+
+
+class TestPredict:
+    def test_proba_shape_and_range(self, xor_like):
+        X, y = xor_like
+        model = GradientBoostingClassifier(n_estimators=10).fit(X, y)
+        proba = model.predict_proba(X[:50])
+        assert proba.shape == (50, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_predict_is_thresholded_proba(self, xor_like):
+        X, y = xor_like
+        model = GradientBoostingClassifier(n_estimators=10).fit(X, y)
+        proba = model.predict_proba(X[:100])[:, 1]
+        assert np.array_equal(model.predict(X[:100]), (proba >= 0.5).astype(float))
+
+    def test_wrong_width_rejected(self, xor_like):
+        X, y = xor_like
+        model = GradientBoostingClassifier(n_estimators=2).fit(X, y)
+        with pytest.raises(DataError):
+            model.predict_proba(X[:, :3])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingClassifier().predict_proba(np.ones((2, 2)))
+
+
+class TestStructure:
+    def test_paths_come_from_all_trees(self, xor_like):
+        X, y = xor_like
+        model = GradientBoostingClassifier(n_estimators=8, max_depth=3).fit(X, y)
+        paths = model.paths()
+        per_tree = [len(t.paths()) for t in model.trees_]
+        assert len(paths) == sum(per_tree)
+
+    def test_split_features_identify_informative(self, rng):
+        X = rng.normal(size=(2000, 8))
+        y = ((X[:, 2] + X[:, 5]) > 0).astype(float)
+        model = GradientBoostingClassifier(n_estimators=10, max_depth=3).fit(X, y)
+        split = model.split_features()
+        assert 2 in split and 5 in split
+
+    def test_importance_ranks_informative_features(self, rng):
+        X = rng.normal(size=(3000, 6))
+        y = (2 * X[:, 3] + 0.1 * rng.normal(size=3000) > 0).astype(float)
+        model = GradientBoostingClassifier(n_estimators=20, max_depth=3).fit(X, y)
+        imp = model.feature_importances_
+        assert imp.shape == (6,)
+        assert np.argmax(imp) == 3
+
+    def test_importance_zero_for_unused(self, rng):
+        X = rng.normal(size=(500, 3))
+        X[:, 2] = 0.0  # constant, never splittable
+        y = (X[:, 0] > 0).astype(float)
+        model = GradientBoostingClassifier(n_estimators=5).fit(X, y)
+        assert model.feature_importances_[2] == 0.0
+
+
+class TestRegressor:
+    def test_fits_linear_target(self, rng):
+        X = rng.normal(size=(1000, 3))
+        target = 2.0 * X[:, 0] - X[:, 1]
+        model = GradientBoostingRegressor(n_estimators=50, max_depth=3).fit(X, target)
+        pred = model.predict(X)
+        resid = target - pred
+        assert np.var(resid) < 0.5 * np.var(target)
+
+    def test_accepts_continuous_targets(self, rng):
+        X = rng.normal(size=(100, 2))
+        target = rng.normal(size=100)  # not 0/1 labels
+        model = GradientBoostingRegressor(n_estimators=3).fit(X, target)
+        assert model.predict(X).shape == (100,)

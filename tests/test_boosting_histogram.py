@@ -1,0 +1,113 @@
+"""Tests for repro.boosting.histogram split finding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting import best_split_for_feature, feature_histogram, split_gain
+from repro.exceptions import DataError
+
+
+class TestFeatureHistogram:
+    def test_sums_match(self):
+        codes = np.array([0, 1, 1, 2])
+        grad = np.array([1.0, 2.0, 3.0, 4.0])
+        hess = np.ones(4)
+        g, h, c = feature_histogram(codes, grad, hess, n_bins=4)
+        assert g.tolist() == [1.0, 5.0, 4.0, 0.0]
+        assert h.tolist() == [1.0, 2.0, 1.0, 0.0]
+        assert c.tolist() == [1, 2, 1, 0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            feature_histogram(np.zeros(3, dtype=int), np.zeros(2), np.zeros(3), 2)
+
+
+class TestSplitGain:
+    def test_zero_gain_for_homogeneous_gradient(self):
+        # If left/right have proportional grad/hess the gain is ~0.
+        gl = np.array([5.0])
+        hl = np.array([5.0])
+        gain = split_gain(gl, hl, g_total=10.0, h_total=10.0, reg_lambda=0.0, gamma=0.0)
+        assert gain[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_opposite_gradients_give_positive_gain(self):
+        gain = split_gain(
+            np.array([-5.0]), np.array([5.0]),
+            g_total=0.0, h_total=10.0, reg_lambda=1.0, gamma=0.0,
+        )
+        assert gain[0] > 0
+
+    def test_gamma_subtracts(self):
+        args = (np.array([-5.0]), np.array([5.0]), 0.0, 10.0, 1.0)
+        g0 = split_gain(*args, gamma=0.0)[0]
+        g1 = split_gain(*args, gamma=1.0)[0]
+        assert g1 == pytest.approx(g0 - 1.0)
+
+
+class TestBestSplitForFeature:
+    def test_finds_informative_boundary(self):
+        # Gradients flip sign exactly between code 4 and 5.
+        codes = np.repeat(np.arange(10), 20)
+        grad = np.where(codes < 5, -1.0, 1.0)
+        hess = np.ones_like(grad)
+        cand = best_split_for_feature(
+            codes, grad, hess, n_bins=11,
+            reg_lambda=1.0, gamma=0.0, min_child_weight=0.0, min_samples_leaf=1,
+        )
+        assert cand is not None
+        assert cand.bin_index == 4
+        assert cand.n_left == 100
+        assert cand.n_right == 100
+
+    def test_no_split_when_pure(self):
+        codes = np.repeat(np.arange(4), 10)
+        grad = np.ones(40)
+        hess = np.ones(40)
+        cand = best_split_for_feature(
+            codes, grad, hess, n_bins=5,
+            reg_lambda=1.0, gamma=0.0, min_child_weight=0.0, min_samples_leaf=1,
+        )
+        assert cand is None
+
+    def test_min_samples_leaf_respected(self):
+        codes = np.array([0] * 2 + [1] * 98)
+        grad = np.where(codes == 0, -10.0, 1.0)
+        hess = np.ones(100)
+        cand = best_split_for_feature(
+            codes, grad, hess, n_bins=3,
+            reg_lambda=1.0, gamma=0.0, min_child_weight=0.0, min_samples_leaf=5,
+        )
+        assert cand is None  # the only useful split isolates 2 < 5 rows
+
+    def test_min_child_weight_respected(self):
+        codes = np.array([0] * 50 + [1] * 50)
+        grad = np.where(codes == 0, -1.0, 1.0)
+        hess = np.full(100, 0.001)
+        cand = best_split_for_feature(
+            codes, grad, hess, n_bins=3,
+            reg_lambda=1.0, gamma=0.0, min_child_weight=1.0, min_samples_leaf=1,
+        )
+        assert cand is None
+
+    def test_single_bin_returns_none(self):
+        cand = best_split_for_feature(
+            np.zeros(10, dtype=int), np.ones(10), np.ones(10), n_bins=1,
+            reg_lambda=1.0, gamma=0.0, min_child_weight=0.0, min_samples_leaf=1,
+        )
+        assert cand is None
+
+    def test_child_stats_add_up(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 8, size=200)
+        grad = rng.normal(size=200)
+        hess = np.abs(rng.normal(size=200)) + 0.1
+        cand = best_split_for_feature(
+            codes, grad, hess, n_bins=9,
+            reg_lambda=1.0, gamma=0.0, min_child_weight=0.0, min_samples_leaf=1,
+        )
+        if cand is not None:
+            assert cand.grad_left + cand.grad_right == pytest.approx(grad.sum())
+            assert cand.hess_left + cand.hess_right == pytest.approx(hess.sum())
+            assert cand.n_left + cand.n_right == 200

@@ -1,0 +1,76 @@
+"""Tests for repro.boosting.losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting import LogisticLoss, SquaredLoss, get_loss
+from repro.exceptions import DataError
+
+
+class TestLogisticLoss:
+    loss = LogisticLoss()
+
+    def test_base_score_is_logodds(self):
+        y = np.array([1, 1, 1, 0], dtype=float)
+        assert self.loss.base_score(y) == pytest.approx(np.log(3.0))
+
+    def test_base_score_clipped_for_pure_labels(self):
+        assert np.isfinite(self.loss.base_score(np.ones(5)))
+        assert np.isfinite(self.loss.base_score(np.zeros(5)))
+
+    def test_grad_is_p_minus_y(self):
+        y = np.array([0.0, 1.0])
+        margin = np.zeros(2)
+        grad, hess = self.loss.grad_hess(y, margin)
+        assert np.allclose(grad, [0.5, -0.5])
+        assert np.allclose(hess, 0.25)
+
+    def test_hess_positive(self):
+        y = np.array([1.0, 0.0])
+        margin = np.array([100.0, -100.0])
+        __, hess = self.loss.grad_hess(y, margin)
+        assert (hess > 0).all()
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=50).astype(float)
+        margin = rng.normal(size=50)
+        grad, __ = self.loss.grad_hess(y, margin)
+        eps = 1e-6
+        for k in (0, 17, 49):
+            up = margin.copy(); up[k] += eps
+            dn = margin.copy(); dn[k] -= eps
+            fd = (self.loss.loss(y, up) - self.loss.loss(y, dn)) / (2 * eps) * y.size
+            assert grad[k] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+    def test_transform_is_probability(self):
+        p = self.loss.transform(np.array([-50.0, 0.0, 50.0]))
+        assert p[0] < 0.01 and p[1] == pytest.approx(0.5) and p[2] > 0.99
+
+
+class TestSquaredLoss:
+    loss = SquaredLoss()
+
+    def test_base_score_is_mean(self):
+        assert self.loss.base_score(np.array([1.0, 3.0])) == 2.0
+
+    def test_grad_hess(self):
+        grad, hess = self.loss.grad_hess(np.array([1.0]), np.array([3.0]))
+        assert grad[0] == 2.0
+        assert hess[0] == 1.0
+
+    def test_transform_identity(self):
+        z = np.array([1.0, -2.0])
+        assert np.array_equal(self.loss.transform(z), z)
+
+
+class TestGetLoss:
+    def test_lookup(self):
+        assert get_loss("logistic").name == "logistic"
+        assert get_loss("squared").name == "squared"
+
+    def test_unknown_raises(self):
+        with pytest.raises(DataError):
+            get_loss("hinge")

@@ -1,0 +1,152 @@
+"""Tests for repro.boosting.tree (regression tree + path extraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting import Tree
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.tabular import quantile_codes_matrix
+
+
+def _grow(X, grad, hess=None, **kwargs):
+    codes, edges = quantile_codes_matrix(X, max_bins=32)
+    if hess is None:
+        hess = np.ones_like(grad)
+    defaults = {"max_depth": 4, "min_samples_leaf": 1, "min_child_weight": 0.0}
+    defaults.update(kwargs)
+    return Tree(**defaults).fit(codes, edges, grad, hess)
+
+
+class TestGrowth:
+    def test_single_informative_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        grad = np.where(X[:, 1] > 0, 1.0, -1.0)
+        tree = _grow(X, grad, max_depth=2)
+        assert 1 in tree.split_features()
+        assert tree.n_leaves >= 2
+
+    def test_pure_gradient_gives_single_leaf(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        tree = _grow(X, np.ones(100))
+        assert tree.n_nodes == 1
+        assert tree.n_leaves == 1
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(1000, 4))
+        grad = rng.normal(size=1000)
+        tree = _grow(X, grad, max_depth=2)
+        # Depth-2 tree has at most 7 nodes.
+        assert tree.n_nodes <= 7
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            _grow(np.ones((10, 1)), np.ones(10), max_depth=0)
+
+    def test_leaf_value_is_newton_step(self):
+        X = np.array([[0.0], [0.0], [0.0]])
+        grad = np.array([1.0, 2.0, 3.0])
+        hess = np.array([1.0, 1.0, 1.0])
+        tree = _grow(X, grad, hess, reg_lambda=1.0)
+        # Single leaf: value = -G/(H+lambda) = -6/4.
+        assert tree.value[0] == pytest.approx(-1.5)
+
+
+class TestPredict:
+    def test_prediction_reduces_gradient_objective(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(600, 3))
+        target = np.sin(X[:, 0]) + 0.5 * X[:, 2]
+        grad = -target  # squared-loss gradient at margin 0
+        tree = _grow(X, grad, max_depth=4)
+        pred = tree.predict(X)
+        # The tree should approximate the target (correlation well above 0).
+        corr = np.corrcoef(pred, target)[0, 1]
+        assert corr > 0.7
+
+    def test_nan_goes_right(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 50, dtype=float)
+        grad = np.where(X[:, 0] <= 1.0, -1.0, 1.0)
+        tree = _grow(X, grad, max_depth=1)
+        pred_nan = tree.predict(np.array([[np.nan]]))
+        pred_big = tree.predict(np.array([[99.0]]))
+        assert pred_nan[0] == pred_big[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            Tree().predict(np.ones((2, 2)))
+
+    def test_apply_returns_leaves(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(200, 2))
+        grad = np.where(X[:, 0] > 0, 1.0, -1.0)
+        tree = _grow(X, grad, max_depth=2)
+        leaves = tree.apply(X)
+        assert (tree.feature[leaves] == -1).all()
+
+
+class TestPaths:
+    def test_stump_has_single_path(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(400, 3))
+        grad = np.where(X[:, 2] > 0, 1.0, -1.0)
+        tree = _grow(X, grad, max_depth=1)
+        paths = tree.paths()
+        assert len(paths) == 1
+        assert paths[0].features == (2,)
+        assert len(paths[0].split_values[2]) == 1
+
+    def test_single_leaf_tree_has_no_paths(self):
+        tree = _grow(np.ones((50, 2)), np.ones(50))
+        assert tree.paths() == []
+
+    def test_path_features_are_distinct_and_ordered(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(2000, 4))
+        grad = np.where(X[:, 0] * X[:, 1] > 0, 1.0, -1.0)
+        tree = _grow(X, grad, max_depth=4)
+        for path in tree.paths():
+            assert len(set(path.features)) == len(path.features)
+            for f in path.features:
+                assert f in path.split_values
+                assert len(path.split_values[f]) >= 1
+
+    def test_repeated_feature_pools_split_values(self):
+        # A single very informative feature should be split repeatedly on
+        # one path; its split_values must collect multiple thresholds.
+        X = np.linspace(0, 1, 800).reshape(-1, 1)
+        grad = np.sin(6 * X[:, 0])
+        tree = _grow(X, grad, max_depth=3)
+        paths = tree.paths()
+        assert paths, "expected at least one path"
+        assert any(len(p.split_values.get(0, ())) > 1 for p in paths)
+
+    def test_interaction_appears_on_same_path(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(3000, 5))
+        grad = np.where(X[:, 0] * X[:, 1] > 0, 1.0, -1.0)
+        tree = _grow(X, grad, max_depth=3)
+        assert any(
+            {0, 1} <= set(p.features) for p in tree.paths()
+        ), "interacting features should co-occur on a path"
+
+
+class TestFeatureGains:
+    def test_gains_positive_and_counted(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(500, 3))
+        grad = np.where(X[:, 0] > 0, 1.0, -1.0)
+        tree = _grow(X, grad, max_depth=3)
+        gains = tree.feature_gains()
+        assert 0 in gains
+        total, count = gains[0]
+        assert total > 0
+        assert count >= 1
+
+    def test_empty_for_single_leaf(self):
+        tree = _grow(np.ones((50, 2)), np.ones(50))
+        assert tree.feature_gains() == {}

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_benchmark
+from repro.tabular import load_csv, save_csv
+
+
+@pytest.fixture
+def csv_dataset(tmp_path):
+    train, __, test = load_benchmark("wind", scale=0.06)
+    train_path = tmp_path / "train.csv"
+    test_path = tmp_path / "test.csv"
+    save_csv(train, train_path)
+    save_csv(test, test_path)
+    return train_path, test_path, tmp_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fit_defaults(self):
+        args = build_parser().parse_args(
+            ["fit", "--train", "a.csv", "--plan", "p.json"]
+        )
+        assert args.method == "SAFE"
+        assert args.gamma == 50
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fit", "--train", "a.csv", "--plan", "p.json",
+                 "--method", "LFE"]
+            )
+
+
+class TestCommands:
+    def test_fit_transform_evaluate_inspect(self, csv_dataset, capsys):
+        train_path, test_path, tmp = csv_dataset
+        plan = tmp / "plan.json"
+
+        rc = main(["fit", "--train", str(train_path), "--plan", str(plan),
+                   "--gamma", "15", "--show", "2"])
+        assert rc == 0
+        assert plan.exists()
+        out = capsys.readouterr().out
+        assert "fitted SAFE" in out
+
+        out_csv = tmp / "out.csv"
+        rc = main(["transform", "--plan", str(plan),
+                   "--input", str(test_path), "--output", str(out_csv)])
+        assert rc == 0
+        transformed = load_csv(out_csv)
+        assert transformed.n_rows == load_csv(test_path).n_rows
+
+        rc = main(["evaluate", "--train", str(train_path),
+                   "--test", str(test_path), "--plan", str(plan),
+                   "--classifier", "lr"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ORIG" in out and "PLAN" in out
+
+        rc = main(["inspect", "--plan", str(plan)])
+        assert rc == 0
+        assert "FeatureTransformer" in capsys.readouterr().out
+
+    def test_evaluate_without_plan(self, csv_dataset, capsys):
+        train_path, test_path, __ = csv_dataset
+        rc = main(["evaluate", "--train", str(train_path),
+                   "--test", str(test_path), "--classifier", "lr"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ORIG" in out and "PLAN" not in out
+
+    def test_fit_with_rand_method(self, csv_dataset, capsys):
+        train_path, __, tmp = csv_dataset
+        plan = tmp / "rand.json"
+        rc = main(["fit", "--train", str(train_path), "--plan", str(plan),
+                   "--method", "RAND", "--gamma", "10"])
+        assert rc == 0
+        assert "fitted RAND" in capsys.readouterr().out
+
+    def test_transform_realigns_column_order(self, csv_dataset, tmp_path):
+        train_path, test_path, tmp = csv_dataset
+        plan = tmp / "plan2.json"
+        main(["fit", "--train", str(train_path), "--plan", str(plan),
+              "--gamma", "10"])
+        # Shuffle the input's column order; transform must realign by name.
+        data = load_csv(test_path)
+        shuffled = data.select(list(reversed(data.names)))
+        shuffled_path = tmp_path / "shuffled.csv"
+        save_csv(shuffled, shuffled_path)
+        out_csv = tmp_path / "aligned.csv"
+        rc = main(["transform", "--plan", str(plan),
+                   "--input", str(shuffled_path), "--output", str(out_csv)])
+        assert rc == 0
+        straight = tmp_path / "straight.csv"
+        main(["transform", "--plan", str(plan),
+              "--input", str(test_path), "--output", str(straight)])
+        assert np.allclose(load_csv(out_csv).X, load_csv(straight).X)

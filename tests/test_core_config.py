@@ -1,0 +1,55 @@
+"""Tests for SAFEConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SAFEConfig
+from repro.exceptions import ConfigurationError, OperatorError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SAFEConfig()
+        assert cfg.operators == ("add", "sub", "mul", "div")
+        assert cfg.iv_threshold == 0.1  # alpha, Table I
+        assert cfg.pearson_threshold == 0.8  # theta, Table II
+        assert cfg.iv_bins == 10  # beta
+        assert cfg.n_iterations == 1
+        assert cfg.max_output_features is None  # -> 2M at fit time
+
+    def test_frozen(self):
+        cfg = SAFEConfig()
+        with pytest.raises(AttributeError):
+            cfg.gamma = 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_iterations": 0},
+            {"time_budget_seconds": 0.0},
+            {"gamma": 0},
+            {"max_combination_size": 0},
+            {"max_combination_size": 5},
+            {"max_output_features": 0},
+            {"iv_threshold": -0.1},
+            {"iv_bins": 1},
+            {"pearson_threshold": 0.0},
+            {"pearson_threshold": 1.5},
+            {"mining_n_estimators": 0},
+            {"ranking_n_estimators": 0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SAFEConfig(**kwargs)
+
+    def test_unknown_operator_fails_fast(self):
+        with pytest.raises(OperatorError):
+            SAFEConfig(operators=("add", "frobnicate"))
+
+    def test_custom_operator_set_ok(self):
+        cfg = SAFEConfig(operators=("mul", "div", "log"))
+        assert "log" in cfg.operators

@@ -1,0 +1,147 @@
+"""Tests for the three-stage feature selection (§IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    filter_by_information_value,
+    rank_by_importance,
+    remove_redundant_features,
+    select_features,
+)
+from repro.exceptions import DataError
+
+
+class TestIVFilter:
+    def test_drops_noise_keeps_signal(self, rng):
+        X = rng.normal(size=(3000, 4))
+        y = (X[:, 1] > 0).astype(float)
+        kept, ivs = filter_by_information_value(X, y, alpha=0.1, n_bins=10)
+        assert 1 in kept
+        assert ivs[1] > 0.5
+        # Pure-noise columns should be gone.
+        assert all(ivs[k] > 0.1 for k in kept)
+
+    def test_never_returns_empty(self, rng):
+        X = rng.normal(size=(500, 3))
+        y = rng.integers(0, 2, size=500).astype(float)  # nothing informative
+        kept, __ = filter_by_information_value(X, y, alpha=0.1, n_bins=10)
+        assert kept.size >= 1
+
+    def test_min_keep_honoured(self, rng):
+        X = rng.normal(size=(500, 5))
+        y = rng.integers(0, 2, size=500).astype(float)
+        kept, __ = filter_by_information_value(X, y, alpha=10.0, n_bins=10, min_keep=3)
+        assert kept.size == 3
+
+    def test_constant_column_scores_zero(self, rng):
+        X = np.column_stack([np.full(400, 7.0), rng.normal(size=400)])
+        y = (X[:, 1] > 0).astype(float)
+        kept, ivs = filter_by_information_value(X, y, alpha=0.1, n_bins=10)
+        assert ivs[0] == 0.0
+        assert 0 not in kept
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(DataError):
+            filter_by_information_value(np.ones((3, 0)), np.ones(3), 0.1, 10)
+
+
+class TestRedundancyRemoval:
+    def test_keeps_higher_iv_of_correlated_pair(self, rng):
+        x = rng.normal(size=500)
+        X = np.column_stack([x, 2 * x + 0.001 * rng.normal(size=500)])
+        ivs = np.array([0.5, 0.3])
+        kept = remove_redundant_features(X, ivs, theta=0.8)
+        assert kept.tolist() == [0]
+
+    def test_lower_iv_wins_when_higher(self, rng):
+        x = rng.normal(size=500)
+        X = np.column_stack([x, 2 * x])
+        ivs = np.array([0.3, 0.5])
+        kept = remove_redundant_features(X, ivs, theta=0.8)
+        assert kept.tolist() == [1]
+
+    def test_uncorrelated_features_all_kept(self, rng):
+        X = rng.normal(size=(500, 4))
+        ivs = np.array([0.4, 0.3, 0.2, 0.1])
+        kept = remove_redundant_features(X, ivs, theta=0.8)
+        assert kept.tolist() == [0, 1, 2, 3]
+
+    def test_negative_correlation_counts(self, rng):
+        x = rng.normal(size=500)
+        X = np.column_stack([x, -x])
+        kept = remove_redundant_features(X, np.array([0.5, 0.4]), theta=0.8)
+        assert kept.tolist() == [0]
+
+    def test_chain_of_correlation(self, rng):
+        # a ~ b ~ c all mutually correlated: only the best survives.
+        x = rng.normal(size=500)
+        X = np.column_stack([x, x + 0.01 * rng.normal(size=500),
+                             x - 0.01 * rng.normal(size=500)])
+        kept = remove_redundant_features(X, np.array([0.2, 0.9, 0.5]), theta=0.8)
+        assert kept.tolist() == [1]
+
+    def test_empty_matrix(self):
+        kept = remove_redundant_features(np.empty((5, 0)), np.empty(0), 0.8)
+        assert kept.size == 0
+
+    def test_iv_length_mismatch(self, rng):
+        with pytest.raises(DataError):
+            remove_redundant_features(rng.normal(size=(10, 3)), np.ones(2), 0.8)
+
+
+class TestImportanceRanking:
+    def test_informative_first(self, rng):
+        X = rng.normal(size=(2000, 4))
+        y = (X[:, 2] > 0).astype(float)
+        order = rank_by_importance(
+            X, y, None, n_estimators=10, max_depth=3, top_k=None, random_state=0
+        )
+        assert order[0] == 2
+
+    def test_top_k_truncates(self, rng):
+        X = rng.normal(size=(500, 6))
+        y = (X[:, 0] > 0).astype(float)
+        order = rank_by_importance(
+            X, y, None, n_estimators=5, max_depth=3, top_k=2, random_state=0
+        )
+        assert order.size == 2
+
+
+class TestFullSelection:
+    def test_pipeline_composition(self, rng):
+        n = 2000
+        signal = rng.normal(size=n)
+        X = np.column_stack([
+            signal,                                  # informative
+            signal * 3 + 0.01 * rng.normal(size=n),  # redundant copy
+            rng.normal(size=n),                      # noise
+            -signal + 0.5 * rng.normal(size=n),      # weaker informative
+        ])
+        y = (signal + 0.3 * rng.normal(size=n) > 0).astype(float)
+        report = select_features(
+            X, y, None,
+            alpha=0.1, iv_bins=10, theta=0.8,
+            ranking_n_estimators=10, ranking_max_depth=3,
+            max_output=4, random_state=0,
+        )
+        final = set(report.final_order)
+        # Noise dropped by IV stage; exactly one of {0, 1} survives Pearson.
+        assert 2 not in final
+        assert len(final & {0, 1}) == 1
+        assert report.n_candidates == 4
+        assert set(report.kept_after_redundancy) <= set(report.kept_after_iv)
+        assert final <= set(report.kept_after_redundancy)
+
+    def test_max_output_budget(self, rng):
+        X = rng.normal(size=(1000, 10))
+        y = (X[:, :5].sum(axis=1) > 0).astype(float)
+        report = select_features(
+            X, y, None,
+            alpha=0.0, iv_bins=10, theta=0.99,
+            ranking_n_estimators=5, ranking_max_depth=3,
+            max_output=3, random_state=0,
+        )
+        assert len(report.final_order) <= 3

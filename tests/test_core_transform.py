@@ -1,0 +1,117 @@
+"""Tests for FeatureTransformer (Ψ)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureTransformer
+from repro.exceptions import DataError, SchemaError
+from repro.operators import Applied, Var
+from repro.tabular import Dataset
+
+
+@pytest.fixture
+def psi():
+    return FeatureTransformer(
+        expressions=(
+            Var(0),
+            Applied("add", (Var(0), Var(1))),
+            Applied("log", (Var(2),)),
+        ),
+        original_names=("amount", "count", "age"),
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            FeatureTransformer(expressions=(), original_names=("a",))
+
+    def test_out_of_schema_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            FeatureTransformer(expressions=(Var(5),), original_names=("a", "b"))
+
+    def test_feature_names_rendered(self, psi):
+        assert psi.feature_names == ("amount", "(amount + count)", "log(age)")
+
+    def test_feature_keys_canonical(self, psi):
+        assert psi.feature_keys == ("x0", "(x0 + x1)", "log(x2)")
+
+    def test_generated_expressions_excludes_vars(self, psi):
+        gen = psi.generated_expressions()
+        assert len(gen) == 2
+        assert all(not isinstance(e, Var) for e in gen)
+
+
+class TestTransform:
+    def test_matrix_shape(self, psi, rng):
+        X = rng.normal(size=(10, 3))
+        out = psi.transform_matrix(X)
+        assert out.shape == (10, 3)
+        assert np.allclose(out[:, 1], X[:, 0] + X[:, 1])
+
+    def test_single_row_real_time_inference(self, psi):
+        row = psi.transform_matrix(np.array([1.0, 2.0, 0.0]))
+        assert row.shape == (3,)
+        assert row[1] == 3.0
+
+    def test_dataset_in_dataset_out(self, psi, rng):
+        ds = Dataset(
+            X=rng.normal(size=(5, 3)),
+            names=("amount", "count", "age"),
+            y=np.array([0, 1, 0, 1, 0.0]),
+        )
+        out = psi.transform(ds)
+        assert isinstance(out, Dataset)
+        assert out.y is not None
+        assert out.names[1] == "(amount + count)"
+
+    def test_schema_mismatch_rejected(self, psi, rng):
+        ds = Dataset.from_arrays(rng.normal(size=(5, 3)))  # names x0,x1,x2
+        with pytest.raises(SchemaError):
+            psi.transform(ds)
+
+    def test_width_mismatch_rejected(self, psi, rng):
+        with pytest.raises(SchemaError):
+            psi.transform_matrix(rng.normal(size=(5, 4)))
+
+    def test_duplicate_output_names_disambiguated(self):
+        psi = FeatureTransformer(
+            expressions=(Applied("add", (Var(0), Var(1))),
+                         Applied("add", (Var(0), Var(1)))),
+            original_names=("a", "b"),
+        )
+        ds = Dataset(X=np.ones((2, 2)), names=("a", "b"))
+        out = psi.transform(ds)
+        assert len(set(out.names)) == 2
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self, psi, rng):
+        X = rng.normal(size=(8, 3))
+        back = FeatureTransformer.from_dict(psi.to_dict())
+        assert np.allclose(back.transform_matrix(X), psi.transform_matrix(X))
+        assert back.original_names == psi.original_names
+
+    def test_file_roundtrip(self, psi, tmp_path, rng):
+        path = tmp_path / "psi.json"
+        psi.save(path)
+        back = FeatureTransformer.load(path)
+        X = rng.normal(size=(4, 3))
+        assert np.allclose(back.transform_matrix(X), psi.transform_matrix(X))
+
+    def test_metadata_preserved(self, tmp_path):
+        psi = FeatureTransformer(
+            expressions=(Var(0),),
+            original_names=("a",),
+            metadata={"method": "SAFE", "note": 1},
+        )
+        path = tmp_path / "m.json"
+        psi.save(path)
+        assert FeatureTransformer.load(path).metadata["method"] == "SAFE"
+
+    def test_describe_lists_features(self, psi):
+        text = psi.describe()
+        assert "(amount + count)" in text
+        assert "3 features" in text

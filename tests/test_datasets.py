@@ -1,0 +1,170 @@
+"""Tests for the synthetic dataset surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BENCHMARK_NAMES,
+    BUSINESS_NAMES,
+    SyntheticTaskSpec,
+    benchmark_info,
+    build_task,
+    business_info,
+    load_benchmark,
+    load_business,
+    make_classification_task,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_features": 1, "n_informative": 2},
+            {"n_features": 4, "n_informative": 5},
+            {"n_features": 4, "n_informative": 3, "n_redundant": 2},
+            {"n_features": 4, "n_informative": 2, "positive_rate": 0.0},
+            {"n_features": 4, "n_informative": 2, "n_interactions": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SyntheticTaskSpec(**kwargs)
+
+
+class TestBuildTask:
+    spec = SyntheticTaskSpec(n_features=10, n_informative=5, n_interactions=3,
+                             n_redundant=2, seed=7)
+
+    def test_structure_frozen(self):
+        a = build_task(self.spec)
+        b = build_task(self.spec)
+        assert [(i.kind, i.i, i.j) for i in a.interactions] == [
+            (i.kind, i.i, i.j) for i in b.interactions
+        ]
+        assert np.array_equal(a.linear_weights, b.linear_weights)
+
+    def test_interactions_among_informative(self):
+        task = build_task(self.spec)
+        for inter in task.interactions:
+            assert inter.i < self.spec.n_informative
+            assert inter.j < self.spec.n_informative
+
+    def test_sample_shapes_and_labels(self):
+        task = build_task(self.spec)
+        data = task.sample(500, seed=1)
+        assert data.shape == (500, 10)
+        assert set(np.unique(data.y)) <= {0.0, 1.0}
+
+    def test_same_seed_same_sample(self):
+        task = build_task(self.spec)
+        a = task.sample(100, seed=3)
+        b = task.sample(100, seed=3)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seed_different_sample(self):
+        task = build_task(self.spec)
+        a = task.sample(100, seed=3)
+        b = task.sample(100, seed=4)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_redundant_columns_correlated(self):
+        task = build_task(self.spec)
+        data = task.sample(2000, seed=1)
+        for offset, src in enumerate(task.redundant_sources):
+            dst = self.spec.n_informative + offset
+            corr = np.corrcoef(data.X[:, src], data.X[:, dst])[0, 1]
+            assert abs(corr) > 0.95
+
+    def test_positive_rate_calibrated(self):
+        spec = SyntheticTaskSpec(n_features=6, n_informative=4, positive_rate=0.1,
+                                 heavy_tail=0.4, seed=11)
+        data = build_task(spec).sample(20000, seed=5)
+        assert data.y.mean() == pytest.approx(0.1, abs=0.03)
+
+    def test_labels_are_learnable_from_interactions(self):
+        from repro.metrics import roc_auc_score
+        from repro.models import XGBClassifier
+
+        task = build_task(self.spec)
+        train = task.sample(3000, seed=1)
+        test = task.sample(1000, seed=2)
+        clf = XGBClassifier(n_estimators=30).fit(train.X, train.y)
+        auc = roc_auc_score(test.y, clf.predict_proba(test.X)[:, 1])
+        assert auc > 0.7
+
+    def test_make_classification_task_shortcut(self):
+        data = make_classification_task(100, self.spec, seed=0)
+        assert data.n_rows == 100
+
+
+class TestBenchmarks:
+    def test_twelve_datasets(self):
+        assert len(BENCHMARK_NAMES) == 12
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_info_matches_table4_dims(self, name):
+        # Spot-check the Table IV dimensions are encoded faithfully.
+        expected_dims = {
+            "valley": 100, "banknote": 4, "gina": 970, "spambase": 57,
+            "phoneme": 5, "wind": 14, "ailerons": 40, "eeg-eye": 14,
+            "magic": 10, "nomao": 118, "bank": 51, "vehicle": 100,
+        }
+        assert benchmark_info(name).n_dim == expected_dims[name]
+        assert benchmark_info(name).spec.n_features == expected_dims[name]
+
+    def test_small_datasets_have_no_validation(self):
+        __, valid, __ = load_benchmark("banknote", scale=0.2)
+        assert valid is None
+
+    def test_large_datasets_have_validation(self):
+        __, valid, __ = load_benchmark("magic", scale=0.05)
+        assert valid is not None
+
+    def test_scale_scales_rows_not_dims(self):
+        tr_small, __, __ = load_benchmark("wind", scale=0.05)
+        tr_big, __, __ = load_benchmark("wind", scale=0.2)
+        assert tr_big.n_rows > tr_small.n_rows
+        assert tr_big.n_cols == tr_small.n_cols == 14
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            benchmark_info("mnist")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            load_benchmark("wind", scale=0.0)
+
+    def test_reproducible(self):
+        a, __, __ = load_benchmark("wind", scale=0.05)
+        b, __, __ = load_benchmark("wind", scale=0.05)
+        assert np.array_equal(a.X, b.X)
+
+    def test_train_test_disjoint_draws(self):
+        tr, __, te = load_benchmark("wind", scale=0.05)
+        assert not np.array_equal(tr.X[: te.n_rows], te.X)
+
+
+class TestBusiness:
+    def test_three_datasets(self):
+        assert BUSINESS_NAMES == ("data1", "data2", "data3")
+
+    @pytest.mark.parametrize("name,dim", [("data1", 81), ("data2", 44), ("data3", 73)])
+    def test_table7_dims(self, name, dim):
+        assert business_info(name).n_dim == dim
+
+    def test_imbalanced(self):
+        tr, __, __ = load_business("data1", scale=0.003)
+        assert tr.y.mean() < 0.05
+
+    def test_validation_always_present(self):
+        __, valid, __ = load_business("data2", scale=0.002)
+        assert valid is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            business_info("data9")

@@ -1,0 +1,124 @@
+"""Cross-cutting edge cases and failure injection.
+
+The deployed system must degrade gracefully rather than crash on the
+pathologies industrial data actually contains: all-constant blocks,
+extreme magnitudes, duplicated columns, near-empty classes, and corrupted
+serving inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SAFE, FeatureTransformer, SAFEConfig
+from repro.exceptions import DataError, ReproError
+from repro.models import make_classifier
+from repro.operators import Applied, Var
+from repro.tabular import Dataset
+
+
+class TestExtremeValues:
+    def test_safe_with_huge_magnitudes(self, rng):
+        X = rng.normal(size=(600, 4))
+        X[:, 1] *= 1e10
+        X[:, 2] *= 1e-10
+        y = ((X[:, 0] * X[:, 3]) > 0).astype(float)
+        psi = SAFE(SAFEConfig(gamma=15)).fit(Dataset.from_arrays(X, y))
+        out = psi.transform_matrix(X)
+        # Expression evaluation itself may produce big numbers, but must
+        # not crash; downstream prep clips them.
+        assert out.shape[0] == 600
+
+    def test_classifiers_survive_inf_inputs(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = (X[:, 0] > 0).astype(float)
+        X_bad = X.copy()
+        X_bad[::11, 1] = np.inf
+        X_bad[::13, 2] = -np.inf
+        for name in ("lr", "dt", "xgb", "knn"):
+            clf = make_classifier(name)
+            clf.fit(X_bad, y)
+            proba = clf.predict_proba(X_bad)
+            assert np.isfinite(proba).all(), name
+
+
+class TestDegenerateSchemas:
+    def test_safe_on_two_columns(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(float)
+        psi = SAFE(SAFEConfig(gamma=5)).fit(Dataset.from_arrays(X, y))
+        assert psi.n_output_features >= 1
+
+    def test_safe_on_single_column(self, rng):
+        X = rng.normal(size=(400, 1))
+        y = (X[:, 0] > 0).astype(float)
+        # No pairs exist; SAFE must still return a valid (identity-ish) plan.
+        psi = SAFE(SAFEConfig(gamma=5)).fit(Dataset.from_arrays(X, y))
+        assert psi.n_output_features >= 1
+        assert np.allclose(psi.transform_matrix(X)[:, 0], X[:, 0])
+
+    def test_all_columns_identical(self, rng):
+        col = rng.normal(size=400)
+        X = np.column_stack([col, col, col])
+        y = (col > 0).astype(float)
+        psi = SAFE(SAFEConfig(gamma=5)).fit(Dataset.from_arrays(X, y))
+        # Redundancy stage collapses the copies.
+        assert psi.n_output_features <= 3
+
+    def test_nearly_pure_labels(self, rng):
+        X = rng.normal(size=(800, 3))
+        y = np.zeros(800)
+        y[:8] = 1.0  # 1% positives
+        psi = SAFE(SAFEConfig(gamma=5)).fit(Dataset.from_arrays(X, y))
+        assert psi.n_output_features >= 1
+
+
+class TestServingFailures:
+    def test_transform_rejects_too_few_columns(self, interaction_data):
+        psi = SAFE(SAFEConfig(gamma=5)).fit(interaction_data)
+        with pytest.raises(ReproError):
+            psi.transform_matrix(np.ones((3, 2)))
+
+    def test_transform_handles_nan_rows(self, interaction_data):
+        psi = SAFE(SAFEConfig(gamma=5)).fit(interaction_data)
+        row = np.full(interaction_data.n_cols, np.nan)
+        out = psi.transform_matrix(row)
+        assert out.shape == (psi.n_output_features,)
+
+    def test_corrupt_plan_payload_rejected(self):
+        with pytest.raises(Exception):
+            FeatureTransformer.from_dict({"original_names": ["a"], "expressions": []})
+
+    def test_plan_referencing_missing_column_rejected(self):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            FeatureTransformer(
+                expressions=(Applied("add", (Var(0), Var(9))),),
+                original_names=("a", "b"),
+            )
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        from repro.exceptions import (
+            ConfigurationError,
+            DataError,
+            NotFittedError,
+            OperatorError,
+            SchemaError,
+        )
+
+        for exc in (ConfigurationError, DataError, NotFittedError,
+                    OperatorError, SchemaError):
+            assert issubclass(exc, ReproError)
+
+    def test_data_error_is_value_error(self):
+        assert issubclass(DataError, ValueError)
+
+    def test_catching_base_class_works(self, rng):
+        X = rng.normal(size=(10, 2))
+        data = Dataset.from_arrays(X)  # unlabeled
+        with pytest.raises(ReproError):
+            SAFE().fit(data)

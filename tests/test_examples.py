@@ -1,0 +1,48 @@
+"""Each example script must run end-to-end (tiny scales via importable main)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.slow
+class TestExamplesRun:
+    def _run(self, script: str, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES / script), *args],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+
+    def test_quickstart(self):
+        result = self._run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "test AUC" in result.stdout
+
+    def test_fraud_detection(self):
+        result = self._run("fraud_detection.py", "--scale", "0.0015")
+        assert result.returncode == 0, result.stderr
+        assert "fraud score" in result.stdout
+
+    def test_custom_operators(self):
+        result = self._run("custom_operators.py")
+        assert result.returncode == 0, result.stderr
+        assert "round-trip" in result.stdout
+
+    def test_method_comparison(self):
+        result = self._run("method_comparison.py", "--dataset", "banknote",
+                           "--scale", "0.3")
+        assert result.returncode == 0, result.stderr
+        assert "SAFE" in result.stdout
+
+    def test_iterative_refinement(self):
+        result = self._run("iterative_refinement.py")
+        assert result.returncode == 0, result.stderr
+        assert "iterations=1" in result.stdout

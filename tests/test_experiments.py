@@ -1,0 +1,142 @@
+"""Smoke + contract tests for the experiment harness (small scales)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import METHOD_ORDER, average_lift, fit_method, make_method
+from repro.experiments.reporting import banner, format_table, save_results
+
+
+class TestRunner:
+    def test_make_method_all_names(self):
+        for name in METHOD_ORDER:
+            m = make_method(name, gamma=5, seed=0)
+            assert m.name == name
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            make_method("AUTOLEARN")
+
+    def test_fit_method_records_time(self, interaction_data):
+        run = fit_method("ORIG", interaction_data, None)
+        assert run.fit_seconds >= 0
+        assert run.transformer.n_output_features == interaction_data.n_cols
+
+    def test_average_lift(self):
+        per_method = {
+            "ORIG": {"lr": 50.0, "xgb": 80.0},
+            "SAFE": {"lr": 55.0, "xgb": 88.0},
+        }
+        lift = average_lift(per_method)
+        assert lift == pytest.approx((10.0 + 10.0) / 2)
+
+    def test_evaluate_transformer(self, interaction_data):
+        from repro.experiments import evaluate_transformer
+
+        train = interaction_data.take_rows(np.arange(800))
+        test = interaction_data.take_rows(np.arange(800, 1200))
+        run = fit_method("SAFE", train, None, gamma=20)
+        scores = evaluate_transformer(run.transformer, train, test, ("lr", "xgb"))
+        assert set(scores) == {"lr", "xgb"}
+        assert all(0 <= v <= 100 for v in scores.values())
+        assert scores["lr"] > 60  # interaction recovered
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Bee"], [["x", 1.5], ["long-cell", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.50" in text
+        assert "long-cell" in text
+
+    def test_banner(self):
+        out = banner("Title")
+        assert out.splitlines()[1] == "Title"
+
+    def test_save_results_json(self, tmp_path):
+        path = tmp_path / "out" / "results.json"
+        save_results({"a": np.array([1.0, 2.0]), "b": 3}, path)
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["a"] == [1.0, 2.0]
+
+
+@pytest.mark.slow
+class TestExperimentRuns:
+    """Each experiment module must run end-to-end at miniature scale."""
+
+    def test_table3(self):
+        from repro.experiments import table3
+
+        result = table3.run(
+            datasets=("banknote",), methods=("ORIG", "SAFE"),
+            classifiers=("lr", "xgb"), scale=0.3, gamma=10, verbose=False,
+        )
+        assert "banknote" in result.scores
+        assert set(result.scores["banknote"]) == {"ORIG", "SAFE"}
+
+    def test_table5(self):
+        from repro.experiments import table5
+
+        result = table5.run(
+            datasets=("banknote",), methods=("FCT", "TFC", "SAFE"),
+            scale=0.3, gamma=10, verbose=False,
+        )
+        assert result.seconds["banknote"]["SAFE"] > 0
+        assert "SAFE/FCT" in result.ratios
+
+    def test_table6(self):
+        from repro.experiments import table6
+
+        result = table6.run(
+            datasets=("banknote",), methods=("RAND", "SAFE"),
+            repeats=3, scale=0.2, gamma=10, verbose=False,
+        )
+        row = result.jsd["banknote"]
+        assert 0 <= row["SAFE"] <= np.log(2) + 1e-9
+        assert 0 <= row["RAND"] <= np.log(2) + 1e-9
+
+    def test_table8(self):
+        from repro.experiments import table8
+
+        result = table8.run(
+            datasets=("data1",), methods=("ORIG", "SAFE"),
+            classifiers=("lr",), scale=0.001, gamma=10, verbose=False,
+        )
+        assert set(result.scores["data1"]) == {"ORIG", "SAFE"}
+
+    def test_fig3(self):
+        from repro.experiments import fig3
+
+        result = fig3.run(datasets=("banknote",), scale=0.3, gamma=10, verbose=False)
+        assert "banknote" in result.summary
+        assert 0 <= result.summary["banknote"]["generated_share_top_half"] <= 1
+
+    def test_fig4(self):
+        from repro.experiments import fig4
+
+        result = fig4.run(
+            datasets=("banknote",), rounds=2, scale=0.3, gamma=10, verbose=False
+        )
+        curve = result.curves["banknote"]
+        assert [n for n, __ in curve] == [1, 2]
+
+    def test_assumptions(self):
+        from repro.experiments import assumptions
+
+        result = assumptions.run(datasets=("spambase",), scale=0.1, verbose=False)
+        assert "spambase" in result.mean_ivs
+        assert result.mean_ivs["spambase"]["same_path"] > 0
+
+    def test_search_space(self):
+        from repro.experiments import search_space
+
+        result = search_space.run(datasets=("spambase",), scale=0.1, verbose=False)
+        row = result.rows["spambase"]
+        assert row["T"] == 57 * 56 * 4
+        assert row["actual_distinct_pairs"] > 0

@@ -1,0 +1,33 @@
+"""Tests for the complexity-validation experiment (E9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import complexity
+
+
+@pytest.mark.slow
+class TestComplexityRun:
+    def test_sweeps_have_requested_points(self):
+        result = complexity.run(
+            n_values=(500, 1000),
+            k1_values=(5, 10),
+            m_values=(10, 20),
+            gamma=15,
+            verbose=False,
+        )
+        assert [n for n, __ in result.n_sweep] == [500, 1000]
+        assert [k for k, __ in result.k1_sweep] == [5, 10]
+        assert [m for m, __, __ in result.m_sweep] == [10, 20]
+        assert all(t > 0 for __, t in result.n_sweep)
+
+    def test_exponent_is_finite(self):
+        result = complexity.run(
+            n_values=(500, 2000),
+            k1_values=(5,),
+            m_values=(10,),
+            gamma=15,
+            verbose=False,
+        )
+        assert -1.0 < result.n_scaling_exponent < 2.5

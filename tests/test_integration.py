@@ -1,0 +1,132 @@
+"""End-to-end integration tests across the whole library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    SAFE,
+    Dataset,
+    FeatureTransformer,
+    SAFEConfig,
+    load_benchmark,
+    make_classifier,
+    roc_auc_score,
+)
+from repro.experiments import fit_method
+
+
+@pytest.mark.slow
+class TestFullWorkflow:
+    def test_benchmark_to_model_pipeline(self):
+        """The README quickstart, executed."""
+        train, valid, test = load_benchmark("magic", scale=0.1)
+        transformer = SAFE(SAFEConfig(n_iterations=1, gamma=25)).fit(train, valid)
+        train_new = transformer.transform(train)
+        test_new = transformer.transform(test)
+        clf = make_classifier("xgb", n_estimators=20)
+        clf.fit(train_new.X, train_new.require_labels())
+        auc = roc_auc_score(test_new.y, clf.predict_proba(test_new.X)[:, 1])
+        assert auc > 0.6
+
+    def test_safe_beats_orig_on_interaction_dataset(self):
+        """The paper's core claim at miniature scale, across 3 classifiers."""
+        train, valid, test = load_benchmark("eeg-eye", scale=0.1)
+        orig = fit_method("ORIG", train, valid).transformer
+        safe = fit_method("SAFE", train, valid, gamma=40).transformer
+        wins = 0
+        for clf_name in ("lr", "svm", "xgb"):
+            scores = {}
+            for label, psi in (("orig", orig), ("safe", safe)):
+                tr, te = psi.transform(train), psi.transform(test)
+                clf = make_classifier(clf_name)
+                clf.fit(tr.X, tr.require_labels())
+                scores[label] = roc_auc_score(te.y, clf.predict_proba(te.X)[:, 1])
+            if scores["safe"] >= scores["orig"] - 0.01:
+                wins += 1
+        assert wins >= 2, "SAFE should match or beat ORIG for most classifiers"
+
+    def test_deployment_roundtrip(self, tmp_path):
+        """Fit -> save plan -> reload in 'another process' -> serve rows."""
+        train, valid, __ = load_benchmark("wind", scale=0.1)
+        psi = SAFE(SAFEConfig(gamma=20)).fit(train, valid)
+        plan_path = tmp_path / "psi.json"
+        psi.save(plan_path)
+
+        served = FeatureTransformer.load(plan_path)
+        # Row-at-a-time serving must agree with batch transform.
+        batch = served.transform_matrix(train.X[:5])
+        rows = np.vstack([served.transform_matrix(train.X[i]) for i in range(5)])
+        assert np.allclose(batch, rows, equal_nan=True)
+
+    def test_interpretability_names_reference_schema(self):
+        train, __, __ = load_benchmark("banknote", scale=0.5)
+        psi = SAFE(SAFEConfig(gamma=10)).fit(train)
+        for name in psi.feature_names:
+            assert any(col in name for col in train.names)
+
+    def test_custom_operator_flows_through_safe(self):
+        """User extension: register an operator, use it in SAFEConfig."""
+        from repro.operators import Operator, register_operator
+        from repro.operators.base import _REGISTRY
+
+        class GeoMean(Operator):
+            name = "itest_geomean"
+            arity = 2
+            commutative = True
+            symbol = "geomean"
+
+            def apply(self, state, a, b):
+                return np.sqrt(np.abs(a * b))
+
+        try:
+            register_operator(GeoMean())
+            train, __, __ = load_benchmark("banknote", scale=0.5)
+            cfg = SAFEConfig(operators=("mul", "itest_geomean"), gamma=10)
+            psi = SAFE(cfg).fit(train)
+            assert psi.n_output_features >= 1
+        finally:
+            _REGISTRY.pop("itest_geomean", None)
+
+
+@pytest.mark.slow
+class TestRobustness:
+    def test_safe_tolerates_nan_columns(self, rng):
+        X = rng.normal(size=(800, 5))
+        X[::7, 2] = np.nan
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(float)
+        data = Dataset.from_arrays(X, y)
+        psi = SAFE(SAFEConfig(gamma=15)).fit(data)
+        out = psi.transform(data)
+        assert out.n_rows == 800
+
+    def test_safe_tolerates_constant_columns(self, rng):
+        X = rng.normal(size=(600, 4))
+        X[:, 3] = 1.0
+        y = (X[:, 0] > 0).astype(float)
+        psi = SAFE(SAFEConfig(gamma=15)).fit(Dataset.from_arrays(X, y))
+        assert psi.n_output_features >= 1
+
+    def test_safe_on_heavily_imbalanced_data(self, rng):
+        X = rng.normal(size=(4000, 6))
+        logit = X[:, 0] * X[:, 1] - 3.5  # ~3% positive
+        y = (logit + 0.5 * rng.normal(size=4000) > 0).astype(float)
+        assert 0 < y.mean() < 0.1
+        psi = SAFE(SAFEConfig(gamma=20)).fit(Dataset.from_arrays(X, y))
+        assert psi.n_output_features >= 1
+
+    def test_safe_with_tiny_training_set(self, rng):
+        X = rng.normal(size=(60, 4))
+        y = (X[:, 0] > 0).astype(float)
+        psi = SAFE(SAFEConfig(gamma=5)).fit(Dataset.from_arrays(X, y))
+        assert psi.n_output_features >= 1
+
+    def test_transform_input_wider_than_needed_rejected(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(float)
+        psi = SAFE(SAFEConfig(gamma=5)).fit(Dataset.from_arrays(X, y))
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            psi.transform_matrix(rng.normal(size=(5, 7)))

@@ -1,0 +1,85 @@
+"""Tests for repro.metrics.auc."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import accuracy_score, roc_auc_score, roc_curve
+
+
+class TestRocAucScore:
+    def test_perfect_separation(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_perfectly_wrong(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=20000).astype(float)
+        s = rng.random(20000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_midrank(self):
+        # One pos and one neg share the same score -> that pair counts 1/2.
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=500).astype(float)
+        s = rng.normal(size=500)
+        a = roc_auc_score(y, s)
+        b = roc_auc_score(y, np.exp(s) * 3 + 10)
+        assert a == pytest.approx(b)
+
+    def test_single_class_raises(self):
+        with pytest.raises(DataError):
+            roc_auc_score([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            roc_auc_score([0, 1], [0.5])
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            roc_auc_score([], [])
+
+    def test_matches_trapezoid_integration(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=300).astype(float)
+        s = rng.normal(size=300) + y  # informative scores
+        fpr, tpr, __ = roc_curve(y, s)
+        trapezoid = float(np.trapezoid(tpr, fpr))
+        assert roc_auc_score(y, s) == pytest.approx(trapezoid, abs=1e-9)
+
+
+class TestRocCurve:
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=100).astype(float)
+        s = rng.normal(size=100)
+        fpr, tpr, thr = roc_curve(y, s)
+        assert (np.diff(fpr) >= -1e-12).all()
+        assert (np.diff(tpr) >= -1e-12).all()
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+
+    def test_threshold_starts_at_inf(self):
+        __, __, thr = roc_curve([0, 1], [0.3, 0.7])
+        assert thr[0] == np.inf
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            roc_curve([], [])
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_mismatch_raises(self):
+        with pytest.raises(DataError):
+            accuracy_score([0], [0, 1])

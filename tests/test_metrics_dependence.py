@@ -1,0 +1,88 @@
+"""Tests for distance correlation and related-pair mining."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import distance_correlation, related_pairs
+
+
+class TestDistanceCorrelation:
+    def test_detects_nonlinear_dependence(self, rng):
+        x = rng.normal(size=800)
+        assert distance_correlation(x, x * x) > 0.4
+
+    def test_independent_near_zero(self, rng):
+        x = rng.normal(size=800)
+        z = rng.normal(size=800)
+        assert distance_correlation(x, z) < 0.15
+
+    def test_identity_is_one(self, rng):
+        x = rng.normal(size=300)
+        assert distance_correlation(x, x) == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetric(self, rng):
+        x = rng.normal(size=300)
+        y = x + rng.normal(size=300)
+        assert distance_correlation(x, y) == pytest.approx(
+            distance_correlation(y, x), abs=1e-12
+        )
+
+    def test_bounded(self, rng):
+        for __ in range(5):
+            x = rng.normal(size=100)
+            y = rng.normal(size=100)
+            d = distance_correlation(x, y)
+            assert 0.0 <= d <= 1.0
+
+    def test_subsampling_keeps_decision(self, rng):
+        x = rng.normal(size=5000)
+        y = np.abs(x) + 0.1 * rng.normal(size=5000)
+        full_signal = distance_correlation(x, y, max_samples=256)
+        assert full_signal > 0.3  # relation still detected after subsample
+
+    def test_constant_column_zero(self, rng):
+        x = np.ones(50)
+        y = rng.normal(size=50)
+        assert distance_correlation(x, y) == 0.0
+
+    def test_nan_rows_dropped(self, rng):
+        x = rng.normal(size=100)
+        y = x.copy()
+        x[:10] = np.nan
+        assert distance_correlation(x, y) > 0.95
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataError):
+            distance_correlation([1.0, 2.0], [3.0, 4.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            distance_correlation(np.arange(10.0), np.arange(9.0))
+
+
+class TestRelatedPairs:
+    def test_finds_planted_relation(self, rng):
+        X = rng.normal(size=(600, 4))
+        X[:, 2] = np.sin(2 * X[:, 0]) + 0.1 * rng.normal(size=600)
+        pairs = related_pairs(X, threshold=0.25)
+        assert (0, 2) in [(i, j) for i, j, __ in pairs]
+
+    def test_sorted_by_strength(self, rng):
+        X = rng.normal(size=(500, 3))
+        X[:, 1] = X[:, 0] + 0.05 * rng.normal(size=500)   # strong
+        X[:, 2] = X[:, 0] + 1.0 * rng.normal(size=500)    # weaker
+        pairs = related_pairs(X, threshold=0.1)
+        assert pairs[0][:2] == (0, 1)
+        scores = [s for __, __, s in pairs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_threshold_filters(self, rng):
+        X = rng.normal(size=(400, 3))  # all independent
+        assert related_pairs(X, threshold=0.5) == []
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            related_pairs(np.arange(10.0))

@@ -1,0 +1,97 @@
+"""Tests for repro.metrics.divergence (KLD, JSD, feature stability)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import feature_stability, js_divergence, kl_divergence
+
+
+class TestKLD:
+    def test_identical_is_zero(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        for __ in range(10):
+            p = rng.random(6)
+            q = rng.random(6) + 0.1
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_normalizes_inputs(self):
+        p = np.array([2.0, 2.0])
+        q = np.array([1.0, 1.0])
+        assert kl_divergence(p, q) == pytest.approx(0.0)
+
+    def test_zero_in_p_allowed(self):
+        assert np.isfinite(kl_divergence([0.0, 1.0], [0.5, 0.5]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            kl_divergence([0.5, 0.5], [1.0])
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(DataError):
+            kl_divergence([-0.1, 1.1], [0.5, 0.5])
+
+    def test_zero_total_mass_rejected(self):
+        with pytest.raises(DataError):
+            kl_divergence([0.0, 0.0], [0.5, 0.5])
+
+
+class TestJSD:
+    def test_symmetric(self):
+        p = np.array([0.8, 0.2])
+        q = np.array([0.3, 0.7])
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+
+    def test_bounded_by_ln2(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert js_divergence(p, q) == pytest.approx(np.log(2))
+
+    def test_identical_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert js_divergence(p, p) == pytest.approx(0.0)
+
+
+class TestFeatureStability:
+    def test_perfectly_stable_runs_score_zero(self):
+        runs = [["f1", "f2", "f3"]] * 10
+        assert feature_stability(runs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_runs_score_high(self):
+        runs = [[f"r{t}_f{i}" for i in range(4)] for t in range(10)]
+        unstable = feature_stability(runs)
+        stable = feature_stability([["a", "b", "c", "d"]] * 10)
+        assert unstable > stable + 0.3
+
+    def test_partial_overlap_in_between(self):
+        stable = [["a", "b"]] * 8
+        partial = [["a", f"x{t}"] for t in range(8)]
+        disjoint = [[f"y{t}", f"z{t}"] for t in range(8)]
+        s1 = feature_stability(stable)
+        s2 = feature_stability(partial)
+        s3 = feature_stability(disjoint)
+        assert s1 < s2 < s3
+
+    def test_duplicates_within_run_counted_once(self):
+        a = feature_stability([["f", "f", "g"], ["f", "g"]], n_features_per_run=2)
+        b = feature_stability([["f", "g"], ["f", "g"]], n_features_per_run=2)
+        assert a == pytest.approx(b)
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(DataError):
+            feature_stability([])
+
+    def test_runs_with_no_features_rejected(self):
+        with pytest.raises(DataError):
+            feature_stability([[], []])

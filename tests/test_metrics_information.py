@@ -1,0 +1,230 @@
+"""Tests for repro.metrics.information (IV, Pearson, entropy, gain ratio)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.metrics import (
+    DEFAULT_IV_THRESHOLD,
+    DEFAULT_PEARSON_THRESHOLD,
+    cells_from_split_values,
+    entropy,
+    information_gain,
+    information_gain_ratio,
+    information_value,
+    information_values,
+    iv_predictive_power,
+    partition_entropy,
+    pearson_correlation,
+    pearson_matrix,
+)
+
+
+class TestInformationValue:
+    def test_strong_predictor_has_high_iv(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        y = (x + 0.3 * rng.normal(size=5000) > 0).astype(float)
+        assert information_value(x, y) > 0.5
+
+    def test_noise_has_low_iv(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=5000)
+        y = rng.integers(0, 2, size=5000).astype(float)
+        assert information_value(x, y) < 0.05
+
+    def test_iv_nonnegative_in_practice(self):
+        rng = np.random.default_rng(2)
+        for __ in range(5):
+            x = rng.normal(size=300)
+            y = rng.integers(0, 2, size=300).astype(float)
+            assert information_value(x, y) >= 0.0
+
+    def test_monotone_transform_invariance(self):
+        # Equal-frequency binning is rank-based, so IV is invariant to
+        # strictly monotone transforms.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=2000)
+        y = (x > 0.5).astype(float)
+        a = information_value(x, y, n_bins=8)
+        b = information_value(np.exp(x), y, n_bins=8)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_single_class_raises(self):
+        with pytest.raises(DataError):
+            information_value(np.arange(10.0), np.ones(10))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            information_value(np.arange(5.0), np.zeros(4))
+
+    def test_paper_thresholds(self):
+        assert DEFAULT_IV_THRESHOLD == 0.1
+        assert DEFAULT_PEARSON_THRESHOLD == 0.8
+
+
+class TestIvBands:
+    @pytest.mark.parametrize(
+        "iv,label",
+        [
+            (0.01, "useless"),
+            (0.05, "weak"),
+            (0.2, "medium"),
+            (0.4, "strong"),
+            (0.9, "extremely strong"),
+        ],
+    )
+    def test_table1_bands(self, iv, label):
+        assert iv_predictive_power(iv) == label
+
+    def test_negative_raises(self):
+        with pytest.raises(DataError):
+            iv_predictive_power(-0.1)
+
+
+class TestInformationValues:
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(500, 3))
+        y = (X[:, 0] > 0).astype(float)
+        vec = information_values(X, y)
+        for j in range(3):
+            assert vec[j] == pytest.approx(information_value(X[:, j], y))
+
+    def test_informative_column_ranks_first(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(2000, 3))
+        y = (X[:, 1] > 0).astype(float)
+        vec = information_values(X, y)
+        assert np.argmax(vec) == 1
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_returns_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.normal(size=100), rng.normal(size=100)
+        assert pearson_correlation(a, b) == pytest.approx(pearson_correlation(b, a))
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataError):
+            pearson_correlation([1.0], [2.0])
+
+    def test_matrix_matches_pairwise(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(200, 4))
+        X[:, 3] = X[:, 0] * 2 + 0.01 * rng.normal(size=200)
+        corr = pearson_matrix(X)
+        assert corr.shape == (4, 4)
+        assert np.allclose(np.diag(corr), 1.0)
+        assert corr[0, 3] == pytest.approx(
+            pearson_correlation(X[:, 0], X[:, 3]), abs=1e-9
+        )
+        assert corr[0, 3] > 0.99
+
+    def test_matrix_constant_column_zeroed(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        corr = pearson_matrix(X)
+        assert corr[0, 1] == 0.0
+        assert corr[1, 0] == 0.0
+        assert corr[0, 0] == 1.0
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy(np.zeros(10)) == 0.0
+
+    def test_balanced_binary_is_ln2(self):
+        y = np.array([0, 1] * 50)
+        assert entropy(y) == pytest.approx(np.log(2))
+
+    def test_empty_is_zero(self):
+        assert entropy(np.empty(0)) == 0.0
+
+    def test_uniform_k_classes(self):
+        y = np.repeat(np.arange(4), 25)
+        assert entropy(y) == pytest.approx(np.log(4))
+
+
+class TestPartitionEntropy:
+    def test_perfect_partition_zero(self):
+        y = np.array([0, 0, 1, 1], dtype=float)
+        cells = np.array([0, 0, 1, 1])
+        assert partition_entropy(y, cells) == pytest.approx(0.0)
+
+    def test_useless_partition_keeps_entropy(self):
+        y = np.array([0, 1, 0, 1], dtype=float)
+        cells = np.array([0, 0, 1, 1])
+        assert partition_entropy(y, cells) == pytest.approx(np.log(2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            partition_entropy(np.zeros(3), np.zeros(2))
+
+
+class TestCellsFromSplitValues:
+    def test_single_feature_intervals(self):
+        X = np.array([[0.0], [1.5], [3.0]])
+        cells = cells_from_split_values(X, [0], [np.array([1.0, 2.0])])
+        assert cells.tolist() == [0, 1, 2]
+
+    def test_two_features_cross_product(self):
+        X = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [2.0, 2.0]])
+        cells = cells_from_split_values(
+            X, [0, 1], [np.array([1.0]), np.array([1.0])]
+        )
+        assert len(np.unique(cells)) == 4
+
+    def test_duplicate_split_values_deduped(self):
+        X = np.array([[0.0], [2.0]])
+        a = cells_from_split_values(X, [0], [np.array([1.0, 1.0])])
+        b = cells_from_split_values(X, [0], [np.array([1.0])])
+        assert np.array_equal(a, b)
+
+    def test_mismatched_args_raise(self):
+        with pytest.raises(ConfigurationError):
+            cells_from_split_values(np.ones((2, 2)), [0, 1], [np.array([1.0])])
+
+    def test_empty_features_raise(self):
+        with pytest.raises(ConfigurationError):
+            cells_from_split_values(np.ones((2, 2)), [], [])
+
+
+class TestGainRatio:
+    def test_informative_partition_has_positive_gain(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=1000)
+        y = (x > 0).astype(float)
+        cells = (x > 0).astype(int)
+        assert information_gain(y, cells) > 0.5
+        assert information_gain_ratio(y, cells) > 0.5
+
+    def test_gain_ratio_penalizes_fragmentation(self):
+        # A partition into n singleton cells has gain == entropy but a huge
+        # split info, so the ratio must be well below 1.
+        rng = np.random.default_rng(9)
+        y = rng.integers(0, 2, size=256).astype(float)
+        fragmented = np.arange(256)
+        assert information_gain_ratio(y, fragmented) < 0.2
+
+    def test_trivial_partition_zero_ratio(self):
+        y = np.array([0, 1, 0, 1], dtype=float)
+        assert information_gain_ratio(y, np.zeros(4, dtype=int)) == 0.0
+
+    def test_gain_never_negative(self):
+        rng = np.random.default_rng(10)
+        y = rng.integers(0, 2, size=100).astype(float)
+        cells = rng.integers(0, 5, size=100)
+        assert information_gain(y, cells) >= 0.0

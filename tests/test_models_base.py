@@ -1,0 +1,74 @@
+"""Tests for the shared classifier plumbing in repro.models.base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, NotFittedError
+from repro.models import prepare_features, prepare_training
+from repro.models.base import (
+    Classifier,
+    check_n_features,
+    ensure_fitted,
+    predict_from_proba,
+    proba_from_positive,
+)
+
+
+class TestPrepare:
+    def test_prepare_features_sanitizes(self):
+        X = np.array([[np.nan, 1.0], [np.inf, 2.0]])
+        out = prepare_features(X)
+        assert np.isfinite(out).all()
+
+    def test_prepare_training_validates_labels(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(DataError):
+            prepare_training(X, np.full(10, 2.0))  # non-binary
+
+    def test_prepare_training_requires_two_classes(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(DataError):
+            prepare_training(X, np.zeros(10))
+
+    def test_prepare_training_roundtrip(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = (X[:, 0] > 0).astype(float)
+        X2, y2 = prepare_training(X, y)
+        assert X2.shape == X.shape
+        assert np.array_equal(y2, y)
+
+
+class TestProbaHelpers:
+    def test_proba_from_positive_stacks(self):
+        out = proba_from_positive(np.array([0.2, 0.9]))
+        assert np.allclose(out, [[0.8, 0.2], [0.1, 0.9]])
+
+    def test_proba_clipped(self):
+        out = proba_from_positive(np.array([-0.5, 1.5]))
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_predict_from_proba_threshold(self):
+        proba = np.array([[0.6, 0.4], [0.4, 0.6], [0.5, 0.5]])
+        assert predict_from_proba(proba).tolist() == [0.0, 1.0, 1.0]
+
+
+class TestGuards:
+    def test_check_n_features(self, rng):
+        with pytest.raises(DataError):
+            check_n_features(rng.normal(size=(5, 3)), 4, "M")
+
+    def test_ensure_fitted(self):
+        with pytest.raises(NotFittedError):
+            ensure_fitted(None, "M")
+        ensure_fitted(object(), "M")  # no raise
+
+
+class TestProtocol:
+    def test_all_registry_models_satisfy_protocol(self):
+        from repro.models import available_classifiers, make_classifier
+
+        for name in available_classifiers():
+            assert isinstance(make_classifier(name), Classifier)

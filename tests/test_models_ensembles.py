@@ -1,0 +1,116 @@
+"""Tests for RandomForest, ExtraTrees and AdaBoost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import roc_auc_score
+from repro.models import (
+    AdaBoostClassifier,
+    ExtraTreesClassifier,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture
+def moons_like(rng):
+    X = rng.normal(size=(1000, 5))
+    y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 1.5).astype(float)
+    return X, y
+
+
+class TestRandomForest:
+    def test_beats_chance_on_nonlinear(self, moons_like):
+        X, y = moons_like
+        rf = RandomForestClassifier(n_estimators=15, max_depth=8, random_state=0)
+        rf.fit(X[:700], y[:700])
+        auc = roc_auc_score(y[700:], rf.predict_proba(X[700:])[:, 1])
+        assert auc > 0.85
+
+    def test_deterministic_with_seed(self, moons_like):
+        X, y = moons_like
+        a = RandomForestClassifier(n_estimators=5, random_state=2).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=2).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_n_estimators_validated(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict_proba(np.ones((2, 2)))
+
+    def test_importances_normalized(self, moons_like):
+        X, y = moons_like
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        imp = rf.feature_importances_
+        assert imp.shape == (5,)
+        assert imp.sum() == pytest.approx(1.0)
+        # The two circle-defining features dominate the three noise ones.
+        assert imp[0] + imp[1] > 0.5
+
+    def test_predict_thresholds_proba(self, moons_like):
+        X, y = moons_like
+        rf = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        proba = rf.predict_proba(X[:20])[:, 1]
+        assert np.array_equal(rf.predict(X[:20]), (proba >= 0.5).astype(float))
+
+
+class TestExtraTrees:
+    def test_learns(self, moons_like):
+        X, y = moons_like
+        et = ExtraTreesClassifier(n_estimators=15, max_depth=8, random_state=0)
+        et.fit(X[:700], y[:700])
+        auc = roc_auc_score(y[700:], et.predict_proba(X[700:])[:, 1])
+        assert auc > 0.8
+
+    def test_no_bootstrap_by_default(self):
+        assert ExtraTreesClassifier().bootstrap is False
+        assert ExtraTreesClassifier().splitter == "random"
+
+    def test_differs_from_rf_predictions(self, moons_like):
+        X, y = moons_like
+        rf = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        et = ExtraTreesClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert not np.allclose(rf.predict_proba(X), et.predict_proba(X))
+
+
+class TestAdaBoost:
+    def test_boosting_improves_over_single_stump(self, rng):
+        X = rng.normal(size=(1500, 4))
+        y = ((X[:, 0] + X[:, 1]) > 0).astype(float)  # needs >1 stump
+        one = AdaBoostClassifier(n_estimators=1, random_state=0).fit(X[:1000], y[:1000])
+        many = AdaBoostClassifier(n_estimators=30, random_state=0).fit(X[:1000], y[:1000])
+        auc_one = roc_auc_score(y[1000:], one.predict_proba(X[1000:])[:, 1])
+        auc_many = roc_auc_score(y[1000:], many.predict_proba(X[1000:])[:, 1])
+        assert auc_many > auc_one + 0.02
+
+    def test_proba_range(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = AdaBoostClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert (proba >= 0).all() and (proba <= 1).all()
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_early_stop_on_perfect_stump(self):
+        # A perfectly separable 1-D problem: the weight update degenerates
+        # and the loop must bail out instead of dividing by ~zero.
+        X = np.linspace(-1, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0).astype(float)
+        model = AdaBoostClassifier(n_estimators=50, random_state=0).fit(X, y)
+        assert len(model.estimators_) >= 1
+        assert (model.predict(X) == y).mean() > 0.99
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(ConfigurationError):
+            AdaBoostClassifier(learning_rate=0.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            AdaBoostClassifier().decision_function(np.ones((2, 2)))

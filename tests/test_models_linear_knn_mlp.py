@@ -1,0 +1,163 @@
+"""Tests for LogisticRegression, LinearSVM, kNN and MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.metrics import roc_auc_score
+from repro.models import (
+    KNeighborsClassifier,
+    LinearSVMClassifier,
+    LogisticRegression,
+    MLPClassifier,
+)
+
+
+@pytest.fixture
+def linear_sep(rng):
+    X = rng.normal(size=(1000, 4))
+    logit = 2.0 * X[:, 0] - 1.0 * X[:, 1]
+    y = (logit + 0.3 * rng.normal(size=1000) > 0).astype(float)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_high_auc_on_linear_problem(self, linear_sep):
+        X, y = linear_sep
+        lr = LogisticRegression().fit(X[:700], y[:700])
+        auc = roc_auc_score(y[700:], lr.predict_proba(X[700:])[:, 1])
+        assert auc > 0.93
+
+    def test_coefficients_recover_signs(self, linear_sep):
+        X, y = linear_sep
+        lr = LogisticRegression().fit(X, y)
+        assert lr.coef_[0] > 0
+        assert lr.coef_[1] < 0
+        assert abs(lr.coef_[0]) > abs(lr.coef_[2])
+
+    def test_regularization_shrinks_weights(self, linear_sep):
+        X, y = linear_sep
+        loose = LogisticRegression(C=10.0).fit(X, y)
+        tight = LogisticRegression(C=0.001).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_invalid_c(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(C=0.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().decision_function(np.ones((2, 2)))
+
+    def test_robust_to_extreme_feature_scales(self, linear_sep):
+        X, y = linear_sep
+        X_scaled = X.copy()
+        X_scaled[:, 0] *= 1e8  # internal standardization must cope
+        lr = LogisticRegression().fit(X_scaled, y)
+        auc = roc_auc_score(y, lr.predict_proba(X_scaled)[:, 1])
+        assert auc > 0.9
+
+
+class TestLinearSVM:
+    def test_high_auc_on_linear_problem(self, linear_sep):
+        X, y = linear_sep
+        svm = LinearSVMClassifier().fit(X[:700], y[:700])
+        auc = roc_auc_score(y[700:], svm.predict_proba(X[700:])[:, 1])
+        assert auc > 0.93
+
+    def test_margin_sign_predicts(self, linear_sep):
+        X, y = linear_sep
+        svm = LinearSVMClassifier().fit(X, y)
+        margin = svm.decision_function(X)
+        assert ((margin > 0).astype(float) == svm.predict(X)).all()
+
+    def test_c_controls_fit(self, linear_sep):
+        X, y = linear_sep
+        loose = LinearSVMClassifier(C=10.0).fit(X, y)
+        tight = LinearSVMClassifier(C=1e-4).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_invalid_c(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVMClassifier(C=-1.0)
+
+
+class TestKNN:
+    def test_memorizes_training_points(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(float)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert (knn.predict(X) == y).all()
+
+    def test_k5_on_clusters(self, rng):
+        X0 = rng.normal(loc=-2.0, size=(200, 2))
+        X1 = rng.normal(loc=+2.0, size=(200, 2))
+        X = np.vstack([X0, X1])
+        y = np.r_[np.zeros(200), np.ones(200)]
+        knn = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        test = np.array([[-2.0, -2.0], [2.0, 2.0]])
+        assert knn.predict(test).tolist() == [0.0, 1.0]
+
+    def test_distance_weighting(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(float)
+        knn = KNeighborsClassifier(n_neighbors=5, weights="distance").fit(X, y)
+        proba = knn.predict_proba(X)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_chunking_consistent(self, rng):
+        X = rng.normal(size=(500, 3))
+        y = (X[:, 1] > 0).astype(float)
+        small = KNeighborsClassifier(n_neighbors=3, chunk_size=7).fit(X, y)
+        big = KNeighborsClassifier(n_neighbors=3, chunk_size=512).fit(X, y)
+        assert np.allclose(small.predict_proba(X), big.predict_proba(X))
+
+    def test_k_larger_than_train_clamped(self, rng):
+        X = rng.normal(size=(6, 2))
+        y = np.array([0, 0, 0, 1, 1, 1.0])
+        knn = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        proba = knn.predict_proba(X)[:, 1]
+        assert np.allclose(proba, 0.5)  # all points vote
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            KNeighborsClassifier(n_neighbors=0)
+        with pytest.raises(ConfigurationError):
+            KNeighborsClassifier(weights="cosine")
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(np.ones((2, 2)))
+
+
+class TestMLP:
+    def test_learns_nonlinear_boundary(self, rng):
+        X = rng.normal(size=(2000, 4))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(float)  # XOR-ish
+        mlp = MLPClassifier(max_epochs=40, random_state=0).fit(X[:1500], y[:1500])
+        auc = roc_auc_score(y[1500:], mlp.predict_proba(X[1500:])[:, 1])
+        assert auc > 0.85
+
+    def test_deterministic_with_seed(self, linear_sep):
+        X, y = linear_sep
+        a = MLPClassifier(max_epochs=3, random_state=5).fit(X, y)
+        b = MLPClassifier(max_epochs=3, random_state=5).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(hidden_size=0)
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(max_epochs=0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().predict(np.ones((2, 2)))
+
+    def test_width_mismatch(self, linear_sep):
+        X, y = linear_sep
+        mlp = MLPClassifier(max_epochs=2, random_state=0).fit(X, y)
+        with pytest.raises(DataError):
+            mlp.predict(X[:, :2])

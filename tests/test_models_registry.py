@@ -1,0 +1,67 @@
+"""Tests for the classifier registry (Table III's nine CLF names)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics import roc_auc_score
+from repro.models import (
+    PAPER_CLASSIFIERS,
+    available_classifiers,
+    make_classifier,
+)
+
+
+class TestRegistry:
+    def test_paper_lists_nine(self):
+        assert len(PAPER_CLASSIFIERS) == 9
+        assert available_classifiers() == list(PAPER_CLASSIFIERS)
+
+    def test_all_names_construct(self):
+        for name in PAPER_CLASSIFIERS:
+            assert make_classifier(name) is not None
+
+    def test_long_names_and_case(self):
+        assert type(make_classifier("ADABOOST")).__name__ == "AdaBoostClassifier"
+        assert type(make_classifier("random_forest")).__name__ == "RandomForestClassifier"
+        assert type(make_classifier("XGBoost")).__name__ == "XGBClassifier"
+
+    def test_kwargs_forwarded(self):
+        clf = make_classifier("rf", n_estimators=3)
+        assert clf.n_estimators == 3
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_classifier("catboost")
+
+    def test_fresh_instance_each_call(self):
+        assert make_classifier("lr") is not make_classifier("lr")
+
+
+@pytest.mark.slow
+class TestAllClassifiersEndToEnd:
+    """Every registry entry must fit/predict and beat chance on easy data."""
+
+    @pytest.mark.parametrize("name", PAPER_CLASSIFIERS)
+    def test_fit_predict_auc(self, name, rng):
+        X = rng.normal(size=(600, 5))
+        y = ((X[:, 0] + X[:, 1]) > 0).astype(float)
+        kwargs = {}
+        if name in ("rf", "et"):
+            kwargs = {"n_estimators": 8, "max_depth": 6}
+        elif name == "ab":
+            kwargs = {"n_estimators": 10}
+        elif name == "xgb":
+            kwargs = {"n_estimators": 10}
+        elif name == "mlp":
+            kwargs = {"max_epochs": 10}
+        clf = make_classifier(name, **kwargs)
+        clf.fit(X[:400], y[:400])
+        proba = clf.predict_proba(X[400:])
+        assert proba.shape == (200, 2)
+        auc = roc_auc_score(y[400:], proba[:, 1])
+        assert auc > 0.75, f"{name} AUC {auc:.3f} too low"
+        preds = clf.predict(X[400:])
+        assert set(np.unique(preds)) <= {0.0, 1.0}

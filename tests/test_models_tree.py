@@ -1,0 +1,154 @@
+"""Tests for the classification tree (DT and the forests' base learner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.metrics import roc_auc_score
+from repro.models import ClassificationTree, DecisionTreeClassifier
+
+
+class TestFit:
+    def test_axis_aligned_boundary(self, rng):
+        X = rng.normal(size=(500, 3))
+        y = (X[:, 1] > 0.3).astype(float)
+        tree = ClassificationTree(max_depth=2).fit(X, y)
+        pred = tree.predict(X)
+        assert (pred == y).mean() > 0.95
+
+    def test_entropy_criterion(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(float)
+        tree = ClassificationTree(criterion="entropy", max_depth=3).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.9
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ConfigurationError):
+            ClassificationTree(criterion="mse")
+
+    def test_unknown_splitter(self):
+        with pytest.raises(ConfigurationError):
+            ClassificationTree(splitter="bogus")
+
+    def test_single_class_rejected(self, rng):
+        X = rng.normal(size=(20, 2))
+        with pytest.raises(DataError):
+            ClassificationTree().fit(X, np.ones(20))
+
+    def test_max_depth_one_is_stump(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 0] > 0).astype(float)
+        tree = ClassificationTree(max_depth=1).fit(X, y)
+        assert tree.n_leaves == 2
+
+    def test_min_samples_leaf_bounds_leaves(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + 0.5 * rng.normal(size=200) > 0).astype(float)
+        tree = ClassificationTree(min_samples_leaf=50).fit(X, y)
+        assert tree.n_leaves <= 4
+
+    def test_unbounded_depth_fits_training_set(self, rng):
+        X = rng.normal(size=(300, 5))
+        y = (rng.random(300) < 0.5).astype(float)
+        tree = DecisionTreeClassifier().fit(X, y)  # default: no depth cap
+        # Random labels on continuous features: deep tree should fit well.
+        assert (tree.predict(X) == y).mean() > 0.9
+
+
+class TestSampleWeights:
+    def test_weights_shift_the_boundary(self, rng):
+        X = np.linspace(-1, 1, 200).reshape(-1, 1)
+        y = (X[:, 0] > 0).astype(float)
+        # Weight the positive class heavily: the root proba of a stump's
+        # positive leaf stays 1, but weighted fit must still split at 0.
+        w = np.where(y == 1, 10.0, 1.0)
+        tree = ClassificationTree(max_depth=1).fit(X, y, sample_weight=w)
+        proba = tree.predict_proba(np.array([[0.5], [-0.5]]))[:, 1]
+        assert proba[0] > 0.9
+        assert proba[1] < 0.5
+
+    def test_zero_weight_rows_ignored(self, rng):
+        X = rng.normal(size=(300, 1))
+        y_true = (X[:, 0] > 0).astype(float)
+        y = y_true.copy()
+        # Corrupt half the labels but give corrupted rows zero weight.
+        corrupt = rng.random(300) < 0.5
+        y[corrupt] = 1 - y[corrupt]
+        w = np.where(corrupt, 0.0, 1.0)
+        tree = ClassificationTree(max_depth=2).fit(X, y, sample_weight=w)
+        pred = tree.predict(X)
+        assert (pred == y_true).mean() > 0.9
+
+    def test_weight_length_checked(self, rng):
+        X = rng.normal(size=(10, 1))
+        y = (X[:, 0] > 0).astype(float)
+        with pytest.raises(ConfigurationError):
+            ClassificationTree().fit(X, y, sample_weight=np.ones(5))
+
+
+class TestRandomSplitter:
+    def test_still_learns(self, rng):
+        X = rng.normal(size=(800, 3))
+        y = (X[:, 2] > 0).astype(float)
+        tree = ClassificationTree(splitter="random", max_depth=6, random_state=0).fit(X, y)
+        auc = roc_auc_score(y, tree.predict_proba(X)[:, 1])
+        assert auc > 0.85
+
+    def test_seed_controls_structure(self, rng):
+        X = rng.normal(size=(400, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        t1 = ClassificationTree(splitter="random", random_state=1, max_depth=4).fit(X, y)
+        t2 = ClassificationTree(splitter="random", random_state=1, max_depth=4).fit(X, y)
+        assert np.array_equal(t1.feature_, t2.feature_)
+
+
+class TestMaxFeatures:
+    @pytest.mark.parametrize("mf,expected", [("sqrt", 4), ("log2", 4), (5, 5), (0.5, 8), (None, 16)])
+    def test_resolution(self, mf, expected):
+        from repro.models.tree import _resolve_max_features
+
+        assert _resolve_max_features(mf, 16) == expected
+
+    def test_invalid_string(self):
+        from repro.models.tree import _resolve_max_features
+
+        with pytest.raises(ConfigurationError):
+            _resolve_max_features("cube", 10)
+
+    def test_invalid_fraction(self):
+        from repro.models.tree import _resolve_max_features
+
+        with pytest.raises(ConfigurationError):
+            _resolve_max_features(1.5, 10)
+
+
+class TestPredict:
+    def test_proba_in_range(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(float)
+        tree = ClassificationTree(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (200, 2)
+        assert (proba >= 0).all() and (proba <= 1).all()
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            ClassificationTree().predict(np.ones((2, 2)))
+
+    def test_width_mismatch(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(float)
+        tree = ClassificationTree(max_depth=2).fit(X, y)
+        with pytest.raises(DataError):
+            tree.predict(X[:, :2])
+
+    def test_importances_sum_to_one(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 0] - X[:, 2] > 0).astype(float)
+        tree = ClassificationTree(max_depth=4).fit(X, y)
+        imp = tree.feature_importances_
+        assert imp.sum() == pytest.approx(1.0)
+        assert imp[1] <= max(imp[0], imp[2])

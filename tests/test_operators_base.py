@@ -1,0 +1,126 @@
+"""Tests for the operator registry and base contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OperatorError
+from repro.operators import (
+    PAPER_OPERATOR_SET,
+    Operator,
+    available_operators,
+    get_operator,
+    register_operator,
+    resolve_operators,
+)
+
+
+class TestRegistry:
+    def test_paper_set_registered(self):
+        for name in PAPER_OPERATOR_SET:
+            assert get_operator(name).arity == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(OperatorError):
+            get_operator("warp_drive")
+
+    def test_available_by_arity(self):
+        unary = available_operators(arity=1)
+        assert "log" in unary
+        assert "add" not in unary
+        binary = available_operators(arity=2)
+        assert set(PAPER_OPERATOR_SET) <= set(binary)
+
+    def test_resolve_multiple(self):
+        ops = resolve_operators(("add", "mul"))
+        assert [o.name for o in ops] == ["add", "mul"]
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Operator):
+            name = "add"
+            arity = 2
+
+            def apply(self, state, a, b):
+                return a + b
+
+        with pytest.raises(OperatorError):
+            register_operator(Dup())
+
+    def test_overwrite_flag_allows_replacement(self):
+        original = get_operator("add")
+
+        class Same(Operator):
+            name = "add"
+            arity = 2
+            commutative = True
+            symbol = "+"
+
+            def apply(self, state, a, b):
+                return a + b
+
+        try:
+            replaced = register_operator(Same(), overwrite=True)
+            assert get_operator("add") is replaced
+        finally:
+            register_operator(original, overwrite=True)
+
+    def test_empty_name_rejected(self):
+        class NoName(Operator):
+            name = ""
+            arity = 1
+
+            def apply(self, state, x):
+                return x
+
+        with pytest.raises(OperatorError):
+            register_operator(NoName())
+
+    def test_bad_arity_rejected(self):
+        class BadArity(Operator):
+            name = "bad_arity_op"
+            arity = 0
+
+            def apply(self, state):
+                return None
+
+        with pytest.raises(OperatorError):
+            register_operator(BadArity())
+
+
+class TestUserExtension:
+    def test_custom_operator_usable_end_to_end(self):
+        class Hypot(Operator):
+            name = "test_hypot"
+            arity = 2
+            commutative = True
+            symbol = "hypot"
+
+            def apply(self, state, a, b):
+                return np.hypot(a, b)
+
+        try:
+            register_operator(Hypot())
+            op = get_operator("test_hypot")
+            out = op.apply(None, np.array([3.0]), np.array([4.0]))
+            assert out[0] == pytest.approx(5.0)
+            assert op.format("a", "b") == "hypot(a, b)"
+        finally:
+            # Leave the global registry clean for other tests.
+            from repro.operators.base import _REGISTRY
+
+            _REGISTRY.pop("test_hypot", None)
+
+
+class TestFormat:
+    def test_infix_for_arithmetic(self):
+        assert get_operator("add").format("u", "v") == "(u + v)"
+        assert get_operator("div").format("u", "v") == "(u / v)"
+
+    def test_function_style_for_named_ops(self):
+        assert get_operator("groupby_avg").format("k", "v") == "groupby_avg(k, v)"
+        assert get_operator("log").format("u") == "log(u)"
+
+    def test_check_arity(self):
+        with pytest.raises(OperatorError):
+            get_operator("add").check_arity(3)

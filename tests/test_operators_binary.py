@@ -1,0 +1,126 @@
+"""Tests for binary operators (arithmetic, logical, GroupByThen*)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators import get_operator
+
+
+def apply2(name: str, a, b, fit_a=None, fit_b=None):
+    op = get_operator(name)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    state = op.fit(
+        np.asarray(fit_a, dtype=np.float64) if fit_a is not None else a,
+        np.asarray(fit_b, dtype=np.float64) if fit_b is not None else b,
+    )
+    return op.apply(state, a, b)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert apply2("add", [1.0], [2.0])[0] == 3.0
+
+    def test_sub_not_commutative_flag(self):
+        assert get_operator("sub").commutative is False
+        assert get_operator("add").commutative is True
+        assert get_operator("mul").commutative is True
+        assert get_operator("div").commutative is False
+
+    def test_mul(self):
+        assert apply2("mul", [3.0], [-2.0])[0] == -6.0
+
+    def test_div_protected_on_zero(self):
+        out = apply2("div", [1.0, 4.0], [0.0, 2.0])
+        assert out.tolist() == [0.0, 2.0]
+
+    def test_div_exact(self):
+        assert apply2("div", [7.0], [2.0])[0] == 3.5
+
+
+class TestLogical:
+    truth = [
+        # p, q
+        (0.0, 0.0),
+        (0.0, 1.0),
+        (1.0, 0.0),
+        (1.0, 1.0),
+    ]
+
+    def _col(self, k):
+        return np.array([t[k] for t in self.truth])
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("and", [0, 0, 0, 1]),
+            ("or", [0, 1, 1, 1]),
+            ("nand", [1, 1, 1, 0]),
+            ("nor", [1, 0, 0, 0]),
+            ("implies", [1, 1, 0, 1]),
+            ("converse", [1, 0, 1, 1]),
+            ("iff", [1, 0, 0, 1]),
+            ("xor", [0, 1, 1, 0]),
+        ],
+    )
+    def test_truth_tables(self, name, expected):
+        out = apply2(name, self._col(0), self._col(1))
+        assert out.tolist() == [float(v) for v in expected]
+
+    def test_nonzero_is_true(self):
+        out = apply2("and", [2.5, 0.0], [-1.0, 3.0])
+        assert out.tolist() == [1.0, 0.0]
+
+
+class TestGroupByThen:
+    def test_avg_matches_group_means(self):
+        key = np.array([0.0] * 50 + [10.0] * 50)
+        value = np.array([1.0] * 50 + [3.0] * 50)
+        out = apply2("groupby_avg", key, value)
+        assert np.allclose(out[:50], 1.0)
+        assert np.allclose(out[50:], 3.0)
+
+    def test_max_min(self):
+        key = np.array([0.0] * 3 + [10.0] * 3)
+        value = np.array([1.0, 2.0, 3.0, 7.0, 8.0, 9.0])
+        assert np.allclose(apply2("groupby_max", key, value)[:3], 3.0)
+        assert np.allclose(apply2("groupby_min", key, value)[3:], 7.0)
+
+    def test_count(self):
+        key = np.array([0.0] * 4 + [10.0] * 2)
+        value = np.zeros(6)
+        out = apply2("groupby_count", key, value)
+        assert out.tolist() == [4.0] * 4 + [2.0] * 2
+
+    def test_std(self):
+        key = np.zeros(4)
+        value = np.array([0.0, 0.0, 2.0, 2.0])
+        out = apply2("groupby_std", key, value)
+        assert np.allclose(out, 1.0)
+
+    def test_unseen_group_uses_fallback(self):
+        op = get_operator("groupby_avg")
+        key = np.array([0.0] * 50 + [10.0] * 50)
+        value = np.array([1.0] * 50 + [3.0] * 50)
+        state = op.fit(key, value)
+        # NaN key at serving time maps to the missing-bin code -> fallback.
+        out = op.apply(state, np.array([np.nan]), np.array([0.0]))
+        assert out[0] == pytest.approx(2.0)  # global mean
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        op = get_operator("groupby_avg")
+        state = op.fit(np.arange(100.0), np.arange(100.0))
+        payload = json.dumps(state)
+        assert "groups" in json.loads(payload)
+
+    def test_serving_single_row(self):
+        op = get_operator("groupby_avg")
+        key = np.array([0.0] * 50 + [10.0] * 50)
+        value = np.array([1.0] * 50 + [3.0] * 50)
+        state = op.fit(key, value)
+        out = op.apply(state, np.array([10.0]), np.array([99.0]))
+        assert out[0] == pytest.approx(3.0)

@@ -1,0 +1,81 @@
+"""Catalogue-wide operator contract sweep.
+
+Every registered operator — present and future — must satisfy the same
+contract: fit on training columns, apply to fresh columns of any length,
+produce finite-or-nan float output of the right shape, and carry only
+JSON-serializable state. This sweep is what makes the registry safely
+extensible (the §III "new operators should be easily added" requirement).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.operators import available_operators, get_operator
+
+#: Operators whose output may legitimately contain non-finite values on
+#: arbitrary real input (none currently — all are protected).
+ALLOW_NONFINITE: frozenset = frozenset()
+
+
+@pytest.fixture(scope="module")
+def train_columns():
+    rng = np.random.default_rng(77)
+    return [rng.normal(size=300) for __ in range(4)]
+
+
+@pytest.fixture(scope="module")
+def serve_columns():
+    rng = np.random.default_rng(78)
+    return [rng.normal(size=7) for __ in range(4)]
+
+
+@pytest.mark.parametrize("name", available_operators())
+class TestOperatorContract:
+    def test_fit_apply_shape_and_dtype(self, name, train_columns, serve_columns):
+        op = get_operator(name)
+        train_args = train_columns[: op.arity]
+        serve_args = serve_columns[: op.arity]
+        state = op.fit(*train_args)
+        out = np.asarray(op.apply(state, *serve_args), dtype=np.float64)
+        assert out.shape == (7,), f"{name} returned shape {out.shape}"
+
+    def test_output_finite_on_gaussian_input(self, name, train_columns):
+        op = get_operator(name)
+        args = train_columns[: op.arity]
+        state = op.fit(*args)
+        out = np.asarray(op.apply(state, *args), dtype=np.float64)
+        if name not in ALLOW_NONFINITE:
+            assert np.isfinite(out).all(), f"{name} produced non-finite values"
+
+    def test_state_json_serializable(self, name, train_columns):
+        op = get_operator(name)
+        state = op.fit(*train_columns[: op.arity])
+        json.dumps(state)  # must not raise
+
+    def test_apply_deterministic(self, name, train_columns):
+        op = get_operator(name)
+        args = train_columns[: op.arity]
+        state = op.fit(*args)
+        a = np.asarray(op.apply(state, *args))
+        b = np.asarray(op.apply(state, *args))
+        assert np.array_equal(a, b, equal_nan=True)
+
+    def test_format_produces_string(self, name):
+        op = get_operator(name)
+        rendered = op.format(*[f"c{i}" for i in range(op.arity)])
+        assert isinstance(rendered, str) and rendered
+        assert "c0" in rendered
+
+    def test_commutative_ops_are_order_invariant(self, name, train_columns):
+        op = get_operator(name)
+        if not op.commutative or op.arity != 2:
+            pytest.skip("non-commutative or non-binary")
+        a, b = train_columns[:2]
+        state = op.fit(a, b)
+        x = np.asarray(op.apply(state, a, b))
+        y = np.asarray(op.apply(state, b, a))
+        assert np.allclose(x, y, equal_nan=True), f"{name} claims commutativity"

@@ -1,0 +1,82 @@
+"""Tests for domain-specific (time-series) operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators import get_operator
+
+
+def apply1(name, x, fit_on=None):
+    op = get_operator(name)
+    arr = np.asarray(x, dtype=np.float64)
+    state = op.fit(np.asarray(fit_on, dtype=np.float64) if fit_on is not None else arr)
+    return op.apply(state, arr)
+
+
+class TestLag:
+    def test_lag1_shifts(self):
+        out = apply1("lag1", [1.0, 2.0, 3.0])
+        assert out[1] == 1.0 and out[2] == 2.0
+
+    def test_lag1_pads_with_training_mean(self):
+        out = apply1("lag1", [10.0, 20.0, 30.0])
+        assert out[0] == pytest.approx(20.0)  # mean of the column
+
+    def test_lag2(self):
+        out = apply1("lag2", [1.0, 2.0, 3.0, 4.0])
+        assert out[2] == 1.0 and out[3] == 2.0
+
+    def test_lag_on_short_series(self):
+        out = apply1("lag2", [5.0])
+        assert out.shape == (1,)
+
+
+class TestDiff:
+    def test_first_difference(self):
+        out = apply1("diff1", [1.0, 4.0, 9.0])
+        assert out[1] == 3.0 and out[2] == 5.0
+
+    def test_constant_series_diffs_to_zero(self):
+        out = apply1("diff1", [2.0, 2.0, 2.0])
+        assert np.allclose(out[1:], 0.0)
+        assert out[0] == pytest.approx(0.0)  # 2 - mean(2)
+
+
+class TestRolling:
+    def test_rolling_mean_converges_on_constant(self):
+        out = apply1("rolling_mean5", [3.0] * 10)
+        assert np.allclose(out, 3.0)
+
+    def test_rolling_mean_trailing_window(self):
+        x = np.arange(10.0)
+        out = apply1("rolling_mean5", x)
+        # Row 9 averages rows 5..9.
+        assert out[9] == pytest.approx(np.mean(x[5:10]))
+
+    def test_rolling_std_zero_on_constant(self):
+        out = apply1("rolling_std5", [4.0] * 8)
+        assert np.allclose(out, 0.0)
+
+    def test_rolling_std_positive_on_varying(self):
+        out = apply1("rolling_std5", np.arange(20.0))
+        assert out[-1] > 0
+
+
+class TestEwm:
+    def test_tracks_level_shift(self):
+        x = np.r_[np.zeros(20), np.ones(20)]
+        out = apply1("ewm", x)
+        assert out[19] < 0.2
+        assert out[-1] > 0.8
+
+    def test_smoother_than_input(self, rng):
+        x = rng.normal(size=200)
+        out = apply1("ewm", x)
+        assert np.std(np.diff(out)) < np.std(np.diff(x))
+
+    def test_nan_rows_hold_level(self):
+        out = apply1("ewm", [1.0, np.nan, np.nan], fit_on=[1.0, 1.0])
+        assert out[1] == out[0]
+        assert np.isfinite(out).all()

@@ -1,0 +1,140 @@
+"""Tests for expression trees (the Ψ representation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OperatorError, SchemaError
+from repro.operators import (
+    Applied,
+    Var,
+    evaluate_expressions,
+    expression_from_dict,
+    expression_from_json,
+    fit_applied,
+)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.normal(size=(50, 4))
+
+
+class TestVar:
+    def test_evaluate_picks_column(self, X):
+        assert np.array_equal(Var(2).evaluate(X), X[:, 2])
+
+    def test_single_row_input(self, X):
+        out = Var(1).evaluate(X[0])
+        assert out.shape == (1,)
+        assert out[0] == X[0, 1]
+
+    def test_out_of_range_raises(self, X):
+        with pytest.raises(SchemaError):
+            Var(10).evaluate(X)
+
+    def test_names(self):
+        assert Var(0).name(("amount", "count")) == "amount"
+        assert Var(1).name(None) == "x1"
+
+    def test_metadata(self):
+        v = Var(3)
+        assert v.depth() == 0
+        assert v.original_indices() == frozenset({3})
+        assert v.key == "x3"
+
+
+class TestApplied:
+    def test_evaluate_matches_numpy(self, X):
+        expr = Applied("add", (Var(0), Var(1)))
+        assert np.allclose(expr.evaluate(X), X[:, 0] + X[:, 1])
+
+    def test_nested_composition(self, X):
+        inner = Applied("mul", (Var(0), Var(1)))
+        outer = Applied("sub", (inner, Var(2)))
+        assert np.allclose(outer.evaluate(X), X[:, 0] * X[:, 1] - X[:, 2])
+        assert outer.depth() == 2
+        assert outer.original_indices() == frozenset({0, 1, 2})
+
+    def test_arity_checked_at_construction(self):
+        with pytest.raises(OperatorError):
+            Applied("add", (Var(0),))
+
+    def test_name_rendering(self):
+        expr = Applied("div", (Var(0), Applied("log", (Var(1),))))
+        assert expr.name(("a", "b")) == "(a / log(b))"
+        assert expr.key == "(x0 / log(x1))"
+
+
+class TestEquality:
+    def test_structural_equality_via_key(self):
+        a = Applied("add", (Var(0), Var(1)))
+        b = Applied("add", (Var(0), Var(1)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_expressions_differ(self):
+        assert Applied("add", (Var(0), Var(1))) != Applied("mul", (Var(0), Var(1)))
+
+    def test_usable_in_sets(self):
+        s = {Applied("add", (Var(0), Var(1))), Applied("add", (Var(0), Var(1)))}
+        assert len(s) == 1
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, X):
+        expr = Applied("div", (Applied("sqrt", (Var(3),)), Var(0)))
+        back = expression_from_dict(expr.to_dict())
+        assert back == expr
+        assert np.allclose(back.evaluate(X), expr.evaluate(X))
+
+    def test_json_roundtrip_with_state(self, X):
+        expr = fit_applied("zscore", (Var(2),), X)
+        back = expression_from_json(expr.to_json())
+        assert np.allclose(back.evaluate(X), expr.evaluate(X))
+
+    def test_groupby_state_roundtrip(self, X):
+        expr = fit_applied("groupby_avg", (Var(0), Var(1)), X)
+        back = expression_from_json(expr.to_json())
+        fresh = np.random.default_rng(9).normal(size=(10, 4))
+        assert np.allclose(back.evaluate(fresh), expr.evaluate(fresh))
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(OperatorError):
+            expression_from_dict({"type": "mystery"})
+
+
+class TestFitApplied:
+    def test_stateful_operator_learns_from_training_data(self, X):
+        expr = fit_applied("minmax", (Var(0),), X)
+        out = expr.evaluate(X)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_state_fixed_after_fit(self, X):
+        expr = fit_applied("minmax", (Var(0),), X)
+        shifted = X + 100.0
+        out = expr.evaluate(shifted)
+        assert out.min() > 1.0  # uses training min/range, not refit
+
+    def test_accepts_operator_instance(self, X):
+        from repro.operators import get_operator
+
+        expr = fit_applied(get_operator("add"), (Var(0), Var(1)), X)
+        assert expr.op_name == "add"
+
+
+class TestEvaluateExpressions:
+    def test_block_shape(self, X):
+        exprs = [Var(0), Applied("add", (Var(0), Var(1)))]
+        block = evaluate_expressions(exprs, X)
+        assert block.shape == (50, 2)
+
+    def test_empty_list(self, X):
+        block = evaluate_expressions([], X)
+        assert block.shape == (50, 0)
+
+    def test_single_row(self, X):
+        block = evaluate_expressions([Var(0), Var(3)], X[0])
+        assert block.shape == (1, 2)

@@ -1,0 +1,112 @@
+"""Tests for the learned (ridge / kernel ridge) operators of §III."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.operators import expression_from_json, fit_applied, get_operator, Var
+
+
+@pytest.fixture
+def linear_pair(rng):
+    a = rng.normal(size=800)
+    b = 2.0 * a + 1.0 + 0.1 * rng.normal(size=800)
+    return a, b
+
+
+@pytest.fixture
+def nonlinear_pair(rng):
+    a = rng.normal(size=800)
+    b = np.sin(2.0 * a) + 0.1 * rng.normal(size=800)
+    return a, b
+
+
+class TestRidge:
+    def test_prediction_tracks_linear_relation(self, linear_pair):
+        a, b = linear_pair
+        op = get_operator("ridge")
+        state = op.fit(a, b)
+        pred = op.apply(state, a, b)
+        corr = np.corrcoef(pred, b)[0, 1]
+        assert corr > 0.95
+
+    def test_residual_removes_linear_part(self, linear_pair):
+        a, b = linear_pair
+        op = get_operator("ridge_residual")
+        state = op.fit(a, b)
+        resid = op.apply(state, a, b)
+        assert abs(np.corrcoef(resid, a)[0, 1]) < 0.15
+        assert resid.std() < b.std()
+
+    def test_state_is_scalars(self, linear_pair):
+        a, b = linear_pair
+        state = get_operator("ridge").fit(a, b)
+        json.dumps(state)
+        assert set(state) == {"slope", "intercept", "a_mean", "a_std"}
+
+    def test_degenerate_input_safe(self):
+        op = get_operator("ridge")
+        state = op.fit(np.array([np.nan, np.nan]), np.array([1.0, 2.0]))
+        out = op.apply(state, np.array([1.0]), np.array([2.0]))
+        assert np.isfinite(out).all()
+
+    def test_serving_with_none_state(self):
+        op = get_operator("ridge")
+        out = op.apply(None, np.array([1.0]), np.array([2.0]))
+        assert np.isfinite(out).all()
+
+
+class TestKernelRidge:
+    def test_captures_nonlinear_relation(self, nonlinear_pair):
+        a, b = nonlinear_pair
+        op = get_operator("kernel_ridge")
+        state = op.fit(a, b)
+        pred = op.apply(state, a, b)
+        corr = np.corrcoef(pred, b)[0, 1]
+        assert corr > 0.8, "kernel ridge should track sin(2a)"
+
+    def test_beats_linear_ridge_on_nonlinear_data(self, nonlinear_pair):
+        a, b = nonlinear_pair
+        kr = get_operator("kernel_ridge")
+        lr = get_operator("ridge")
+        kr_pred = kr.apply(kr.fit(a, b), a, b)
+        lr_pred = lr.apply(lr.fit(a, b), a, b)
+        kr_err = np.mean((kr_pred - b) ** 2)
+        lr_err = np.mean((lr_pred - b) ** 2)
+        assert kr_err < lr_err
+
+    def test_residual_shrinks_variance(self, nonlinear_pair):
+        a, b = nonlinear_pair
+        op = get_operator("kernel_ridge_residual")
+        resid = op.apply(op.fit(a, b), a, b)
+        assert resid.std() < b.std()
+
+    def test_state_serializable_and_portable(self, nonlinear_pair, rng):
+        a, b = nonlinear_pair
+        X = np.column_stack([a, b])
+        expr = fit_applied("kernel_ridge", (Var(0), Var(1)), X)
+        back = expression_from_json(expr.to_json())
+        fresh = rng.normal(size=(20, 2))
+        assert np.allclose(back.evaluate(fresh), expr.evaluate(fresh))
+
+    def test_tiny_input_falls_back(self):
+        op = get_operator("kernel_ridge")
+        state = op.fit(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        out = op.apply(state, np.array([1.5]), np.array([0.0]))
+        assert np.isfinite(out).all()
+
+    def test_nan_keys_served_safely(self, nonlinear_pair):
+        a, b = nonlinear_pair
+        op = get_operator("kernel_ridge")
+        state = op.fit(a, b)
+        out = op.apply(state, np.array([np.nan]), np.array([0.0]))
+        assert np.isfinite(out).all()
+
+    def test_anchor_count_bounded(self, rng):
+        a = rng.normal(size=5000)
+        b = a**2
+        state = get_operator("kernel_ridge").fit(a, b)
+        assert len(state["anchors"]) <= 64

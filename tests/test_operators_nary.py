@@ -1,0 +1,49 @@
+"""Tests for ternary and n-ary operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators import get_operator
+
+
+class TestConditional:
+    def test_selects_by_condition(self):
+        op = get_operator("cond")
+        a = np.array([1.0, 0.0, 2.0])
+        b = np.array([10.0, 10.0, 10.0])
+        c = np.array([-1.0, -1.0, -1.0])
+        out = op.apply(None, a, b, c)
+        assert out.tolist() == [10.0, -1.0, 10.0]
+
+    def test_format(self):
+        assert get_operator("cond").format("a", "b", "c") == "(a ? b : c)"
+
+
+class TestNaryReduce:
+    def test_max3(self):
+        op = get_operator("max3")
+        out = op.apply(None, np.array([1.0]), np.array([5.0]), np.array([3.0]))
+        assert out[0] == 5.0
+
+    def test_min3(self):
+        op = get_operator("min3")
+        out = op.apply(None, np.array([1.0]), np.array([5.0]), np.array([3.0]))
+        assert out[0] == 1.0
+
+    def test_mean4(self):
+        op = get_operator("mean4")
+        cols = [np.array([v]) for v in (1.0, 2.0, 3.0, 6.0)]
+        assert op.apply(None, *cols)[0] == 3.0
+
+    def test_different_arities_are_distinct_operators(self):
+        # The paper: "we divide them into different categories when they
+        # accept a different number of inputs".
+        assert get_operator("max3").arity == 3
+        assert get_operator("max4").arity == 4
+        assert get_operator("max3") is not get_operator("max4")
+
+    def test_commutative(self):
+        op = get_operator("mean3")
+        a, b, c = (np.array([x]) for x in (1.0, 2.0, 4.0))
+        assert op.apply(None, a, b, c)[0] == op.apply(None, c, a, b)[0]

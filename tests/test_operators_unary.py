@@ -1,0 +1,115 @@
+"""Tests for unary operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators import get_operator
+
+
+def apply(name: str, x, fit_on=None):
+    op = get_operator(name)
+    arr = np.asarray(x, dtype=np.float64)
+    state = op.fit(np.asarray(fit_on, dtype=np.float64) if fit_on is not None else arr)
+    return op.apply(state, arr)
+
+
+class TestMathTransforms:
+    def test_log_signed_and_finite_everywhere(self):
+        out = apply("log", [-np.e + 1 - 1e-12, 0.0, np.e - 1])
+        assert out[1] == 0.0
+        assert out[0] == pytest.approx(-1.0, rel=1e-6)
+        assert out[2] == pytest.approx(1.0, rel=1e-6)
+
+    def test_log_monotone(self):
+        x = np.linspace(-10, 10, 101)
+        out = apply("log", x)
+        assert (np.diff(out) > 0).all()
+
+    def test_sqrt_signed(self):
+        out = apply("sqrt", [-4.0, 0.0, 9.0])
+        assert out.tolist() == [-2.0, 0.0, 3.0]
+
+    def test_square(self):
+        assert apply("square", [-3.0, 2.0]).tolist() == [9.0, 4.0]
+
+    def test_sigmoid_range(self):
+        out = apply("sigmoid", [-100.0, 0.0, 100.0])
+        assert out[0] < 0.01 and out[1] == 0.5 and out[2] > 0.99
+
+    def test_tanh(self):
+        assert apply("tanh", [0.0])[0] == 0.0
+
+    def test_round(self):
+        assert apply("round", [1.4, 1.6]).tolist() == [1.0, 2.0]
+
+    def test_abs_and_neg(self):
+        assert apply("abs", [-2.0])[0] == 2.0
+        assert apply("neg", [-2.0])[0] == 2.0
+
+    def test_reciprocal_protected(self):
+        out = apply("reciprocal", [0.0, 2.0, -0.5])
+        assert out.tolist() == [0.0, 0.5, -2.0]
+
+
+class TestStatefulNormalizers:
+    def test_zscore_standardizes_training_column(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=1000)
+        out = apply("zscore", x)
+        assert abs(out.mean()) < 1e-9
+        assert out.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_zscore_applies_training_stats_to_new_data(self):
+        op = get_operator("zscore")
+        state = op.fit(np.array([0.0, 10.0]))
+        out = op.apply(state, np.array([5.0]))
+        assert out[0] == pytest.approx(0.0)
+
+    def test_zscore_constant_column_safe(self):
+        out = apply("zscore", np.full(5, 7.0))
+        assert np.isfinite(out).all()
+
+    def test_minmax_range(self):
+        out = apply("minmax", [2.0, 4.0, 6.0])
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_minmax_extrapolates_outside_training_range(self):
+        op = get_operator("minmax")
+        state = op.fit(np.array([0.0, 10.0]))
+        assert op.apply(state, np.array([20.0]))[0] == pytest.approx(2.0)
+
+    def test_stateless_apply_with_none_state(self):
+        # Serving robustness: a missing state falls back to identity-ish.
+        op = get_operator("zscore")
+        out = op.apply(None, np.array([1.0, 2.0]))
+        assert np.isfinite(out).all()
+
+
+class TestDiscretizers:
+    def test_eqfreq_codes_are_integers(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=500)
+        out = apply("disc_eqfreq", x)
+        assert np.array_equal(out, np.round(out))
+        assert len(np.unique(out)) > 1
+
+    def test_eqfreq_balanced(self):
+        x = np.arange(100.0)
+        out = apply("disc_eqfreq", x)
+        __, counts = np.unique(out, return_counts=True)
+        assert counts.max() - counts.min() <= 2
+
+    def test_eqwidth_boundaries(self):
+        x = np.linspace(0, 1, 100)
+        out = apply("disc_eqwidth", x)
+        assert out.min() == 0
+        assert len(np.unique(out)) >= 5
+
+    def test_state_serializable(self):
+        import json
+
+        op = get_operator("disc_eqfreq")
+        state = op.fit(np.arange(50.0))
+        json.dumps(state)  # must not raise

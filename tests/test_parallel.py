@@ -1,0 +1,102 @@
+"""Tests for the parallel execution helpers (§IV-E.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection import information_values_safe
+from repro.exceptions import ConfigurationError
+from repro.parallel import (
+    chunk_indices,
+    parallel_information_gains,
+    parallel_information_values,
+    parallel_map,
+    resolve_n_jobs,
+)
+
+
+def square(x: float) -> float:  # module-level: picklable for the pool
+    return x * x
+
+
+class TestResolveNJobs:
+    def test_none_is_serial(self):
+        assert resolve_n_jobs(None) == 1
+
+    def test_minus_one_uses_cores(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    def test_explicit(self):
+        assert resolve_n_jobs(3) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs(0)
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs(-2)
+
+
+class TestChunkIndices:
+    def test_covers_range_in_order(self):
+        chunks = chunk_indices(10, 3)
+        flat = np.concatenate(chunks)
+        assert flat.tolist() == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_indices(2, 8)
+        assert len(chunks) == 2
+
+    def test_empty(self):
+        assert chunk_indices(0, 4) == []
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], n_jobs=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(20))
+        assert parallel_map(square, items, n_jobs=2) == [i * i for i in items]
+
+    def test_order_preserved(self):
+        out = parallel_map(square, [5, 3, 1], n_jobs=2)
+        assert out == [25, 9, 1]
+
+
+class TestParallelIV:
+    def test_matches_serial_exactly(self, rng):
+        X = rng.normal(size=(2000, 12))
+        y = (X[:, 0] > 0).astype(float)
+        serial = information_values_safe(X, y, 10)
+        parallel = parallel_information_values(X, y, 10, n_jobs=3)
+        assert np.allclose(serial, parallel)
+
+    def test_single_column(self, rng):
+        X = rng.normal(size=(200, 1))
+        y = (X[:, 0] > 0).astype(float)
+        out = parallel_information_values(X, y, 10, n_jobs=4)
+        assert out.shape == (1,)
+
+    def test_safe_config_integration(self, interaction_data):
+        from repro.core import SAFE, SAFEConfig
+
+        serial = SAFE(SAFEConfig(gamma=15, n_jobs=1)).fit(interaction_data)
+        parallel = SAFE(SAFEConfig(gamma=15, n_jobs=2)).fit(interaction_data)
+        assert serial.feature_keys == parallel.feature_keys
+
+    def test_invalid_n_jobs_in_config(self):
+        from repro.core import SAFEConfig
+
+        with pytest.raises(ConfigurationError):
+            SAFEConfig(n_jobs=0)
+
+
+class TestParallelIG:
+    def test_matches_serial(self, rng):
+        X = rng.normal(size=(800, 8))
+        y = (X[:, 1] > 0).astype(float)
+        serial = parallel_information_gains(X, y, 10, n_jobs=1)
+        parallel = parallel_information_gains(X, y, 10, n_jobs=2)
+        assert np.allclose(serial, parallel)
+        assert np.argmax(serial) == 1

@@ -1,0 +1,267 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the data structures and metrics whose correctness the whole
+pipeline leans on: binning, AUC, IV/Pearson, divergences, expression
+serialization, and the selection stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    information_gain_ratio,
+    information_value,
+    js_divergence,
+    kl_divergence,
+    pearson_correlation,
+    roc_auc_score,
+)
+from repro.operators import Var, expression_from_dict, fit_applied, get_operator
+from repro.tabular.binning import Binner, codes_from_edges, equal_frequency_edges
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+def columns(min_size=2, max_size=200):
+    return hnp.arrays(np.float64, st.integers(min_size, max_size),
+                      elements=finite_floats)
+
+
+# ----------------------------------------------------------------------
+# Binning
+# ----------------------------------------------------------------------
+class TestBinningProperties:
+    @given(x=columns(), n_bins=st.integers(2, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_codes_within_range(self, x, n_bins):
+        edges = equal_frequency_edges(x, n_bins)
+        codes = codes_from_edges(x, edges)
+        assert codes.min() >= 0
+        assert codes.max() <= edges.size + 1
+
+    @given(x=columns(), n_bins=st.integers(2, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_edges_sorted_and_unique(self, x, n_bins):
+        edges = equal_frequency_edges(x, n_bins)
+        assert (np.diff(edges) > 0).all() if edges.size > 1 else True
+
+    @given(x=columns(min_size=10), n_bins=st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_binner_transform_deterministic(self, x, n_bins):
+        binner = Binner(n_bins=n_bins).fit(x)
+        assert np.array_equal(binner.transform(x), binner.transform(x))
+
+    @given(
+        x=hnp.arrays(np.float64, st.integers(10, 200),
+                     elements=st.floats(-1e3, 1e3)),
+        shift=st.integers(-100, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binning_shift_equivariant(self, x, shift):
+        # Equal-frequency binning is rank-based: shifting all values
+        # produces identical codes. Values are rounded to a coarse grid so
+        # float64 addition cannot collapse distinct ranks.
+        x = np.round(x, 3)
+        a = Binner(n_bins=6).fit(x).transform(x)
+        b = Binner(n_bins=6).fit(x + shift).transform(x + shift)
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# AUC
+# ----------------------------------------------------------------------
+class TestAucProperties:
+    @given(
+        scores=columns(min_size=4, max_size=100),
+        labels=hnp.arrays(np.int64, st.integers(4, 100), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_auc_in_unit_interval_and_complement(self, scores, labels):
+        n = min(scores.size, labels.size)
+        y, s = labels[:n].astype(float), scores[:n]
+        if y.min() == y.max():
+            return  # undefined; covered by unit test
+        auc = roc_auc_score(y, s)
+        assert 0.0 <= auc <= 1.0
+        # Flipping labels complements the AUC.
+        assert roc_auc_score(1 - y, s) == pytest.approx(1.0 - auc, abs=1e-9)
+
+    @given(
+        scores=columns(min_size=4, max_size=100),
+        labels=hnp.arrays(np.int64, st.integers(4, 100), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_auc_negating_scores_complements(self, scores, labels):
+        n = min(scores.size, labels.size)
+        y, s = labels[:n].astype(float), scores[:n]
+        if y.min() == y.max():
+            return
+        assert roc_auc_score(y, -s) == pytest.approx(
+            1.0 - roc_auc_score(y, s), abs=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# IV / Pearson
+# ----------------------------------------------------------------------
+class TestInformationProperties:
+    @given(
+        x=columns(min_size=20, max_size=300),
+        labels=hnp.arrays(np.int64, st.integers(20, 300), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_iv_nonnegative(self, x, labels):
+        n = min(x.size, labels.size)
+        y = labels[:n].astype(float)
+        if y.min() == y.max():
+            return
+        assert information_value(x[:n], y) >= -1e-9
+
+    @given(x=columns(min_size=3, max_size=200), y=columns(min_size=3, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_bounded_and_symmetric(self, x, y):
+        n = min(x.size, y.size)
+        r = pearson_correlation(x[:n], y[:n])
+        assert -1.0 <= r <= 1.0
+        assert r == pytest.approx(pearson_correlation(y[:n], x[:n]), abs=1e-12)
+
+    @given(x=columns(min_size=3, max_size=200),
+           a=st.floats(0.1, 50), b=st.floats(-50, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_affine_invariant(self, x, a, b):
+        if np.ptp(x) < 1e-6:
+            return  # sub-epsilon spread underflows the normalizer
+        r = pearson_correlation(x, a * x + b)
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+    @given(
+        cells=hnp.arrays(np.int64, st.integers(10, 200), elements=st.integers(0, 5)),
+        labels=hnp.arrays(np.int64, st.integers(10, 200), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gain_ratio_in_unit_range(self, cells, labels):
+        n = min(cells.size, labels.size)
+        ratio = information_gain_ratio(labels[:n].astype(float), cells[:n])
+        assert -1e-9 <= ratio <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Divergences
+# ----------------------------------------------------------------------
+class TestDivergenceProperties:
+    distributions = hnp.arrays(
+        np.float64, st.integers(2, 20), elements=st.floats(0.0, 10.0)
+    )
+
+    @given(p=distributions, q=distributions)
+    @settings(max_examples=80, deadline=None)
+    def test_kld_nonnegative(self, p, q):
+        n = min(p.size, q.size)
+        p, q = p[:n], q[:n]
+        if p.sum() <= 0 or q.sum() <= 0:
+            return
+        assert kl_divergence(p, q + 1e-9) >= -1e-9
+
+    @given(p=distributions, q=distributions)
+    @settings(max_examples=80, deadline=None)
+    def test_jsd_symmetric_and_bounded(self, p, q):
+        n = min(p.size, q.size)
+        p, q = p[:n], q[:n]
+        if p.sum() <= 0 or q.sum() <= 0:
+            return
+        d = js_divergence(p, q)
+        assert -1e-9 <= d <= np.log(2) + 1e-9
+        assert d == pytest.approx(js_divergence(q, p), abs=1e-9)
+
+    @given(p=distributions)
+    @settings(max_examples=40, deadline=None)
+    def test_jsd_self_zero(self, p):
+        if p.sum() <= 0:
+            return
+        assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+BINARY_NAMES = ["add", "sub", "mul", "div"]
+UNARY_NAMES = ["log", "sqrt", "square", "tanh", "sigmoid", "abs", "neg"]
+
+
+def expression_strategy(n_cols: int, depth: int = 2):
+    base = st.builds(Var, st.integers(0, n_cols - 1))
+
+    def extend(children):
+        unary = st.builds(
+            lambda name, c: fit_applied(name, (c,), _X),
+            st.sampled_from(UNARY_NAMES),
+            children,
+        )
+        binary = st.builds(
+            lambda name, a, b: fit_applied(name, (a, b), _X),
+            st.sampled_from(BINARY_NAMES),
+            children,
+            children,
+        )
+        return unary | binary
+
+    return st.recursive(base, extend, max_leaves=6)
+
+
+_X = np.random.default_rng(0).normal(size=(30, 5))
+
+
+class TestExpressionProperties:
+    @given(expr=expression_strategy(5))
+    @settings(max_examples=80, deadline=None)
+    def test_serialization_roundtrip_preserves_semantics(self, expr):
+        back = expression_from_dict(expr.to_dict())
+        assert back.key == expr.key
+        a = expr.evaluate(_X)
+        b = back.evaluate(_X)
+        both_nan = np.isnan(a) & np.isnan(b)
+        assert np.allclose(a[~both_nan], b[~both_nan], equal_nan=True)
+
+    @given(expr=expression_strategy(5))
+    @settings(max_examples=60, deadline=None)
+    def test_indices_within_schema(self, expr):
+        assert all(0 <= i < 5 for i in expr.original_indices())
+
+    @given(expr=expression_strategy(5))
+    @settings(max_examples=60, deadline=None)
+    def test_row_at_a_time_matches_batch(self, expr):
+        batch = expr.evaluate(_X[:3])
+        rows = np.concatenate([expr.evaluate(_X[i]) for i in range(3)])
+        both_nan = np.isnan(batch) & np.isnan(rows)
+        assert np.allclose(batch[~both_nan], rows[~both_nan])
+
+
+# ----------------------------------------------------------------------
+# Selection invariants
+# ----------------------------------------------------------------------
+class TestSelectionProperties:
+    @given(
+        data=hnp.arrays(np.float64, st.tuples(st.integers(30, 80), st.integers(2, 6)),
+                        elements=finite_floats),
+        theta=st.floats(0.5, 0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_redundancy_removal_output_is_subset_and_decorrelated(self, data, theta):
+        from repro.core import remove_redundant_features
+        from repro.metrics import pearson_matrix
+
+        ivs = np.linspace(1.0, 0.1, data.shape[1])
+        kept = remove_redundant_features(data, ivs, theta=theta)
+        assert set(kept) <= set(range(data.shape[1]))
+        assert kept.size >= 1
+        corr = np.abs(pearson_matrix(data[:, kept]))
+        off_diag = corr[~np.eye(kept.size, dtype=bool)]
+        if off_diag.size:
+            assert off_diag.max() <= theta + 1e-9

@@ -1,0 +1,90 @@
+"""Public API surface tests: imports, __all__, and version."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.boosting",
+            "repro.models",
+            "repro.operators",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.metrics",
+            "repro.tabular",
+            "repro.experiments",
+            "repro.parallel",
+            "repro.cli",
+            "repro.exceptions",
+            "repro.utils",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.experiments.table3",
+            "repro.experiments.table5",
+            "repro.experiments.table6",
+            "repro.experiments.table8",
+            "repro.experiments.fig3",
+            "repro.experiments.fig4",
+            "repro.experiments.assumptions",
+            "repro.experiments.search_space",
+            "repro.experiments.complexity",
+        ],
+    )
+    def test_experiment_modules_expose_run_and_main(self, module):
+        mod = importlib.import_module(module)
+        assert callable(mod.run)
+        assert callable(mod.main)
+
+    def test_subpackage_all_exports_exist(self):
+        for module in ("repro.core", "repro.models", "repro.metrics",
+                       "repro.operators", "repro.tabular", "repro.baselines",
+                       "repro.datasets", "repro.boosting"):
+            mod = importlib.import_module(module)
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "obj_path",
+        [
+            "repro.core.SAFE",
+            "repro.core.SAFEConfig",
+            "repro.core.FeatureTransformer",
+            "repro.boosting.GradientBoostingClassifier",
+            "repro.models.RandomForestClassifier",
+            "repro.operators.Operator",
+            "repro.baselines.TFC",
+            "repro.baselines.FCTree",
+            "repro.baselines.AutoLearn",
+            "repro.datasets.SyntheticTaskSpec",
+        ],
+    )
+    def test_public_classes_documented(self, obj_path):
+        module_path, name = obj_path.rsplit(".", 1)
+        obj = getattr(importlib.import_module(module_path), name)
+        assert obj.__doc__ and len(obj.__doc__.strip()) > 20

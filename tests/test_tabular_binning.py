@@ -1,0 +1,138 @@
+"""Tests for repro.tabular.binning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.tabular import (
+    Binner,
+    chimerge_edges,
+    codes_from_edges,
+    equal_frequency_edges,
+    equal_width_edges,
+    quantile_codes_matrix,
+)
+
+
+class TestEqualWidthEdges:
+    def test_uniform_spacing(self):
+        edges = equal_width_edges(np.array([0.0, 10.0]), 5)
+        assert np.allclose(edges, [2.0, 4.0, 6.0, 8.0])
+
+    def test_constant_column_gives_no_edges(self):
+        assert equal_width_edges(np.full(10, 3.0), 5).size == 0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ConfigurationError):
+            equal_width_edges(np.arange(5.0), 0)
+
+    def test_ignores_nonfinite(self):
+        x = np.array([0.0, 10.0, np.nan, np.inf])
+        edges = equal_width_edges(x, 2)
+        assert edges.size == 1
+        assert edges[0] == pytest.approx(5.0)
+
+
+class TestEqualFrequencyEdges:
+    def test_balanced_counts(self):
+        x = np.arange(100.0)
+        edges = equal_frequency_edges(x, 4)
+        codes = codes_from_edges(x, edges)
+        __, counts = np.unique(codes, return_counts=True)
+        assert counts.min() >= 20  # roughly balanced quartiles
+
+    def test_duplicates_collapse(self):
+        x = np.array([1.0] * 50 + [2.0] * 50)
+        edges = equal_frequency_edges(x, 10)
+        assert edges.size <= 1
+
+    def test_all_nan_gives_no_edges(self):
+        assert equal_frequency_edges(np.full(5, np.nan), 4).size == 0
+
+
+class TestCodesFromEdges:
+    def test_missing_gets_dedicated_code(self):
+        edges = np.array([1.0, 2.0])
+        codes = codes_from_edges(np.array([0.5, 1.5, 2.5, np.nan]), edges)
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_boundary_goes_left(self):
+        # side="left": values equal to an edge land in the lower bin.
+        edges = np.array([1.0])
+        codes = codes_from_edges(np.array([1.0, 1.0001]), edges)
+        assert codes.tolist() == [0, 1]
+
+    def test_empty_edges_single_bin(self):
+        codes = codes_from_edges(np.array([5.0, -3.0]), np.empty(0))
+        assert codes.tolist() == [0, 0]
+
+
+class TestBinner:
+    def test_quantile_roundtrip(self):
+        x = np.random.default_rng(0).normal(size=500)
+        binner = Binner(n_bins=8).fit(x)
+        codes = binner.transform(x)
+        assert codes.min() >= 0
+        assert codes.max() <= binner.n_effective_bins
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            Binner().transform([1.0, 2.0])
+
+    def test_n_effective_bins_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            __ = Binner().n_effective_bins
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            Binner(strategy="magic").fit([1.0, 2.0])
+
+    def test_uniform_strategy(self):
+        codes = Binner(n_bins=2, strategy="uniform").fit_transform(
+            np.array([0.0, 0.4, 0.6, 1.0])
+        )
+        assert codes.tolist() == [0, 0, 1, 1]
+
+    def test_empty_column_raises(self):
+        with pytest.raises(DataError):
+            Binner().fit(np.empty(0))
+
+
+class TestChiMerge:
+    def test_reduces_to_max_bins(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=400)
+        y = (x > 0).astype(float)
+        edges = chimerge_edges(x, y, max_bins=4, initial_bins=20)
+        assert edges.size <= 3  # interior edges for <= 4 bins
+
+    def test_keeps_informative_boundary(self):
+        # Label flips exactly at 0: the surviving cut should be near 0.
+        x = np.linspace(-1, 1, 200)
+        y = (x > 0).astype(float)
+        edges = chimerge_edges(x, y, max_bins=2, initial_bins=10)
+        assert edges.size == 1
+        assert abs(edges[0]) < 0.3
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            chimerge_edges(np.arange(4.0), np.zeros(3))
+
+
+class TestQuantileCodesMatrix:
+    def test_shapes(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        codes, edges = quantile_codes_matrix(X, max_bins=8)
+        assert codes.shape == X.shape
+        assert len(edges) == 3
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            quantile_codes_matrix(np.arange(5.0))
+
+    def test_nan_maps_to_missing_code(self):
+        X = np.array([[1.0], [2.0], [np.nan]])
+        codes, edges = quantile_codes_matrix(X, max_bins=4)
+        assert codes[2, 0] == edges[0].size + 1

@@ -1,0 +1,151 @@
+"""Tests for repro.tabular.dataset.Dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, SchemaError
+from repro.tabular import Dataset, default_names
+
+
+class TestConstruction:
+    def test_from_arrays_default_names(self):
+        ds = Dataset.from_arrays(np.ones((3, 4)))
+        assert ds.names == ("x0", "x1", "x2", "x3")
+        assert ds.shape == (3, 4)
+        assert ds.y is None
+
+    def test_from_arrays_with_labels(self):
+        ds = Dataset.from_arrays(np.ones((3, 2)), y=[0, 1, 0])
+        assert ds.y is not None
+        assert ds.y.tolist() == [0.0, 1.0, 0.0]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Dataset(X=np.ones((2, 2)), names=("a", "a"))
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Dataset(X=np.ones((2, 3)), names=("a", "b"))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Dataset(X=np.ones((3, 2)), names=("a", "b"), y=np.zeros(2))
+
+    def test_default_names_prefix(self):
+        assert default_names(3, prefix="f") == ("f0", "f1", "f2")
+
+
+class TestAccess:
+    @pytest.fixture
+    def ds(self):
+        X = np.arange(12, dtype=float).reshape(4, 3)
+        return Dataset(X=X, names=("a", "b", "c"), y=np.array([0, 1, 0, 1.0]))
+
+    def test_column_by_name(self, ds):
+        assert ds.column("b").tolist() == [1.0, 4.0, 7.0, 10.0]
+
+    def test_column_by_index(self, ds):
+        assert ds.column(0).tolist() == [0.0, 3.0, 6.0, 9.0]
+
+    def test_column_unknown_name(self, ds):
+        with pytest.raises(SchemaError):
+            ds.column("zzz")
+
+    def test_column_out_of_range(self, ds):
+        with pytest.raises(SchemaError):
+            ds.column(7)
+
+    def test_columns_matrix(self, ds):
+        block = ds.columns(["c", "a"])
+        assert block.shape == (4, 2)
+        assert block[0].tolist() == [2.0, 0.0]
+
+    def test_select_preserves_labels(self, ds):
+        sub = ds.select(["c"])
+        assert sub.names == ("c",)
+        assert sub.y is not None
+
+    def test_contains_and_iter(self, ds):
+        assert "a" in ds
+        assert "zzz" not in ds
+        assert list(ds) == ["a", "b", "c"]
+
+    def test_index_of(self, ds):
+        assert ds.index_of("c") == 2
+
+    def test_len_is_rows(self, ds):
+        assert len(ds) == 4
+
+    def test_head(self, ds):
+        assert ds.head(2).n_rows == 2
+        assert ds.head(100).n_rows == 4
+
+
+class TestRowOps:
+    @pytest.fixture
+    def ds(self):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        y = np.arange(10) % 2
+        return Dataset(X=X, names=("a", "b"), y=y.astype(float))
+
+    def test_take_rows_mask(self, ds):
+        sub = ds.take_rows(ds.y == 1)
+        assert sub.n_rows == 5
+        assert (sub.y == 1).all()
+
+    def test_take_rows_indices(self, ds):
+        sub = ds.take_rows(np.array([0, 9]))
+        assert sub.X[1, 0] == 18.0
+
+    def test_sample_without_replacement(self, ds):
+        sub = ds.sample(5, random_state=0)
+        assert sub.n_rows == 5
+
+    def test_sample_too_many_raises(self, ds):
+        with pytest.raises(DataError):
+            ds.sample(11, random_state=0)
+
+    def test_sample_with_replacement_allows_more(self, ds):
+        sub = ds.sample(20, random_state=0, replace=True)
+        assert sub.n_rows == 20
+
+
+class TestCombination:
+    def test_with_columns(self):
+        ds = Dataset.from_arrays(np.ones((3, 2)), y=[0, 1, 1])
+        out = ds.with_columns(np.zeros((3, 1)), ["new"])
+        assert out.names == ("x0", "x1", "new")
+        assert out.y is not None
+        assert out.n_cols == 3
+
+    def test_with_columns_name_clash(self):
+        ds = Dataset.from_arrays(np.ones((3, 2)))
+        with pytest.raises(SchemaError):
+            ds.with_columns(np.zeros((3, 1)), ["x0"])
+
+    def test_with_columns_row_mismatch(self):
+        ds = Dataset.from_arrays(np.ones((3, 2)))
+        with pytest.raises(DataError):
+            ds.with_columns(np.zeros((4, 1)), ["new"])
+
+    def test_with_labels_and_without(self):
+        ds = Dataset.from_arrays(np.ones((3, 2)))
+        labeled = ds.with_labels([1, 0, 1])
+        assert labeled.y is not None
+        assert labeled.without_labels().y is None
+
+    def test_require_labels_raises_when_missing(self):
+        ds = Dataset.from_arrays(np.ones((3, 2)))
+        with pytest.raises(DataError):
+            ds.require_labels()
+
+
+class TestDescribe:
+    def test_describe_handles_nan(self):
+        X = np.array([[1.0, np.nan], [3.0, np.nan], [5.0, np.nan]])
+        ds = Dataset(X=X, names=("a", "b"))
+        desc = ds.describe()
+        assert desc["a"]["mean"] == pytest.approx(3.0)
+        assert desc["b"]["missing_rate"] == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Tests for repro.tabular.io CSV round-tripping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.tabular import Dataset, load_csv, save_csv
+
+
+class TestRoundTrip:
+    def test_labeled_roundtrip(self, tmp_path):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        ds = Dataset(X=X, names=("a", "b", "c"), y=(X[:, 0] > 0).astype(float))
+        path = tmp_path / "data.csv"
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert back.names == ("a", "b", "c")
+        assert np.allclose(back.X, ds.X)
+        assert np.allclose(back.y, ds.y)
+
+    def test_unlabeled_roundtrip(self, tmp_path):
+        ds = Dataset.from_arrays(np.eye(3))
+        path = tmp_path / "plain.csv"
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert back.y is None
+        assert np.allclose(back.X, np.eye(3))
+
+    def test_nan_roundtrip(self, tmp_path):
+        X = np.array([[1.0, np.nan], [2.0, 3.0]])
+        ds = Dataset.from_arrays(X)
+        path = tmp_path / "nan.csv"
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert np.isnan(back.X[0, 1])
+
+    def test_label_column_opt_out(self, tmp_path):
+        ds = Dataset.from_arrays(np.ones((2, 1)), y=[0, 1])
+        path = tmp_path / "both.csv"
+        save_csv(ds, path)
+        back = load_csv(path, label_column=None)
+        assert back.y is None
+        assert back.n_cols == 2  # label column read as a plain feature
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_non_numeric_cell(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,hello\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(DataError):
+            load_csv(path)

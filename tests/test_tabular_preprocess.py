@@ -1,0 +1,88 @@
+"""Tests for repro.tabular.preprocess."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.tabular import MeanImputer, MinMaxScaler, StandardScaler, clean_matrix
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        X = np.random.default_rng(0).normal(3.0, 2.0, size=(500, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.full(10, 5.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_transform_uses_training_stats(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[5.0]]))
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range_01(self):
+        X = np.random.default_rng(0).uniform(-5, 7, size=(100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0
+        assert Z.max() <= 1.0
+
+    def test_constant_column_safe(self):
+        Z = MinMaxScaler().fit_transform(np.full((5, 1), 2.0))
+        assert np.allclose(Z, 0.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestMeanImputer:
+    def test_fills_with_column_mean(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 6.0]])
+        out = MeanImputer().fit_transform(X)
+        assert out[2, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(5.0)
+
+    def test_all_nan_column_fills_zero(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = MeanImputer().fit_transform(X)
+        assert np.allclose(out, 0.0)
+
+    def test_inf_treated_as_missing(self):
+        X = np.array([[np.inf], [2.0], [4.0]])
+        out = MeanImputer().fit_transform(X)
+        assert out[0, 0] == pytest.approx(3.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MeanImputer().transform(np.ones((2, 2)))
+
+
+class TestCleanMatrix:
+    def test_replaces_nonfinite(self):
+        X = np.array([[np.nan, np.inf], [-np.inf, 1.0]])
+        out = clean_matrix(X)
+        assert np.isfinite(out).all()
+        assert out[1, 1] == 1.0
+
+    def test_clips_extremes(self):
+        out = clean_matrix(np.array([[1e300, -1e300]]))
+        assert out.max() <= 1e12
+        assert out.min() >= -1e12
+
+    def test_does_not_mutate_input(self):
+        X = np.array([[np.nan, 1.0]])
+        clean_matrix(X)
+        assert np.isnan(X[0, 0])

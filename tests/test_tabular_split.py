@@ -1,0 +1,112 @@
+"""Tests for repro.tabular.split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.tabular import (
+    Dataset,
+    bootstrap_indices,
+    fraction_split,
+    kfold_indices,
+    train_valid_test_split,
+)
+
+
+@pytest.fixture
+def labeled():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(1000, 3))
+    y = (rng.random(1000) < 0.2).astype(float)
+    return Dataset.from_arrays(X, y)
+
+
+class TestTrainValidTest:
+    def test_sizes(self, labeled):
+        tr, va, te = train_valid_test_split(labeled, 600, 200, 200, random_state=0)
+        assert tr.n_rows == pytest.approx(600, abs=2)
+        assert va.n_rows == pytest.approx(200, abs=2)
+        assert te.n_rows == pytest.approx(200, abs=2)
+
+    def test_zero_valid_returns_none(self, labeled):
+        tr, va, te = train_valid_test_split(labeled, 700, 0, 300, random_state=0)
+        assert va is None
+        assert tr.n_rows + te.n_rows <= 1000
+
+    def test_stratification_preserves_rate(self, labeled):
+        tr, va, te = train_valid_test_split(labeled, 600, 200, 200, random_state=0)
+        overall = labeled.y.mean()
+        for part in (tr, va, te):
+            assert part.y.mean() == pytest.approx(overall, abs=0.05)
+
+    def test_unstratified_works(self, labeled):
+        tr, __, te = train_valid_test_split(
+            labeled, 600, 0, 300, random_state=0, stratify=False
+        )
+        assert tr.n_rows == 600
+        assert te.n_rows == 300
+
+    def test_oversized_request_raises(self, labeled):
+        with pytest.raises(DataError):
+            train_valid_test_split(labeled, 900, 200, 200, stratify=False)
+
+    def test_deterministic_with_seed(self, labeled):
+        a = train_valid_test_split(labeled, 100, 0, 100, random_state=7)[0]
+        b = train_valid_test_split(labeled, 100, 0, 100, random_state=7)[0]
+        assert np.array_equal(a.X, b.X)
+
+    def test_invalid_sizes(self, labeled):
+        with pytest.raises(ConfigurationError):
+            train_valid_test_split(labeled, 0, 10, 10)
+
+    def test_disjoint_partitions(self, labeled):
+        tr, va, te = train_valid_test_split(
+            labeled, 500, 200, 300, random_state=0, stratify=False
+        )
+        # Tag rows by a unique column value to check disjointness.
+        all_vals = np.concatenate([tr.X[:, 0], va.X[:, 0], te.X[:, 0]])
+        assert np.unique(all_vals).size == all_vals.size
+
+
+class TestFractionSplit:
+    def test_default_fractions(self, labeled):
+        tr, va, te = fraction_split(labeled, random_state=0)
+        assert tr.n_rows == pytest.approx(700, abs=3)
+        assert te.n_rows >= 100
+
+    def test_invalid_fractions(self, labeled):
+        with pytest.raises(ConfigurationError):
+            fraction_split(labeled, train_frac=0.9, valid_frac=0.2)
+
+
+class TestKFold:
+    def test_covers_everything_once(self):
+        folds = kfold_indices(50, n_folds=5, random_state=0)
+        all_test = np.concatenate([te for __, te in folds])
+        assert sorted(all_test.tolist()) == list(range(50))
+
+    def test_train_test_disjoint(self):
+        for tr, te in kfold_indices(30, n_folds=3, random_state=0):
+            assert not set(tr) & set(te)
+
+    def test_too_many_folds(self):
+        with pytest.raises(DataError):
+            kfold_indices(3, n_folds=5)
+
+    def test_min_folds(self):
+        with pytest.raises(ConfigurationError):
+            kfold_indices(10, n_folds=1)
+
+
+class TestBootstrap:
+    def test_size_and_range(self):
+        idx = bootstrap_indices(100, random_state=0)
+        assert idx.size == 100
+        assert idx.min() >= 0
+        assert idx.max() < 100
+
+    def test_has_duplicates_whp(self):
+        idx = bootstrap_indices(500, random_state=0)
+        assert np.unique(idx).size < 500
