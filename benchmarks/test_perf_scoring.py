@@ -1,0 +1,21 @@
+"""Perf gate for the batched scoring engine (excluded from tier-1).
+
+Run explicitly with ``PYTHONPATH=src python -m pytest -m perf
+benchmarks/test_perf_scoring.py``. Asserts the acceptance criteria of the
+batched-scoring PR: >= 5x combined speedup on ranking + IV at 20k rows x
+60 features with numerically equivalent results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import run_perf
+
+pytestmark = pytest.mark.perf
+
+
+def test_batched_scoring_speedup_and_equivalence():
+    report = run_perf.main(write_json=False)
+    assert report["equivalent_within_1e-9"]
+    assert report["combined_speedup"] >= 5.0

@@ -224,30 +224,16 @@ class Tree:
         if self.feature is None:
             raise NotFittedError("Tree not fitted")
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Leaf values for raw (unbinned) input rows, vectorized."""
-        self._check_fitted()
-        X = np.asarray(X, dtype=np.float64)
-        n = X.shape[0]
-        node_ids = np.zeros(n, dtype=np.int64)
-        active = self.feature[node_ids] >= 0
-        while active.any():
-            rows = np.flatnonzero(active)
-            nid = node_ids[rows]
-            feats = self.feature[nid]
-            thr = self.threshold[nid]
-            vals = X[rows, feats]
-            go_left = vals <= thr  # NaN comparisons are False -> right
-            node_ids[rows] = np.where(go_left, self.left[nid], self.right[nid])
-            active[rows] = self.feature[node_ids[rows]] >= 0
-        return self.value[node_ids]
+    def _descend(self, X: np.ndarray) -> np.ndarray:
+        """Route every row from the root to its leaf; returns node ids.
 
-    def apply(self, X: np.ndarray) -> np.ndarray:
-        """Leaf node id per row (for diagnostics)."""
+        The single traversal loop behind both :meth:`predict` and
+        :meth:`apply`. NaN comparisons are False, so missing values take
+        the right branch (the fixed default direction).
+        """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
-        n = X.shape[0]
-        node_ids = np.zeros(n, dtype=np.int64)
+        node_ids = np.zeros(X.shape[0], dtype=np.int64)
         active = self.feature[node_ids] >= 0
         while active.any():
             rows = np.flatnonzero(active)
@@ -256,6 +242,14 @@ class Tree:
             node_ids[rows] = np.where(go_left, self.left[nid], self.right[nid])
             active[rows] = self.feature[node_ids[rows]] >= 0
         return node_ids
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf values for raw (unbinned) input rows, vectorized."""
+        return self.value[self._descend(X)]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id per row (for diagnostics)."""
+        return self._descend(X)
 
     # ------------------------------------------------------------------
     # Structure export (what SAFE consumes)

@@ -13,6 +13,7 @@ from .generation import (
 )
 from .interface import AutoFeatureEngineer
 from .pipeline import SAFE, IterationTrace
+from .scoring import IntervalCodeCache, score_combinations
 from .selection import (
     SelectionReport,
     filter_by_information_value,
@@ -26,6 +27,7 @@ __all__ = [
     "AutoFeatureEngineer",
     "Combination",
     "FeatureTransformer",
+    "IntervalCodeCache",
     "IterationTrace",
     "RankedCombination",
     "SAFE",
@@ -39,6 +41,7 @@ __all__ = [
     "rank_by_importance",
     "rank_combinations",
     "remove_redundant_features",
+    "score_combinations",
     "search_space_size",
     "select_features",
 ]

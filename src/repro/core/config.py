@@ -54,9 +54,10 @@ class SAFEConfig:
         Always retain original features in the candidate pool (they can
         still be dropped by selection, as in the paper).
     n_jobs:
-        Worker processes for the per-feature information-value stage
-        (§IV-E.2's "calculated in parallel" requirement). ``1`` (default)
-        is fully serial; ``-1`` uses every core.
+        Worker processes for the per-feature information-value stage and
+        the combination-ranking stage (§IV-E.2's "calculated in
+        parallel" requirement; ranking chunks over combinations). ``1``
+        (default) is fully serial; ``-1`` uses every core.
     random_state:
         Seed for all internal randomness.
     """

@@ -25,7 +25,6 @@ import numpy as np
 
 from ..boosting.gbm import GradientBoostingClassifier
 from ..boosting.tree import TreePath
-from ..metrics.information import cells_from_split_values, information_gain_ratio
 from ..operators.base import Operator, resolve_operators
 from ..operators.expressions import Applied, Expression, fit_applied
 
@@ -112,21 +111,35 @@ def rank_combinations(
     y: np.ndarray,
     combos: "list[Combination]",
     gamma: int,
+    n_jobs: int = 1,
 ) -> list[RankedCombination]:
     """Algorithm 2: score each combination by information gain ratio.
 
     Rows are partitioned into ``prod_f (|V_f| + 1)`` cells by the pooled
     split values; the top-γ combinations by gain ratio survive.
+
+    Scoring runs on the batched engine (``core.scoring``): each feature's
+    pooled split values are quantized once and shared by every
+    combination containing it, and entropy/gain come from vectorized
+    histogram kernels. ``n_jobs > 1`` chunks the *combinations* across
+    worker processes. Results are identical to the scalar
+    ``cells_from_split_values`` + ``information_gain_ratio`` reference.
     """
-    scored: list[RankedCombination] = []
-    for combo in combos:
-        if not combo.features:
-            continue
-        cells = cells_from_split_values(
-            X, list(combo.features), [np.asarray(v) for v in combo.split_values]
-        )
-        ratio = information_gain_ratio(y, cells)
-        scored.append(RankedCombination(combination=combo, gain_ratio=ratio))
+    kept = [c for c in combos if c.features]
+    if not kept:
+        return []
+    if n_jobs != 1 and len(kept) > 1:
+        from ..parallel import parallel_score_combinations
+
+        ratios = parallel_score_combinations(X, y, kept, n_jobs=n_jobs)
+    else:
+        from .scoring import score_combinations
+
+        ratios = score_combinations(X, y, kept)
+    scored = [
+        RankedCombination(combination=combo, gain_ratio=float(ratio))
+        for combo, ratio in zip(kept, ratios)
+    ]
     scored.sort(key=lambda r: (-r.gain_ratio, r.combination.features))
     return scored[:gamma]
 

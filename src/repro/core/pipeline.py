@@ -114,7 +114,9 @@ class SAFE(AutoFeatureEngineer):
             combos = combinations_from_paths(
                 paths, max_size=cfg.max_combination_size
             )
-            ranked = rank_combinations(X_fit, y, combos, gamma=cfg.gamma)
+            ranked = rank_combinations(
+                X_fit, y, combos, gamma=cfg.gamma, n_jobs=cfg.n_jobs
+            )
             existing = {e.key for e in expressions}
             new_exprs = generate_features(
                 ranked,

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..boosting.gbm import GradientBoostingClassifier
 from ..exceptions import DataError
-from ..metrics.information import information_value, pearson_matrix
+from ..metrics.information import information_values, pearson_matrix
 
 
 @dataclass(frozen=True)
@@ -36,15 +36,13 @@ class SelectionReport:
 
 
 def information_values_safe(X: np.ndarray, y: np.ndarray, n_bins: int) -> np.ndarray:
-    """Per-column IV; columns that cannot be scored (constant) get 0."""
-    ivs = np.zeros(X.shape[1])
-    for j in range(X.shape[1]):
-        col = X[:, j]
-        finite = col[np.isfinite(col)]
-        if finite.size == 0 or np.all(finite == finite[0]):
-            continue
-        ivs[j] = information_value(col, y, n_bins=n_bins)
-    return ivs
+    """Per-column IV; columns that cannot be scored (constant) get 0.
+
+    Alias of :func:`repro.metrics.information_values`, which is the one
+    guarded implementation (batched matrix kernel) shared by the metrics
+    API and this selection stage.
+    """
+    return information_values(X, y, n_bins=n_bins)
 
 
 def filter_by_information_value(

@@ -1,6 +1,7 @@
 """Evaluation and feature-scoring metrics."""
 
 from .auc import accuracy_score, roc_auc_score, roc_curve
+from .batched import gain_ratio_from_cells, information_values_matrix
 from .dependence import distance_correlation, related_pairs
 from .divergence import feature_stability, js_divergence, kl_divergence
 from .information import (
@@ -28,10 +29,12 @@ __all__ = [
     "distance_correlation",
     "entropy",
     "feature_stability",
+    "gain_ratio_from_cells",
     "information_gain",
     "information_gain_ratio",
     "information_value",
     "information_values",
+    "information_values_matrix",
     "iv_predictive_power",
     "js_divergence",
     "kl_divergence",

@@ -56,7 +56,9 @@ def js_divergence(p: "np.ndarray | list", q: "np.ndarray | list") -> float:
     p = p / ps
     q = q / qs
     m = 0.5 * (p + q)
-    return 0.5 * (kl_divergence(p, m) + kl_divergence(q, m))
+    # Rounding in the KL terms can produce a tiny negative total for
+    # (near-)identical inputs; JSD is nonnegative by definition, so clamp.
+    return max(0.0, 0.5 * (kl_divergence(p, m) + kl_divergence(q, m)))
 
 
 def feature_stability(

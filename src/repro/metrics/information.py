@@ -81,13 +81,20 @@ def information_values(
     y: np.ndarray,
     n_bins: int = 10,
 ) -> np.ndarray:
-    """Vector of IVs, one per column of ``X``."""
+    """Vector of IVs, one per column of ``X``, guarded and batched.
+
+    This is the one shared implementation behind both the metrics API and
+    the selection stage: columns that cannot be scored (no finite values,
+    or a constant finite part) get 0.0; every other column matches
+    :func:`information_value`. All columns are binned and counted in one
+    shot — see :func:`.batched.information_values_matrix`.
+    """
+    from .batched import information_values_matrix
+
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise DataError("information_values expects a matrix")
-    return np.array(
-        [information_value(X[:, j], y, n_bins=n_bins) for j in range(X.shape[1])]
-    )
+    return information_values_matrix(X, y, n_bins=n_bins)
 
 
 def pearson_correlation(x: "np.ndarray | list", y: "np.ndarray | list") -> float:
@@ -143,6 +150,26 @@ def entropy(y: "np.ndarray | list") -> float:
     return float(-(p * np.log(np.maximum(p, _EPS))).sum())
 
 
+def _xlogx(p: np.ndarray) -> np.ndarray:
+    """Elementwise ``p * log(p)`` with the convention ``0 log 0 = 0``."""
+    return np.where(p > 0, p * np.log(np.maximum(p, _EPS)), 0.0)
+
+
+def _partition_stats(y: np.ndarray, cells: np.ndarray) -> tuple[float, float]:
+    """``(conditional_entropy, split_info)`` from one ``np.unique`` pass."""
+    _, inverse, counts = np.unique(cells, return_inverse=True, return_counts=True)
+    # Entropy per cell computed from positive share (binary labels).
+    pos_per_cell = np.bincount(
+        inverse, weights=(y == 1).astype(np.float64), minlength=counts.size
+    )
+    p1 = pos_per_cell / counts
+    per_cell = -(_xlogx(p1) + _xlogx(1.0 - p1))
+    weights = counts / y.size
+    conditional = float((weights * per_cell).sum())
+    split_info = float(-(weights * np.log(np.maximum(weights, _EPS))).sum())
+    return conditional, split_info
+
+
 def partition_entropy(y: np.ndarray, cells: np.ndarray) -> float:
     """Weighted label entropy after partitioning rows by ``cells`` ids."""
     y = np.asarray(y).ravel()
@@ -151,21 +178,7 @@ def partition_entropy(y: np.ndarray, cells: np.ndarray) -> float:
         raise DataError("y and cells must have equal length")
     if y.size == 0:
         return 0.0
-    total = 0.0
-    _, inverse, counts = np.unique(cells, return_inverse=True, return_counts=True)
-    # Entropy per cell computed from positive share (binary labels).
-    n_cells = counts.size
-    pos_per_cell = np.bincount(inverse, weights=(y == 1).astype(np.float64), minlength=n_cells)
-    for c in range(n_cells):
-        n_c = counts[c]
-        p1 = pos_per_cell[c] / n_c
-        p0 = 1.0 - p1
-        h = 0.0
-        for p in (p0, p1):
-            if p > 0:
-                h -= p * np.log(p)
-        total += (n_c / y.size) * h
-    return float(total)
+    return _partition_stats(y, cells)[0]
 
 
 def cells_from_split_values(
@@ -205,10 +218,18 @@ def information_gain_ratio(y: np.ndarray, cells: np.ndarray) -> float:
 
     The gain-ratio form (Quinlan) penalizes partitions with many tiny
     cells, preventing high-cardinality feature combinations from winning
-    the Algorithm 2 ranking by sheer fragmentation.
+    the Algorithm 2 ranking by sheer fragmentation. Conditional entropy
+    and split information come from a single ``np.unique`` pass over the
+    cells rather than one each.
     """
-    gain = information_gain(y, cells)
-    split_info = entropy(cells)
+    y = np.asarray(y).ravel()
+    cells = np.asarray(cells).ravel()
+    if y.size != cells.size:
+        raise DataError("y and cells must have equal length")
+    if y.size == 0:
+        return 0.0
+    conditional, split_info = _partition_stats(y, cells)
     if split_info <= _EPS:
         return 0.0
+    gain = max(0.0, entropy(y) - conditional)
     return float(gain / split_info)

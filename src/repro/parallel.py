@@ -4,8 +4,10 @@ The paper's industrial requirements include that "most parts of the
 automatic feature engineering algorithm should be able to be calculated
 in parallel", calling out per-feature information value and per-pair
 Pearson correlation explicitly. This module provides the process-pool
-machinery, and :func:`parallel_information_values` is the IV stage's
-parallel path (enabled with ``SAFEConfig(n_jobs=...)``).
+machinery; :func:`parallel_information_values` is the IV stage's
+parallel path and :func:`parallel_score_combinations` chunks the
+Algorithm 2 ranking over combinations (both enabled with
+``SAFEConfig(n_jobs=...)``).
 
 Design notes:
 
@@ -97,6 +99,55 @@ def parallel_information_values(
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         results = list(pool.map(_iv_chunk, payloads))
     out = np.empty(X.shape[1])
+    for idx, values in zip(chunks, results):
+        out[idx] = values
+    return out
+
+
+def _rank_chunk(payload: "tuple[np.ndarray, np.ndarray, list]") -> list[float]:
+    """Worker: gain ratios for a block of combinations."""
+    X, y, combos = payload
+    from .core.scoring import score_combinations
+
+    return score_combinations(X, y, combos).tolist()
+
+
+def parallel_score_combinations(
+    X: np.ndarray,
+    y: np.ndarray,
+    combos: "list",
+    n_jobs: "int | None" = None,
+) -> np.ndarray:
+    """Algorithm 2 gain ratios, chunked over *combinations*.
+
+    Each worker gets a block of combinations plus only the columns that
+    block references (features are remapped onto the narrowed matrix), so
+    the per-feature quantization cache is built once per worker and IPC
+    ships the minimum slice of ``X``. Result order matches ``combos``.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    from .core.generation import Combination
+    from .core.scoring import score_combinations
+
+    if jobs == 1 or len(combos) <= 1:
+        return score_combinations(X, y, combos)
+    chunks = chunk_indices(len(combos), jobs)
+    payloads = []
+    for idx in chunks:
+        block = [combos[i] for i in idx]
+        cols = sorted({f for combo in block for f in combo.features})
+        remap = {f: k for k, f in enumerate(cols)}
+        narrowed = [
+            Combination(
+                features=tuple(remap[f] for f in combo.features),
+                split_values=combo.split_values,
+            )
+            for combo in block
+        ]
+        payloads.append((np.ascontiguousarray(X[:, cols]), y, narrowed))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(_rank_chunk, payloads))
+    out = np.empty(len(combos))
     for idx, values in zip(chunks, results):
         out[idx] = values
     return out
