@@ -1,9 +1,9 @@
-"""Time the two scoring hot paths: scalar (pre-batching) vs batched.
+"""Time the scoring and generation hot paths: scalar (pre-batching) vs batched.
 
-Fixed synthetic workload per the batched-scoring-engine acceptance
-criteria: 20k rows x 60 features, gamma = 50, beta = 10 IV bins, with a
-mined-realistic pool of ~800 feature combinations (singles and pairs,
-3-15 pooled split values per feature). Measures
+Fixed synthetic workload per the batched-engine acceptance criteria: 20k
+rows x 60 features, gamma = 50, beta = 10 IV bins, with a mined-realistic
+pool of ~800 feature combinations (singles and pairs, 3-15 pooled split
+values per feature). Measures
 
 * the Algorithm 2 ranking stage — scalar reference: fresh
   ``searchsorted`` per (combination, feature) plus the per-cell Python
@@ -12,9 +12,20 @@ mined-realistic pool of ~800 feature combinations (singles and pairs,
 * the Algorithm 3 IV stage — scalar reference: per-column quantile
   ``Binner`` refits via ``information_value``; batched:
   ``metrics.batched.information_values_matrix``;
+* the generation stage (Algorithm 1 line 6 + candidate materialization)
+  — scalar reference: per-arrangement ``fit_applied`` re-evaluating each
+  child tree from scratch, then ``np.column_stack`` candidate evaluation
+  on the train and valid matrices; batched: the CSE engine
+  (``operators.engine.EvalCache`` + vectorized operator kernels in
+  ``generate_features`` + ``evaluate_forest`` reuse of generated
+  columns). Base expressions are depth-3 composed trees, the iteration
+  >= 1 regime where child re-evaluation dominates;
+* one end-to-end ``SAFE.fit`` (engine path only — timing record, no
+  scalar twin).
 
-verifies the batched results match the scalar ones to 1e-9, and writes
-``BENCH_perf.json`` at the repo root.
+Verifies the batched results match the scalar ones (scoring to 1e-9,
+generation bit-identical: same expression keys/states and byte-equal
+candidate matrices) and writes ``BENCH_perf.json`` at the repo root.
 
 Run: ``PYTHONPATH=src python benchmarks/run_perf.py``
 """
@@ -28,7 +39,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.generation import Combination, rank_combinations
+from repro.core.generation import (
+    Combination,
+    RankedCombination,
+    _arrangements,
+    generate_features,
+    rank_combinations,
+)
 from repro.core.scoring import score_combinations
 from repro.metrics.batched import information_values_matrix
 from repro.metrics.information import (
@@ -36,14 +53,31 @@ from repro.metrics.information import (
     cells_from_split_values,
     information_value,
 )
+from repro.operators import (
+    Applied,
+    EvalCache,
+    Var,
+    evaluate_forest,
+    fit_applied,
+    resolve_operators,
+)
 
 N_ROWS = 20_000
 N_COLS = 60
+N_VALID_ROWS = 10_000
 GAMMA = 50
 IV_BINS = 10
 N_COMBOS = 800
 SEED = 0
 TOL = 1e-9
+GENERATION_OPERATORS = (
+    # The paper's §V experiment set plus stateless transforms and one
+    # stateful operator (audited per-expression fit, not batchable).
+    "add", "sub", "mul", "div", "log", "sqrt", "zscore",
+)
+FIT_N_ROWS = 8_000
+FIT_N_COLS = 30
+FIT_ITERATIONS = 2
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
@@ -105,6 +139,34 @@ def scalar_safe_ivs(X: np.ndarray, y: np.ndarray, n_bins: int) -> np.ndarray:
     return ivs
 
 
+def scalar_generate(ranked, operator_names, base, X, existing):
+    """The seed's generation loop: fit_applied re-evaluates child trees
+    per arrangement, dedup re-renders the key string per expression."""
+    by_arity: dict[int, list] = {}
+    for op in resolve_operators(operator_names):
+        by_arity.setdefault(op.arity, []).append(op)
+    seen = set(existing)
+    out = []
+    for item in ranked:
+        combo = item.combination
+        for op in by_arity.get(combo.size, []):
+            for arrangement in _arrangements(combo.features, op):
+                children = tuple(base[f] for f in arrangement)
+                expr = fit_applied(op, children, X)
+                key = expr.name(None)  # seed rendered the key per lookup
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(expr)
+    return out
+
+
+def scalar_evaluate(expressions, X):
+    """The seed's evaluate_expressions: column_stack over k tree walks."""
+    X = np.asarray(X, dtype=np.float64)
+    return np.column_stack([e.evaluate(X) for e in expressions])
+
+
 # ----------------------------------------------------------------------
 # Workload
 # ----------------------------------------------------------------------
@@ -134,6 +196,91 @@ def build_workload() -> tuple[np.ndarray, np.ndarray, list]:
     return X, y, combos
 
 
+def build_generation_workload(combos: list) -> tuple:
+    """Ranked combos + iteration-3-style base expressions + a valid matrix.
+
+    After a few Algorithm 1 iterations the base expressions are composed
+    trees (~13 operator nodes, depth 5) that share subtrees — exactly the
+    regime where the seed's per-arrangement tree re-evaluation hurts.
+    """
+    rng = np.random.default_rng(SEED + 1)
+    X_valid = rng.normal(size=(N_VALID_ROWS, N_COLS))
+
+    def mid(i: int) -> Applied:
+        # An iteration-2-style survivor over originals (6 operator nodes).
+        j = (i + 1) % N_COLS
+        k = (i + 7) % N_COLS
+        prod = Applied("mul", (Var(i), Var(j)))
+        return Applied(
+            "div",
+            (
+                Applied("add", (prod, Applied("log", (Var(k),)))),
+                Applied("sqrt", (Var(j),)),
+            ),
+        )
+
+    # Iteration-3-style bases: combinations of iteration-2 survivors.
+    # Each mid(i) appears in two bases, the duplicate-subtree pattern the
+    # CSE cache exists for.
+    base = [
+        Applied("sub", (mid(i), mid((i + 13) % N_COLS))) for i in range(N_COLS)
+    ]
+    ranked = [
+        RankedCombination(combination=c, gain_ratio=1.0 - 0.001 * i)
+        for i, c in enumerate(combos[:GAMMA])
+    ]
+    return ranked, base, X_valid
+
+
+def scalar_generation_stage(ranked, base, X, X_valid):
+    """generate -> candidate pool on train -> candidate pool on valid,
+    every step re-walking the expression trees from scratch."""
+    existing = {e.name(None) for e in base}
+    new_exprs = scalar_generate(ranked, GENERATION_OPERATORS, base, X, existing)
+    candidates = list(base) + new_exprs
+    X_cand = scalar_evaluate(candidates, X)
+    X_valid_cand = scalar_evaluate(candidates, X_valid)
+    return new_exprs, X_cand, X_valid_cand
+
+
+def batched_generation_stage(ranked, base, X, X_valid):
+    """Same stage on the CSE engine: columns materialized during
+    generation are reused for the candidate pool; the valid-set forest
+    shares subtrees through its own cache."""
+    cache = EvalCache(X)
+    existing = {e.key for e in base}
+    new_exprs = generate_features(
+        ranked, GENERATION_OPERATORS, base, X, existing, cache=cache
+    )
+    candidates = list(base) + new_exprs
+    X_cand = evaluate_forest(candidates, cache=cache)
+    X_valid_cand = evaluate_forest(candidates, X_valid)
+    return new_exprs, X_cand, X_valid_cand
+
+
+def run_end_to_end_fit() -> dict:
+    """One engine-path SAFE.fit, recorded for regression tracking."""
+    from repro.core import SAFE, SAFEConfig
+    from repro.tabular import Dataset
+
+    rng = np.random.default_rng(SEED + 2)
+    X = rng.normal(size=(FIT_N_ROWS, FIT_N_COLS))
+    y = (X[:, 0] * X[:, 1] + 0.5 * X[:, 2] - 0.3 * X[:, 3] > 0).astype(float)
+    train = Dataset.from_arrays(X[: FIT_N_ROWS // 2], y[: FIT_N_ROWS // 2])
+    valid = Dataset.from_arrays(X[FIT_N_ROWS // 2 :], y[FIT_N_ROWS // 2 :])
+    cfg = SAFEConfig(n_iterations=FIT_ITERATIONS, gamma=30, random_state=0)
+    t0 = time.perf_counter()
+    psi = SAFE(cfg).fit(train, valid)
+    seconds = time.perf_counter() - t0
+    return {
+        "n_rows": FIT_N_ROWS // 2,
+        "n_cols": FIT_N_COLS,
+        "n_iterations": FIT_ITERATIONS,
+        "seconds": seconds,
+        "n_output_features": psi.n_output_features,
+    }
+
+
 def best_of(fn, repeats: int = 3) -> tuple[float, object]:
     best = float("inf")
     result = None
@@ -156,9 +303,26 @@ def main(write_json: bool = True) -> dict:
         lambda: information_values_matrix(X, y, n_bins=IV_BINS), 3
     )
 
+    # Same repeat count on both sides so the best-of comparison is fair.
+    ranked_gen, base_exprs, X_valid = build_generation_workload(combos)
+    scalar_gen_s, scalar_gen_out = best_of(
+        lambda: scalar_generation_stage(ranked_gen, base_exprs, X, X_valid), 3
+    )
+    batched_gen_s, batched_gen_out = best_of(
+        lambda: batched_generation_stage(ranked_gen, base_exprs, X, X_valid), 3
+    )
+    s_exprs, s_cand, s_valid = scalar_gen_out
+    b_exprs, b_cand, b_valid = batched_gen_out
+    generation_identical = (
+        [e.key for e in s_exprs] == [e.key for e in b_exprs]
+        and [e.state for e in s_exprs] == [e.state for e in b_exprs]
+        and np.array_equal(s_cand, b_cand, equal_nan=True)
+        and np.array_equal(s_valid, b_valid, equal_nan=True)
+    )
+
     rank_err = float(np.abs(scalar_ratios - batched_ratios).max())
     iv_err = float(np.abs(scalar_ivs - batched_ivs).max())
-    equivalent = rank_err <= TOL and iv_err <= TOL
+    equivalent = rank_err <= TOL and iv_err <= TOL and generation_identical
 
     # gamma only truncates the sorted output; include it so the measured
     # stage is exactly what the pipeline runs.
@@ -187,6 +351,17 @@ def main(write_json: bool = True) -> dict:
             "speedup": scalar_iv_s / batched_iv_s,
             "max_abs_diff": iv_err,
         },
+        "generation": {
+            "n_combinations": GAMMA,
+            "n_valid_rows": N_VALID_ROWS,
+            "operators": list(GENERATION_OPERATORS),
+            "n_generated": len(b_exprs),
+            "scalar_seconds": scalar_gen_s,
+            "batched_seconds": batched_gen_s,
+            "speedup": scalar_gen_s / batched_gen_s,
+            "bit_identical": generation_identical,
+        },
+        "end_to_end_fit": run_end_to_end_fit(),
         "combined_speedup": combined,
         "equivalent_within_1e-9": equivalent,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -201,6 +376,12 @@ def main(write_json: bool = True) -> dict:
         f"IV:      {scalar_iv_s:.3f}s -> {batched_iv_s:.3f}s "
         f"({report['information_value']['speedup']:.1f}x)"
     )
+    print(
+        f"generation: {scalar_gen_s:.3f}s -> {batched_gen_s:.3f}s "
+        f"({report['generation']['speedup']:.1f}x)  "
+        f"bit-identical: {generation_identical}"
+    )
+    print(f"end-to-end fit: {report['end_to_end_fit']['seconds']:.3f}s")
     print(f"combined: {combined:.2f}x   equivalent: {equivalent}")
     if write_json:
         print(f"wrote {RESULT_PATH}")
@@ -209,5 +390,10 @@ def main(write_json: bool = True) -> dict:
 
 if __name__ == "__main__":
     report = main()
-    ok = report["equivalent_within_1e-9"] and report["combined_speedup"] >= 5.0
+    ok = (
+        report["equivalent_within_1e-9"]
+        and report["combined_speedup"] >= 5.0
+        and report["generation"]["speedup"] >= 4.0
+        and report["generation"]["bit_identical"]
+    )
     sys.exit(0 if ok else 1)

@@ -1,0 +1,49 @@
+"""Perf gate for the batched generation engine (excluded from tier-1).
+
+Run explicitly with ``PYTHONPATH=src python -m pytest -m perf
+benchmarks/test_perf_generation.py``. Asserts the acceptance criteria of
+the CSE-cached forest-evaluation PR: >= 4x on the generation stage
+(operator application + candidate-pool materialization) at 20k rows x 60
+features with iteration-3-style base expressions, and a bit-identical Ψ
+(same expression keys and fitted states, byte-equal candidate matrices
+on both the train and valid sets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import run_perf
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, y, combos = run_perf.build_workload()
+    ranked, base, X_valid = run_perf.build_generation_workload(combos)
+    return X, ranked, base, X_valid
+
+
+def test_generation_stage_speedup_and_bit_identity(workload):
+    X, ranked, base, X_valid = workload
+    scalar_s, scalar_out = run_perf.best_of(
+        lambda: run_perf.scalar_generation_stage(ranked, base, X, X_valid), 3
+    )
+    batched_s, batched_out = run_perf.best_of(
+        lambda: run_perf.batched_generation_stage(ranked, base, X, X_valid), 3
+    )
+    s_exprs, s_cand, s_valid = scalar_out
+    b_exprs, b_cand, b_valid = batched_out
+    assert [e.key for e in b_exprs] == [e.key for e in s_exprs]
+    assert [e.state for e in b_exprs] == [e.state for e in s_exprs]
+    assert np.array_equal(s_cand, b_cand, equal_nan=True)
+    assert np.array_equal(s_valid, b_valid, equal_nan=True)
+    assert scalar_s / batched_s >= 4.0
+
+
+def test_end_to_end_fit_runs_on_engine():
+    record = run_perf.run_end_to_end_fit()
+    assert record["n_output_features"] >= 1
+    assert record["seconds"] > 0

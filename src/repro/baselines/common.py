@@ -15,7 +15,8 @@ from ..core.generation import Combination, RankedCombination, generate_features
 from ..core.selection import select_features
 from ..core.transform import FeatureTransformer
 from ..exceptions import DataError
-from ..operators.expressions import Expression, Var, evaluate_expressions
+from ..operators.engine import EvalCache, evaluate_forest
+from ..operators.expressions import Expression, Var
 from ..tabular.dataset import Dataset
 from ..tabular.preprocess import clean_matrix
 
@@ -73,18 +74,21 @@ def run_generation_and_selection(
     """Apply operators to ``ranked`` combos, then SAFE's selection pass."""
     y = train.require_labels()
     base = [Var(i) for i in range(train.n_cols)]
+    train_cache = EvalCache(train.X)
     new_exprs = generate_features(
         ranked,
         operator_names,
         base,
         train.X,
         existing_keys={e.key for e in base},
+        cache=train_cache,
+        n_jobs=n_jobs,
     )
     candidates: list[Expression] = base + new_exprs
-    X_cand = clean_matrix(evaluate_expressions(candidates, train.X))
+    X_cand = clean_matrix(evaluate_forest(candidates, cache=train_cache))
     eval_cand = None
     if valid is not None and valid.y is not None:
-        eval_cand = (clean_matrix(evaluate_expressions(candidates, valid.X)), valid.y)
+        eval_cand = (clean_matrix(evaluate_forest(candidates, valid.X)), valid.y)
     if max_output is None:
         max_output = 2 * train.n_cols
     report = select_features(

@@ -26,7 +26,8 @@ import numpy as np
 from ..boosting.gbm import GradientBoostingClassifier
 from ..boosting.tree import TreePath
 from ..operators.base import Operator, resolve_operators
-from ..operators.expressions import Applied, Expression, fit_applied
+from ..operators.engine import EvalCache, batch_populate_cache
+from ..operators.expressions import Applied, Expression
 
 
 @dataclass(frozen=True)
@@ -157,6 +158,8 @@ def generate_features(
     base_expressions: "list[Expression]",
     X_original: np.ndarray,
     existing_keys: "set[str]",
+    cache: "EvalCache | None" = None,
+    n_jobs: int = 1,
 ) -> list[Expression]:
     """Apply operators to ranked combinations (line 6).
 
@@ -166,25 +169,75 @@ def generate_features(
     Stateful operators are fitted on ``X_original`` here. Duplicate
     expressions (same canonical key, including anything already in
     ``existing_keys``) are skipped.
+
+    Evaluation runs on the batched engine: each surviving combination's
+    child columns are gathered once from ``cache`` (an
+    :class:`~repro.operators.engine.EvalCache` over ``X_original``;
+    created here if not supplied, pass the pipeline's to reuse the
+    columns downstream), and every stateless batchable operator is
+    applied as one vectorized kernel over the ``(n, m)`` block of all its
+    arrangements, with the resulting columns stored back into the cache.
+    Stateful operators keep their audited per-expression ``fit`` but draw
+    child columns from the cache. Output expressions and columns are
+    bit-identical to the scalar ``fit_applied`` reference path.
+
+    ``n_jobs > 1`` chunks the ranked combinations across worker
+    processes (see :func:`repro.parallel.parallel_generate_features`);
+    the supplied ``cache`` is then repopulated in the parent with one
+    batched kernel pass over the merged result, so downstream forest
+    evaluation still reuses vectorized columns.
     """
+    if n_jobs != 1 and len(ranked) > 1:
+        from ..parallel import parallel_generate_features, resolve_n_jobs
+
+        if resolve_n_jobs(n_jobs) > 1:
+            out = parallel_generate_features(
+                ranked, operator_names, base_expressions, X_original,
+                existing_keys, n_jobs=n_jobs,
+            )
+            if cache is not None:
+                batch_populate_cache(cache, out)
+            return out
+        # n_jobs resolved to one worker: use the serial path (and cache).
     operators = resolve_operators(operator_names)
     by_arity: dict[int, list[Operator]] = {}
     for op in operators:
         by_arity.setdefault(op.arity, []).append(op)
+    if cache is None:
+        cache = EvalCache(X_original)
+
+    # Pass 1: enumerate output slots in the exact nested order of the
+    # scalar reference (combo -> operator -> arrangement), deduping by
+    # canonical key before any evaluation happens.
     seen = set(existing_keys)
-    out: list[Expression] = []
+    plan: list[tuple[Operator, tuple[Expression, ...]]] = []
     for item in ranked:
         combo = item.combination
-        ops = by_arity.get(combo.size, [])
-        for op in ops:
+        for op in by_arity.get(combo.size, []):
             for arrangement in _arrangements(combo.features, op):
                 children = tuple(base_expressions[f] for f in arrangement)
-                expr: Expression = fit_applied(op, children, X_original)
-                if expr.key in seen:
+                key = op.format(*(c.key for c in children))
+                if key in seen:
                     continue
-                seen.add(expr.key)
-                out.append(expr)
-    return out
+                seen.add(key)
+                plan.append((op, children))
+
+    # Pass 2: vectorized kernels — every stateless operator is applied
+    # once to the stacked (n, m) block of all its arrangements, columns
+    # stored back into the cache.
+    exprs: "list[Expression | None]" = [
+        None if op.is_stateful else Applied(op.name, children, None)
+        for op, children in plan
+    ]
+    batch_populate_cache(cache, [e for e in exprs if e is not None])
+
+    # Pass 3: stateful operators — audited per-expression fit, child
+    # columns drawn from the cache instead of re-evaluating the trees.
+    for i, (op, children) in enumerate(plan):
+        if exprs[i] is None:
+            state = op.fit(*(cache.column(c) for c in children))
+            exprs[i] = Applied(op.name, children, state)
+    return [e for e in exprs if e is not None]
 
 
 def search_space_size(n_features: int, operator_counts: "dict[int, int]") -> float:

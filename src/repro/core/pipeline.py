@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import DataError
-from ..operators.expressions import Expression, Var, evaluate_expressions
+from ..operators.engine import EvalCache, evaluate_forest
+from ..operators.expressions import Expression, Var
 from ..tabular.dataset import Dataset
 from ..tabular.preprocess import clean_matrix
 from ..utils import Timer
@@ -86,6 +87,12 @@ class SAFE(AutoFeatureEngineer):
         X_cur = X_original.copy()
         X_valid_cur = valid.X.copy() if valid is not None else None
 
+        # CSE caches: every expression column materialized during
+        # generation or candidate evaluation is computed once per matrix
+        # and reused across iterations (the matrices never change).
+        train_cache = EvalCache(X_original)
+        valid_cache = EvalCache(valid.X) if valid is not None else None
+
         timer = Timer()
         self.traces_ = []
         for iteration in range(cfg.n_iterations):
@@ -124,6 +131,8 @@ class SAFE(AutoFeatureEngineer):
                 expressions,
                 X_original,
                 existing_keys=existing,
+                cache=train_cache,
+                n_jobs=cfg.n_jobs,
             )
             if not new_exprs and iteration > 0:
                 break  # nothing new to add; feature set has stabilized
@@ -133,11 +142,11 @@ class SAFE(AutoFeatureEngineer):
                 candidates = list(expressions) + new_exprs
             else:
                 candidates = new_exprs
-            X_cand = clean_matrix(evaluate_expressions(candidates, X_original))
+            X_cand = clean_matrix(evaluate_forest(candidates, cache=train_cache))
             eval_cand = None
-            if valid is not None and y_valid is not None:
+            if valid_cache is not None and y_valid is not None:
                 eval_cand = (
-                    clean_matrix(evaluate_expressions(candidates, valid.X)),
+                    clean_matrix(evaluate_forest(candidates, cache=valid_cache)),
                     y_valid,
                 )
 
@@ -162,6 +171,10 @@ class SAFE(AutoFeatureEngineer):
             X_cur = X_cand[:, chosen]
             if eval_cand is not None:
                 X_valid_cur = eval_cand[0][:, chosen]
+            # Bound cache memory: keep only subtrees the survivors reuse.
+            train_cache.retain(expressions)
+            if valid_cache is not None:
+                valid_cache.retain(expressions)
             self.traces_.append(
                 IterationTrace(
                     iteration=iteration,

@@ -94,7 +94,10 @@ def remove_redundant_features(
     order = np.lexsort((np.arange(ivs.size), -ivs))
     kept: list[int] = []
     for j in order:
-        if all(corr[j, k] <= theta for k in kept):
+        # Vectorized kept-scan; a NaN correlation (constant column) makes
+        # the max comparison False, rejecting j exactly like the scalar
+        # per-pair check did.
+        if not kept or corr[j, kept].max() <= theta:
             kept.append(int(j))
     kept.sort()
     return np.asarray(kept, dtype=np.int64)

@@ -21,10 +21,10 @@ from pathlib import Path
 import numpy as np
 
 from ..exceptions import DataError, SchemaError
+from ..operators.engine import evaluate_forest
 from ..operators.expressions import (
     Expression,
     Var,
-    evaluate_expressions,
     expression_from_dict,
 )
 from ..tabular.dataset import Dataset
@@ -90,7 +90,9 @@ class FeatureTransformer:
                 f"input has {X.shape[1]} columns, transformer expects "
                 f"{len(self.original_names)}"
             )
-        out = evaluate_expressions(list(self.expressions), X)
+        # CSE engine: shared subtrees across the plan's expressions are
+        # evaluated once per call (bit-identical to the scalar reference).
+        out = evaluate_forest(list(self.expressions), X)
         return out[0] if single else out
 
     def transform(self, data: "Dataset | np.ndarray") -> "Dataset | np.ndarray":

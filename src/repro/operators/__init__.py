@@ -9,6 +9,7 @@ from .base import (
     resolve_operators,
 )
 from .binary import BINARY_OPERATORS
+from .engine import EvalCache, batch_populate_cache, evaluate_forest
 from .expressions import (
     Applied,
     Expression,
@@ -27,6 +28,7 @@ __all__ = [
     "Applied",
     "BINARY_OPERATORS",
     "DOMAIN_OPERATORS",
+    "EvalCache",
     "Expression",
     "LEARNED_OPERATORS",
     "NARY_OPERATORS",
@@ -35,7 +37,9 @@ __all__ = [
     "UNARY_OPERATORS",
     "Var",
     "available_operators",
+    "batch_populate_cache",
     "evaluate_expressions",
+    "evaluate_forest",
     "expression_from_dict",
     "expression_from_json",
     "fit_applied",

@@ -43,10 +43,22 @@ class Operator(ABC):
     commutative: bool = False
     #: Human-oriented infix/function symbol used by Expression.format.
     symbol: str = ""
+    #: Whether :meth:`apply` is a columnwise kernel that may be called on
+    #: ``(n, m)`` *batches* (one column per arrangement) and produce the
+    #: same result as m independent 1-D calls. The built-in stateless
+    #: operators opt in (they are elementwise or stack on a fresh axis);
+    #: the conservative default keeps unaudited extensions on the
+    #: always-correct per-expression path in batched generation.
+    batchable: bool = False
 
     def fit(self, *cols: np.ndarray) -> "dict | None":
         """Learn serializable state from training columns (default: none)."""
         return None
+
+    @property
+    def is_stateful(self) -> bool:
+        """True when :meth:`fit` is overridden (fitted state drives apply)."""
+        return type(self).fit is not Operator.fit
 
     @abstractmethod
     def apply(self, state: "dict | None", *cols: np.ndarray) -> np.ndarray:

@@ -28,6 +28,7 @@ class AddOp(Operator):
     arity = 2
     commutative = True
     symbol = "+"
+    batchable = True
 
     def apply(self, state, a, b):
         return a + b
@@ -38,6 +39,7 @@ class SubOp(Operator):
     arity = 2
     commutative = False
     symbol = "-"
+    batchable = True
 
     def apply(self, state, a, b):
         return a - b
@@ -48,6 +50,7 @@ class MulOp(Operator):
     arity = 2
     commutative = True
     symbol = "*"
+    batchable = True
 
     def apply(self, state, a, b):
         return a * b
@@ -60,6 +63,7 @@ class DivOp(Operator):
     arity = 2
     commutative = False
     symbol = "/"
+    batchable = True
 
     def apply(self, state, a, b):
         a = np.asarray(a, dtype=np.float64)
@@ -79,6 +83,7 @@ class _LogicalOp(Operator):
     """Base for two-place logical connectives over booleanized inputs."""
 
     arity = 2
+    batchable = True
 
     def table(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -200,14 +205,14 @@ class _GroupByThenOp(Operator):
         state = state or {"edges": [], "groups": {}, "fallback": 0.0}
         edges = np.asarray(state["edges"], dtype=np.float64)
         codes = codes_from_edges(np.asarray(key, dtype=np.float64), edges)
-        groups = state["groups"]
-        fallback = state["fallback"]
-        out = np.fromiter(
-            (groups.get(str(int(c)), fallback) for c in codes),
-            dtype=np.float64,
-            count=codes.size,
-        )
-        return out
+        # Codes are bounded by len(edges) + 1 (the missing-value code), so
+        # a dense lookup table replaces the per-row dict scan.
+        table = np.full(edges.size + 2, float(state["fallback"]))
+        for code_str, stat in state["groups"].items():
+            code = int(code_str)
+            if 0 <= code < table.size:
+                table[code] = stat
+        return table[codes]
 
 
 class GroupByThenMaxOp(_GroupByThenOp):

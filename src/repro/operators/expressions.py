@@ -50,8 +50,19 @@ class Expression(ABC):
     # ------------------------------------------------------------------
     @property
     def key(self) -> str:
-        """Canonical identity string (used for dedup and stability)."""
-        return self.name(None)
+        """Canonical identity string (used for dedup and stability).
+
+        Computed once — :class:`Var` and :class:`Applied` render it at
+        construction (children's cached keys make that O(1) per node
+        rather than O(depth · nodes) per lookup); the lazy fallback here
+        covers third-party :class:`Expression` subclasses. Trees are
+        immutable, so the cached rendering never goes stale.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = self.name(None)
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
@@ -71,6 +82,9 @@ class Var(Expression):
     """Reference to an original column by position."""
 
     index: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", f"x{self.index}")
 
     def evaluate(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
@@ -108,6 +122,9 @@ class Applied(Expression):
     def __post_init__(self) -> None:
         op = get_operator(self.op_name)
         op.check_arity(len(self.children))
+        object.__setattr__(
+            self, "_key", op.format(*(c.key for c in self.children))
+        )
 
     @property
     def operator(self) -> Operator:
@@ -176,10 +193,17 @@ def evaluate_expressions(
     expressions: "list[Expression]",
     X: np.ndarray,
 ) -> np.ndarray:
-    """Evaluate a list of expressions into an ``(n, len(expressions))`` block."""
+    """Evaluate a list of expressions into an ``(n, len(expressions))`` block.
+
+    This is the audited scalar reference: each tree is evaluated
+    independently via :meth:`Expression.evaluate`. The production paths
+    (pipeline, serving) use :func:`repro.operators.engine.evaluate_forest`,
+    which shares work across trees and must stay bit-identical to this.
+    """
     X = np.asarray(X, dtype=np.float64)
     if X.ndim == 1:
         X = X.reshape(1, -1)
-    if not expressions:
-        return np.empty((X.shape[0], 0))
-    return np.column_stack([expr.evaluate(X) for expr in expressions])
+    out = np.empty((X.shape[0], len(expressions)), dtype=np.float64)
+    for j, expr in enumerate(expressions):
+        out[:, j] = expr.evaluate(X)
+    return out

@@ -21,6 +21,7 @@ class ConditionalOp(Operator):
     arity = 3
     commutative = False
     symbol = "cond"
+    batchable = True
 
     def apply(self, state, a, b, c):
         return np.where(np.asarray(a, dtype=np.float64) != 0, b, c)
@@ -33,10 +34,12 @@ class _NaryReduceOp(Operator):
     """Base for MAX/MIN/MEAN at a fixed arity."""
 
     commutative = True
+    batchable = True
     reducer = None  # type: ignore[assignment]
 
     def apply(self, state, *cols):
-        stacked = np.vstack([np.asarray(c, dtype=np.float64) for c in cols])
+        # np.stack (not vstack) so (n, m) batches reduce columnwise too.
+        stacked = np.stack([np.asarray(c, dtype=np.float64) for c in cols], axis=0)
         return type(self).reducer(stacked, axis=0)
 
 

@@ -21,6 +21,7 @@ class LogOp(Operator):
     name = "log"
     arity = 1
     symbol = "log"
+    batchable = True
 
     def apply(self, state, x):
         return np.sign(x) * np.log1p(np.abs(x))
@@ -32,6 +33,7 @@ class SqrtOp(Operator):
     name = "sqrt"
     arity = 1
     symbol = "sqrt"
+    batchable = True
 
     def apply(self, state, x):
         return np.sign(x) * np.sqrt(np.abs(x))
@@ -41,6 +43,7 @@ class SquareOp(Operator):
     name = "square"
     arity = 1
     symbol = "square"
+    batchable = True
 
     def apply(self, state, x):
         return x * x
@@ -50,6 +53,7 @@ class SigmoidOp(Operator):
     name = "sigmoid"
     arity = 1
     symbol = "sigmoid"
+    batchable = True
 
     def apply(self, state, x):
         return sigmoid(np.asarray(x, dtype=np.float64))
@@ -59,6 +63,7 @@ class TanhOp(Operator):
     name = "tanh"
     arity = 1
     symbol = "tanh"
+    batchable = True
 
     def apply(self, state, x):
         return np.tanh(x)
@@ -68,6 +73,7 @@ class RoundOp(Operator):
     name = "round"
     arity = 1
     symbol = "round"
+    batchable = True
 
     def apply(self, state, x):
         return np.round(x)
@@ -77,6 +83,7 @@ class AbsOp(Operator):
     name = "abs"
     arity = 1
     symbol = "abs"
+    batchable = True
 
     def apply(self, state, x):
         return np.abs(x)
@@ -86,6 +93,7 @@ class NegateOp(Operator):
     name = "neg"
     arity = 1
     symbol = "neg"
+    batchable = True
 
     def apply(self, state, x):
         return -np.asarray(x, dtype=np.float64)
@@ -97,6 +105,7 @@ class ReciprocalOp(Operator):
     name = "reciprocal"
     arity = 1
     symbol = "reciprocal"
+    batchable = True
 
     def apply(self, state, x):
         x = np.asarray(x, dtype=np.float64)

@@ -5,8 +5,10 @@ automatic feature engineering algorithm should be able to be calculated
 in parallel", calling out per-feature information value and per-pair
 Pearson correlation explicitly. This module provides the process-pool
 machinery; :func:`parallel_information_values` is the IV stage's
-parallel path and :func:`parallel_score_combinations` chunks the
-Algorithm 2 ranking over combinations (both enabled with
+parallel path, :func:`parallel_score_combinations` chunks the
+Algorithm 2 ranking over combinations, and
+:func:`parallel_generate_features` chunks the operator-application
+stage over the surviving combinations (all enabled with
 ``SAFEConfig(n_jobs=...)``).
 
 Design notes:
@@ -150,6 +152,64 @@ def parallel_score_combinations(
     out = np.empty(len(combos))
     for idx, values in zip(chunks, results):
         out[idx] = values
+    return out
+
+
+def _generate_chunk(payload: "tuple[list, tuple, list, np.ndarray, set]") -> list:
+    """Worker: generated expressions for a block of ranked combinations."""
+    ranked, operator_names, base_expressions, X, existing = payload
+    from .core.generation import generate_features
+
+    return generate_features(
+        ranked, operator_names, base_expressions, X, existing_keys=existing
+    )
+
+
+def parallel_generate_features(
+    ranked: "list",
+    operator_names: "tuple[str, ...]",
+    base_expressions: "list",
+    X: np.ndarray,
+    existing_keys: "set[str]",
+    n_jobs: "int | None" = None,
+) -> list:
+    """Feature generation (Algorithm 1 line 6), chunked over combinations.
+
+    Each worker runs the batched generation engine on its block of ranked
+    combinations with its own per-process :class:`EvalCache`; expression
+    trees (with fitted state) travel back over IPC. Because stateful fits
+    are deterministic functions of ``X``, merging the chunks in order and
+    dropping later duplicates reproduces the serial output exactly.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    from .core.generation import generate_features
+
+    if jobs == 1 or len(ranked) <= 1:
+        return generate_features(
+            ranked, operator_names, base_expressions, X, existing_keys
+        )
+    chunks = chunk_indices(len(ranked), jobs)
+    existing = set(existing_keys)
+    payloads = [
+        (
+            [ranked[i] for i in idx],
+            tuple(operator_names),
+            list(base_expressions),
+            X,
+            existing,
+        )
+        for idx in chunks
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(_generate_chunk, payloads))
+    out: list = []
+    seen = set(existing)
+    for block in results:
+        for expr in block:
+            if expr.key in seen:
+                continue
+            seen.add(expr.key)
+            out.append(expr)
     return out
 
 
