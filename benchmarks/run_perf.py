@@ -21,11 +21,26 @@ values per feature). Measures
   columns). Base expressions are depth-3 composed trees, the iteration
   >= 1 regime where child re-evaluation dominates;
 * one end-to-end ``SAFE.fit`` (engine path only — timing record, no
-  scalar twin).
+  scalar twin);
+* the combination-mining GBM itself — scalar reference: the seed's
+  depth-first tree grower (fresh flattened ``bincount`` + ``np.repeat``
+  temporaries per node, raw-``X`` re-descent for every margin and
+  eval-set update); fast path: histogram-subtraction level growth with
+  fit-time leaf gathers and a once-per-fit binned eval set
+  (``boosting.tree`` / ``boosting.gbm``). Two configurations: the
+  headline stochastic workload (``subsample=0.5``, Friedman-style
+  stochastic boosting with deep trees, where the subsample bugfix also
+  shrinks the partitions) and a parity twin (``subsample=1.0``) whose
+  *training* margins must be **bit-identical** to the seed path (eval
+  margins can deviate marginally: candidate splits with exactly equal
+  gain — the same train partition reached through different features —
+  may resolve differently under histogram-subtraction float noise,
+  which train rows cannot observe but off-train rows can).
 
 Verifies the batched results match the scalar ones (scoring to 1e-9,
 generation bit-identical: same expression keys/states and byte-equal
-candidate matrices) and writes ``BENCH_perf.json`` at the repo root.
+candidate matrices; boosting parity margins byte-equal) and writes
+``BENCH_perf.json`` at the repo root.
 
 Run: ``PYTHONPATH=src python benchmarks/run_perf.py``
 """
@@ -78,6 +93,16 @@ GENERATION_OPERATORS = (
 FIT_N_ROWS = 8_000
 FIT_N_COLS = 30
 FIT_ITERATIONS = 2
+BOOST_N_ESTIMATORS = 40
+BOOST_MAX_DEPTH = 7
+BOOST_MAX_BINS = 32
+BOOST_LEARNING_RATE = 0.1
+BOOST_SUBSAMPLE = 0.5  # Friedman-style stochastic gradient boosting
+BOOST_N_EVAL_ROWS = 10_000
+# XGBoost-style stopping: only min_child_weight binds, so the fast path
+# never accumulates a per-bin count channel.
+BOOST_MIN_SAMPLES_LEAF = 0
+BOOST_MIN_CHILD_WEIGHT = 1e-3
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
@@ -165,6 +190,164 @@ def scalar_evaluate(expressions, X):
     """The seed's evaluate_expressions: column_stack over k tree walks."""
     X = np.asarray(X, dtype=np.float64)
     return np.column_stack([e.evaluate(X) for e in expressions])
+
+
+class SeedTree:
+    """Faithful copy of the seed's depth-first regression-tree grower.
+
+    Per popped node it rebuilds every feature histogram from the node's
+    rows with one flattened ``bincount`` over ``np.repeat``-expanded
+    gradient/hessian weights, and prediction re-descends raw floats
+    (NaN right via comparison only — the pre-fix default-direction rule).
+
+    ``tests/test_boosting_tree.py::_reference_grow`` is a deliberately
+    independent copy of the same seed semantics (kept separate so a bug
+    slipped into one oracle cannot silently propagate to the other); a
+    change to the reference semantics must be mirrored there.
+    """
+
+    def __init__(self, max_depth, min_samples_leaf, min_child_weight, reg_lambda, gamma):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+
+    def fit(self, codes, edges, grad, hess):
+        n_rows, n_cols = codes.shape
+        stride = max(len(e) for e in edges) + 2 if edges else 2
+        offsets = (np.arange(n_cols, dtype=np.int64) * stride)[None, :]
+        codes_offset = codes + offsets
+        n_edges = np.array([len(e) for e in edges], dtype=np.int64)
+        nodes = []
+
+        def new_node(depth, idx):
+            nodes.append(
+                {"feature": -1, "threshold": np.nan, "left": -1, "right": -1,
+                 "value": 0.0, "_depth": depth, "_idx": idx}
+            )
+            return len(nodes) - 1
+
+        stack = [new_node(0, np.arange(n_rows))]
+        while stack:
+            node = nodes[stack.pop()]
+            idx = node["_idx"]
+            g_sum = float(grad[idx].sum())
+            h_sum = float(hess[idx].sum())
+            node["value"] = -g_sum / (h_sum + self.reg_lambda)
+            if (
+                node["_depth"] >= self.max_depth
+                or idx.size < 2 * self.min_samples_leaf
+                or h_sum < 2 * self.min_child_weight
+            ):
+                continue
+            flat = codes_offset[idx].ravel()
+            length = n_cols * stride
+            g_hist = np.bincount(
+                flat, weights=np.repeat(grad[idx], n_cols), minlength=length
+            ).reshape(n_cols, stride)
+            h_hist = np.bincount(
+                flat, weights=np.repeat(hess[idx], n_cols), minlength=length
+            ).reshape(n_cols, stride)
+            c_hist = np.bincount(flat, minlength=length).reshape(n_cols, stride)
+            gl = np.cumsum(g_hist, axis=1)[:, :-1]
+            hl = np.cumsum(h_hist, axis=1)[:, :-1]
+            cl = np.cumsum(c_hist, axis=1)[:, :-1]
+            gr = g_sum - gl
+            hr = h_sum - hl
+            cr = idx.size - cl
+            parent_term = g_sum * g_sum / (h_sum + self.reg_lambda)
+            gains = 0.5 * (
+                gl * gl / (hl + self.reg_lambda)
+                + gr * gr / (hr + self.reg_lambda)
+                - parent_term
+            ) - self.gamma
+            valid = (
+                (cl >= self.min_samples_leaf)
+                & (cr >= self.min_samples_leaf)
+                & (hl >= self.min_child_weight)
+                & (hr >= self.min_child_weight)
+                & (np.arange(stride - 1)[None, :] <= n_edges[:, None])
+            )
+            gains = np.where(valid, gains, -np.inf)
+            best_flat = int(np.argmax(gains))
+            j, b = divmod(best_flat, stride - 1)
+            if not np.isfinite(gains[j, b]) or gains[j, b] <= 0:
+                continue
+            threshold = float(edges[j][b]) if b < len(edges[j]) else np.inf
+            go_left = codes[idx, j] <= b
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            if left_idx.size == 0 or right_idx.size == 0:
+                continue
+            node["feature"] = j
+            node["threshold"] = threshold
+            left_id = new_node(node["_depth"] + 1, left_idx)
+            right_id = new_node(node["_depth"] + 1, right_idx)
+            node["left"] = left_id
+            node["right"] = right_id
+            stack.append(left_id)
+            stack.append(right_id)
+
+        self.feature = np.array([n["feature"] for n in nodes], dtype=np.int64)
+        self.threshold = np.array([n["threshold"] for n in nodes])
+        self.left = np.array([n["left"] for n in nodes], dtype=np.int64)
+        self.right = np.array([n["right"] for n in nodes], dtype=np.int64)
+        self.value = np.array([n["value"] for n in nodes])
+        return self
+
+    def predict(self, X):
+        node_ids = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature[node_ids] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            nid = node_ids[rows]
+            go_left = X[rows, self.feature[nid]] <= self.threshold[nid]
+            node_ids[rows] = np.where(go_left, self.left[nid], self.right[nid])
+            active[rows] = self.feature[node_ids[rows]] >= 0
+        return self.value[node_ids]
+
+
+def seed_gbm_fit(X, y, eval_set, subsample):
+    """Faithful copy of the seed boosting loop around :class:`SeedTree`.
+
+    Row subsampling zero-weights dropped rows (the pre-fix phantom-row
+    behaviour), every margin update re-descends raw ``X``, and the eval
+    set is re-descended on raw floats each round.
+    """
+    from repro.boosting.losses import get_loss
+    from repro.tabular.binning import quantile_codes_matrix
+
+    loss = get_loss("logistic")
+    rng = np.random.default_rng(SEED)
+    codes, edges = quantile_codes_matrix(X, max_bins=BOOST_MAX_BINS)
+    codes = np.ascontiguousarray(codes)  # the seed built C-ordered codes
+    base_score = loss.base_score(y)
+    margin = np.full(X.shape[0], base_score)
+    X_eval, y_eval = eval_set
+    eval_margin = np.full(X_eval.shape[0], base_score)
+    trees = []
+    n_rows = X.shape[0]
+    for __ in range(BOOST_N_ESTIMATORS):
+        grad, hess = loss.grad_hess(y, margin)
+        if subsample < 1.0:
+            keep = rng.random(n_rows) < subsample
+            if not keep.any():
+                keep[rng.integers(0, n_rows)] = True
+            grad = np.where(keep, grad, 0.0)
+            hess = np.where(keep, hess, 0.0)
+        tree = SeedTree(
+            max_depth=BOOST_MAX_DEPTH,
+            min_samples_leaf=BOOST_MIN_SAMPLES_LEAF,
+            min_child_weight=BOOST_MIN_CHILD_WEIGHT,
+            reg_lambda=1.0,
+            gamma=0.0,
+        ).fit(codes, edges, grad, hess)
+        trees.append(tree)
+        margin += BOOST_LEARNING_RATE * tree.predict(X)
+        eval_margin += BOOST_LEARNING_RATE * tree.predict(X_eval)
+        loss.loss(y_eval, eval_margin)
+    return margin, eval_margin, trees
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +439,89 @@ def batched_generation_stage(ranked, base, X, X_valid):
     X_cand = evaluate_forest(candidates, cache=cache)
     X_valid_cand = evaluate_forest(candidates, X_valid)
     return new_exprs, X_cand, X_valid_cand
+
+
+def build_boosting_workload() -> tuple:
+    """Train/eval matrices for the GBM workload (20k x 60, deep trees).
+
+    Reuses the scoring workload's matrix (duplicate-heavy column 10,
+    sparse NaNs in column 11) plus a fresh finite eval set.
+    """
+    X, y, __ = build_workload()
+    rng = np.random.default_rng(SEED + 3)
+    X_eval = rng.normal(size=(BOOST_N_EVAL_ROWS, N_COLS))
+    y_eval = (
+        X_eval[:, 0] * X_eval[:, 1] + 0.5 * X_eval[:, 2] - 0.3 * X_eval[:, 3] > 0
+    ).astype(float)
+    return X, y, X_eval, y_eval
+
+
+def fast_gbm_fit(X, y, eval_set, subsample):
+    """The histogram-subtraction path: one ``GradientBoostingClassifier.fit``."""
+    from repro.boosting import GradientBoostingClassifier
+
+    model = GradientBoostingClassifier(
+        n_estimators=BOOST_N_ESTIMATORS,
+        max_depth=BOOST_MAX_DEPTH,
+        learning_rate=BOOST_LEARNING_RATE,
+        max_bins=BOOST_MAX_BINS,
+        min_samples_leaf=BOOST_MIN_SAMPLES_LEAF,
+        min_child_weight=BOOST_MIN_CHILD_WEIGHT,
+        subsample=subsample,
+        random_state=SEED,
+    ).fit(X, y, eval_set=eval_set)
+    return model
+
+
+def run_boosting_benchmark(repeats: int = 2) -> dict:
+    """Seed-path vs histogram-subtraction GBM training, both configs.
+
+    Headline: the stochastic workload (``subsample=0.5``; the subsample
+    bugfix also means the fast path trains on true sub-partitions).
+    Parity: ``subsample=1.0``, where tree growth semantics are unchanged
+    and final training margins must be bit-identical to the seed path.
+    """
+    X, y, X_eval, y_eval = build_boosting_workload()
+    eval_set = (X_eval, y_eval)
+
+    seed_s, seed_out = best_of(
+        lambda: seed_gbm_fit(X, y, eval_set, BOOST_SUBSAMPLE), repeats
+    )
+    fast_s, fast_model = best_of(
+        lambda: fast_gbm_fit(X, y, eval_set, BOOST_SUBSAMPLE), repeats
+    )
+    parity_seed_s, parity_seed_out = best_of(
+        lambda: seed_gbm_fit(X, y, eval_set, 1.0), repeats
+    )
+    parity_fast_s, parity_fast_model = best_of(
+        lambda: fast_gbm_fit(X, y, eval_set, 1.0), repeats
+    )
+    parity_margin = parity_fast_model.decision_function(X)
+    bit_identical = bool(np.array_equal(parity_seed_out[0], parity_margin))
+    eval_diff = float(
+        np.abs(parity_seed_out[1] - parity_fast_model.decision_function(X_eval)).max()
+    )
+    return {
+        "n_rows": N_ROWS,
+        "n_cols": N_COLS,
+        "n_estimators": BOOST_N_ESTIMATORS,
+        "max_depth": BOOST_MAX_DEPTH,
+        "max_bins": BOOST_MAX_BINS,
+        "subsample": BOOST_SUBSAMPLE,
+        "n_eval_rows": BOOST_N_EVAL_ROWS,
+        "n_trees": len(fast_model.trees_),
+        "seed_seconds": seed_s,
+        "fast_seconds": fast_s,
+        "speedup": seed_s / fast_s,
+        "parity": {
+            "subsample": 1.0,
+            "seed_seconds": parity_seed_s,
+            "fast_seconds": parity_fast_s,
+            "speedup": parity_seed_s / parity_fast_s,
+            "train_margins_bit_identical": bit_identical,
+            "eval_margin_max_abs_diff": eval_diff,
+        },
+    }
 
 
 def run_end_to_end_fit() -> dict:
@@ -361,6 +627,7 @@ def main(write_json: bool = True) -> dict:
             "speedup": scalar_gen_s / batched_gen_s,
             "bit_identical": generation_identical,
         },
+        "boosting": run_boosting_benchmark(),
         "end_to_end_fit": run_end_to_end_fit(),
         "combined_speedup": combined,
         "equivalent_within_1e-9": equivalent,
@@ -381,6 +648,12 @@ def main(write_json: bool = True) -> dict:
         f"({report['generation']['speedup']:.1f}x)  "
         f"bit-identical: {generation_identical}"
     )
+    boost = report["boosting"]
+    print(
+        f"boosting: {boost['seed_seconds']:.3f}s -> {boost['fast_seconds']:.3f}s "
+        f"({boost['speedup']:.1f}x)  parity {boost['parity']['speedup']:.1f}x "
+        f"bit-identical: {boost['parity']['train_margins_bit_identical']}"
+    )
     print(f"end-to-end fit: {report['end_to_end_fit']['seconds']:.3f}s")
     print(f"combined: {combined:.2f}x   equivalent: {equivalent}")
     if write_json:
@@ -395,5 +668,7 @@ if __name__ == "__main__":
         and report["combined_speedup"] >= 5.0
         and report["generation"]["speedup"] >= 4.0
         and report["generation"]["bit_identical"]
+        and report["boosting"]["speedup"] >= 3.0
+        and report["boosting"]["parity"]["train_margins_bit_identical"]
     )
     sys.exit(0 if ok else 1)

@@ -1,0 +1,50 @@
+"""Perf gate for the histogram-subtraction GBM training path (not tier-1).
+
+Run explicitly with ``PYTHONPATH=src python -m pytest -m perf
+benchmarks/test_perf_boosting.py``. Asserts the acceptance criteria of
+the boosting fast-path PR: >= 3x training speedup over the seed's
+depth-first grower on the 20k x 60 stochastic workload (deep trees,
+``subsample=0.5``), and bit-identical training margins on the parity
+configuration (``subsample=1.0``), where tree-growth semantics are
+unchanged by the subsample bugfix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import run_perf
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_perf.run_boosting_benchmark()
+
+
+def test_training_speedup(record):
+    assert record["n_trees"] == run_perf.BOOST_N_ESTIMATORS
+    assert record["speedup"] >= 3.0
+
+
+def test_parity_margins_bit_identical(record):
+    assert record["parity"]["train_margins_bit_identical"] is True
+    # Eval margins may deviate slightly: when two candidate splits have
+    # *exactly* equal gain (same train partition through different
+    # features), float subtraction noise can flip which one argmax picks.
+    # Train routing is unaffected; off-train rows may route differently.
+    assert record["parity"]["eval_margin_max_abs_diff"] < 1.0
+    # The dense (non-subsampled) configuration must still be a clear win.
+    assert record["parity"]["speedup"] >= 2.0
+
+
+def test_subsample_partitions_shrink():
+    """The fast path's trees train on true sub-partitions (the bugfix)."""
+    X, y, X_eval, y_eval = run_perf.build_boosting_workload()
+    model = run_perf.fast_gbm_fit(X, y, (X_eval, y_eval), run_perf.BOOST_SUBSAMPLE)
+    roots = np.array([int(t.n_samples[0]) for t in model.trees_])
+    assert (roots < X.shape[0]).all()
+    # Binomial(20000, 0.5) concentrates tightly around 10000.
+    assert abs(roots.mean() - run_perf.BOOST_SUBSAMPLE * X.shape[0]) < 500

@@ -1,7 +1,13 @@
 """Gradient boosting substrate (the from-scratch XGBoost stand-in)."""
 
 from .gbm import GradientBoostingClassifier, GradientBoostingRegressor
-from .histogram import SplitCandidate, best_split_for_feature, feature_histogram, split_gain
+from .histogram import (
+    NodeHistogramBuilder,
+    SplitCandidate,
+    best_split_for_feature,
+    feature_histogram,
+    split_gain,
+)
 from .losses import LogisticLoss, SquaredLoss, get_loss
 from .tree import Tree, TreePath
 
@@ -9,6 +15,7 @@ __all__ = [
     "GradientBoostingClassifier",
     "GradientBoostingRegressor",
     "LogisticLoss",
+    "NodeHistogramBuilder",
     "SplitCandidate",
     "SquaredLoss",
     "Tree",

@@ -12,6 +12,25 @@ The implementation is histogram-based second-order boosting with the
 regularized split objective of Chen & Guestrin (2016): shrinkage, row
 subsampling, column subsampling, and optional early stopping on a
 validation set.
+
+The training loop runs entirely on binned codes:
+
+* the training matrix is quantile-binned once; each round's tree grows
+  with histogram subtraction (only the smaller child of every split is
+  accumulated — see ``boosting.tree``) and returns its fit-time leaf
+  assignments, so the margin update is an indexed gather instead of a
+  fresh descent over raw ``X``;
+* row subsampling passes the kept row indices into the tree, so dropped
+  rows are excluded from every node partition (they no longer count
+  toward ``min_samples_leaf`` or histogram bins); their margin
+  contribution comes from a binned descent over the pre-binned codes;
+* the early-stopping eval set is binned once per fit with the training
+  edges (``codes_from_edges_matrix``) and descended on integer codes each
+  round — bit-identical to descending the raw floats;
+* when early stopping triggers, ``trees_`` is truncated to
+  ``best_iteration_ + 1``, so predictions come from the best validated
+  model rather than one including the trailing ``early_stopping_rounds``
+  worse rounds.
 """
 
 from __future__ import annotations
@@ -21,7 +40,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import ConfigurationError, DataError, NotFittedError
-from ..tabular.binning import quantile_codes_matrix
+from ..tabular.binning import codes_from_edges_matrix, quantile_codes_matrix
+from .histogram import compact_codes, histogram_stride
 from ..utils import as_float_matrix, as_label_vector, check_random_state
 from .losses import get_loss
 from .tree import Tree, TreePath
@@ -74,7 +94,15 @@ class GradientBoostingClassifier:
         y: np.ndarray,
         eval_set: "tuple[np.ndarray, np.ndarray] | None" = None,
     ) -> "GradientBoostingClassifier":
-        """Fit on ``(X, y)``; optionally early-stop on ``eval_set``."""
+        """Fit on ``(X, y)``; optionally early-stop on ``eval_set``.
+
+        Training is fully binned: ``X`` is quantile-coded once, each tree
+        returns its fit-time leaf assignments for the margin gather, and
+        ``eval_set`` is coded once with the training edges and descended
+        on integer codes per round. With ``early_stopping_rounds`` set,
+        ``trees_`` is truncated to ``best_iteration_ + 1`` after the loop
+        so predictions come from the best validated model.
+        """
         X = as_float_matrix(X)
         loss = get_loss(self.loss_name)
         if self.loss_name == "logistic":
@@ -86,16 +114,24 @@ class GradientBoostingClassifier:
         rng = check_random_state(self.random_state)
         self.n_features_ = X.shape[1]
         codes, edges = quantile_codes_matrix(X, max_bins=self.max_bins)
+        # One narrow copy for the whole fit (instead of one per tree
+        # inside the histogram builder).
+        stride = histogram_stride(edges)
+        codes = compact_codes(codes, stride)
         self.base_score_ = loss.base_score(y)
         margin = np.full(X.shape[0], self.base_score_)
 
         eval_margin = None
+        eval_codes = None
         if eval_set is not None:
             X_eval = as_float_matrix(eval_set[0])
             y_eval = np.asarray(eval_set[1], dtype=np.float64).ravel()
             if X_eval.shape[1] != self.n_features_:
                 raise DataError("eval_set feature count mismatch")
             eval_margin = np.full(X_eval.shape[0], self.base_score_)
+            # Bin the eval set once with the training edges; every round's
+            # eval prediction is then a binned descent over int codes.
+            eval_codes = compact_codes(codes_from_edges_matrix(X_eval, edges), stride)
 
         self.trees_ = []
         best_eval = np.inf
@@ -104,14 +140,12 @@ class GradientBoostingClassifier:
         n_rows = X.shape[0]
         for it in range(self.n_estimators):
             grad, hess = loss.grad_hess(y, margin)
+            rows = None
             if self.subsample < 1.0:
                 keep = rng.random(n_rows) < self.subsample
                 if not keep.any():
                     keep[rng.integers(0, n_rows)] = True
-                grad_fit = np.where(keep, grad, 0.0)
-                hess_fit = np.where(keep, hess, 0.0)
-            else:
-                grad_fit, hess_fit = grad, hess
+                rows = np.flatnonzero(keep)
             tree = Tree(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
@@ -119,11 +153,21 @@ class GradientBoostingClassifier:
                 reg_lambda=self.reg_lambda,
                 gamma=self.gamma,
                 colsample=self.colsample,
-            ).fit(codes, edges, grad_fit, hess_fit, rng=rng)
+            ).fit(codes, edges, grad, hess, rng=rng, rows=rows)
             self.trees_.append(tree)
-            margin += self.learning_rate * tree.predict(X)
+            # Margin update: rows in the fit partition gather their leaf
+            # directly; rows dropped by subsampling descend the pre-binned
+            # codes (no raw-float descent anywhere in training).
+            leaf_ids = tree.fit_leaf_ids_
+            if rows is not None:
+                dropped = leaf_ids < 0
+                if dropped.any():
+                    leaf_ids = leaf_ids.copy()
+                    leaf_ids[dropped] = tree._descend_codes(codes[dropped])
+            margin += self.learning_rate * tree.value[leaf_ids]
+            tree.fit_leaf_ids_ = None
             if eval_margin is not None:
-                eval_margin += self.learning_rate * tree.predict(X_eval)
+                eval_margin += self.learning_rate * tree.predict_codes(eval_codes)
                 eval_loss = loss.loss(y_eval, eval_margin)
                 if eval_loss < best_eval - 1e-9:
                     best_eval = eval_loss
@@ -136,6 +180,10 @@ class GradientBoostingClassifier:
                         and rounds_since_best >= self.early_stopping_rounds
                     ):
                         break
+        if self.early_stopping_rounds is not None and self.best_iteration_ is not None:
+            # Early stopping means *stopping at the best round*: drop the
+            # trailing rounds grown while validation loss was worsening.
+            del self.trees_[self.best_iteration_ + 1 :]
         return self
 
     # ------------------------------------------------------------------

@@ -5,6 +5,21 @@ method and LightGBM): each column is pre-binned into quantile codes once,
 and per-node split search reduces to bincounts of gradient/hessian over
 those codes. This keeps pure-numpy training fast enough for the paper's
 benchmark scale.
+
+Two layers live here:
+
+* :class:`NodeHistogramBuilder` — the per-tree workspace the level-order
+  growers (``boosting.tree.Tree``, ``models.tree.ClassificationTree``)
+  run on. It builds the ``(2 + count)``-component histograms of *all
+  nodes of one tree level in a single batched pass per column* (no
+  ``np.repeat(weights, n_cols)`` temporaries — weights are gathered once
+  per level and shared by every column's bincount), and supports the
+  LightGBM subtraction trick: a child's histogram is
+  ``parent - sibling``, so only the smaller child of each split is ever
+  accumulated from rows.
+* the scalar helpers (:func:`feature_histogram`, :func:`split_gain`,
+  :func:`best_split_for_feature`) — the audited single-feature reference
+  kept for tests and documentation.
 """
 
 from __future__ import annotations
@@ -14,6 +29,203 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import DataError
+
+
+def histogram_stride(edges: "list[np.ndarray]") -> int:
+    """Fixed per-feature slot width of the histogram layout.
+
+    Widest column's interior edges + one (``len(edges)+1`` value bins) +
+    one dedicated missing bin; columns with fewer effective bins leave
+    their tail slots empty.
+    """
+    return max(len(e) for e in edges) + 2 if edges else 2
+
+
+def compact_codes(codes: np.ndarray, stride: int) -> np.ndarray:
+    """Code matrix in the builder's preferred form: Fortran order (the
+    per-column gathers stay contiguous) and uint8 whenever every code
+    fits (``stride <= 256``), which keeps the whole matrix cache-resident
+    across the many per-level gathers. Idempotent."""
+    if int(stride) <= 256 and codes.dtype != np.uint8:
+        return codes.astype(np.uint8, order="F")
+    if not codes.flags.f_contiguous:
+        return np.asfortranarray(codes)
+    return codes
+
+
+class NodeHistogramBuilder:
+    """Per-tree histogram workspace with level-batched builds + subtraction.
+
+    A level's histograms are one ``(n_channels, m, n_cols, stride)``
+    float64 block: channel 0 and 1 are the two weight channels
+    (gradient/hessian for the boosting tree, total/positive weight for
+    the classification tree); with ``with_counts=True`` channel 2 is the
+    row count. Callers whose stopping rules never consult per-bin counts
+    (XGBoost-style ``min_child_weight``-only stopping) drop the count
+    channel and save a third of the accumulation work. Counts are kept
+    in float64 — they are exact integers well below 2**53, so
+    parent-minus-sibling subtraction stays exact for them.
+
+    ``build_level`` accumulates the histograms of every requested node in
+    one pass per column: the nodes' row indices are concatenated, each
+    row is offset by its node's slot, and a single ``bincount`` per
+    (column, channel) fills a contiguous level slice. Per-bin
+    accumulation order equals each node's row order, so a built histogram
+    is bit-identical to a per-node ``bincount`` over the same rows. The
+    caller derives each remaining (larger) child as ``parent - sibling``
+    with one vectorized subtraction per level — the histogram-subtraction
+    trick: per split, rows of only the smaller child are ever touched.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        stride: int,
+        w0: np.ndarray,
+        w1: np.ndarray,
+        with_counts: bool = True,
+    ):
+        if codes.ndim != 2:
+            raise DataError("NodeHistogramBuilder expects a 2-D code matrix")
+        if w0.shape != w1.shape or w0.size != codes.shape[0]:
+            raise DataError("codes/weight length mismatch")
+        self.n_channels = 3 if with_counts else 2
+        self.codes = compact_codes(codes, stride)
+        self.stride = int(stride)
+        self.n_cols = codes.shape[1]
+        self.w0 = w0
+        self.w1 = w1
+
+    def build_level(self, idx_list: "list[np.ndarray]") -> np.ndarray:
+        """Histograms of all nodes in ``idx_list``:
+        ``(n_channels, m, n_cols, stride)``.
+
+        Node ``i`` of the level occupies ``[:, i]``, so a group of nodes
+        is a zero-copy prefix view and the level-batched split search can
+        ``cumsum``/``argmax`` each node's ``(n_cols, stride)`` table
+        without transposition.
+        """
+        m = len(idx_list)
+        stride, n_cols = self.stride, self.n_cols
+        out = np.empty((self.n_channels, m, n_cols, stride))
+        if m == 0:
+            return out
+        if m == 1:
+            rows = idx_list[0]
+            slot = None
+        else:
+            rows = np.concatenate(idx_list)
+            sizes = [idx.size for idx in idx_list]
+            slot = np.repeat(np.arange(m, dtype=np.int64) * stride, sizes)
+        w0r = self.w0[rows]
+        w1r = self.w1[rows]
+        length = m * stride
+        codes = self.codes
+        with_counts = self.n_channels == 3
+        for j in range(n_cols):
+            if slot is None:
+                # One up-front intp conversion instead of one per bincount.
+                key = codes[rows, j].astype(np.intp)
+            else:
+                key = codes[rows, j] + slot
+            out[0, :, j, :] = np.bincount(
+                key, weights=w0r, minlength=length
+            ).reshape(m, stride)
+            out[1, :, j, :] = np.bincount(
+                key, weights=w1r, minlength=length
+            ).reshape(m, stride)
+            if with_counts:
+                out[2, :, j, :] = np.bincount(key, minlength=length).reshape(
+                    m, stride
+                )
+        return out
+
+
+class SubtractionScheduler:
+    """Per-level bookkeeping of the histogram-subtraction growth shared by
+    the boosting and classification trees.
+
+    The growers hand over each realized split's children (with their row
+    partitions and whether each child will itself be split-searched); the
+    scheduler accumulates the smaller children to build, remembers which
+    larger siblings derive by parent-minus-sibling subtraction, and at
+    level end materializes the next level's position-aligned
+    ``(node ids, histogram block)`` groups: the directly-built children
+    as a zero-copy leading view of the build block, and the subtracted
+    children with one vectorized subtraction per parent group.
+    """
+
+    def __init__(self, builder: NodeHistogramBuilder):
+        self.builder = builder
+
+    def begin_level(self) -> None:
+        self._build_search_idx: "list[np.ndarray]" = []  # entering next level
+        self._build_only_idx: "list[np.ndarray]" = []  # needed only as siblings
+        self._built_ids: list = []
+        self._sub_ids: list = []
+        # (parent group, parent pos, symbolic sibling ref); sibling refs
+        # resolve once the build list is final.
+        self._sub_specs: "list[tuple[int, int, tuple[str, int]]]" = []
+
+    def add_split(
+        self,
+        group_i: int,
+        pos: int,
+        left: "tuple[object, np.ndarray, bool]",
+        right: "tuple[object, np.ndarray, bool]",
+    ) -> None:
+        """Register a split: ``left``/``right`` are ``(node id, row
+        indices, will-be-searched)``; ``(group_i, pos)`` locates the
+        parent's histogram in the current level's groups."""
+        l_search = left[2]
+        r_search = right[2]
+        if not (l_search or r_search):
+            return
+        # Accumulate only the smaller child from rows; the larger child's
+        # histogram, when needed, is parent-minus-sibling.
+        small, large = (left, right) if left[1].size <= right[1].size else (right, left)
+        if small[2]:
+            sibling_ref = ("search", len(self._build_search_idx))
+            self._build_search_idx.append(small[1])
+            self._built_ids.append(small[0])
+        else:
+            sibling_ref = ("only", len(self._build_only_idx))
+            self._build_only_idx.append(small[1])
+        if large[2]:
+            self._sub_specs.append((group_i, pos, sibling_ref))
+            self._sub_ids.append(large[0])
+
+    def finish_level(self, groups: "list[tuple[list, np.ndarray]]") -> "list[tuple[list, np.ndarray]]":
+        """Build this level's histograms and return the next level's groups."""
+        built = self.builder.build_level(self._build_search_idx + self._build_only_idx)
+        n_search = len(self._build_search_idx)
+        new_groups: "list[tuple[list, np.ndarray]]" = []
+        if self._built_ids:
+            new_groups.append((self._built_ids, built[:, :n_search]))
+        if self._sub_specs:
+            subs = np.empty(
+                (
+                    self.builder.n_channels,
+                    len(self._sub_specs),
+                    self.builder.n_cols,
+                    self.builder.stride,
+                )
+            )
+            for group_i in range(len(groups)):
+                dst = [
+                    k for k, (g, __, __2) in enumerate(self._sub_specs) if g == group_i
+                ]
+                if not dst:
+                    continue
+                parent_pos = [self._sub_specs[k][1] for k in dst]
+                sib_pos = [
+                    pos if kind == "search" else n_search + pos
+                    for kind, pos in (self._sub_specs[k][2] for k in dst)
+                ]
+                # One vectorized parent-minus-sibling per parent group.
+                subs[:, dst] = groups[group_i][1][:, parent_pos] - built[:, sib_pos]
+            new_groups.append((self._sub_ids, subs))
+        return new_groups
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,28 @@
 """Regression tree for gradient boosting, with root-to-leaf path export.
 
-The tree is grown depth-wise on pre-binned codes (histogram split search)
-and stored in flat arrays. Besides prediction it exposes the two pieces of
-structure SAFE consumes:
+The tree is grown level-order (breadth-first) on pre-binned codes and
+stored in flat arrays. Split search is histogram-based with the two
+LightGBM-style fast paths:
+
+* **histogram subtraction** — per split only the *smaller* child's
+  histogram is accumulated from rows; the sibling's is derived as
+  ``parent - smaller``. All smaller children of one level are built in a
+  single batched ``bincount`` pass per column through
+  :class:`~repro.boosting.histogram.NodeHistogramBuilder` (no per-node
+  ``np.repeat`` weight temporaries);
+* **binned fit/predict contract** — training runs entirely on integer
+  codes. :meth:`Tree.fit` records the fit-time leaf assignment of every
+  partitioned row (``fit_leaf_ids_``), so boosting margin updates are an
+  indexed gather, and :meth:`Tree.predict_codes` descends a matrix binned
+  with the *training* edges (``codes_from_edges_matrix``) by comparing
+  codes against ``threshold_bin`` — bit-identical to raw-float descent.
+
+Raw-float descent (:meth:`Tree.predict`) routes every non-finite value to
+the right child, matching the binning convention that maps NaN/±inf to
+the per-column missing code.
+
+Besides prediction the tree exposes the two pieces of structure SAFE
+consumes:
 
 * :meth:`Tree.paths` — for every parent-of-leaf node ``l_j``, the distinct
   split features on the root→``l_j`` path together with each feature's set
@@ -18,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError
+from .histogram import NodeHistogramBuilder, SubtractionScheduler, histogram_stride
 
 
 @dataclass(frozen=True)
@@ -66,6 +87,11 @@ class Tree:
     value: np.ndarray = field(default=None, repr=False)
     gain: np.ndarray = field(default=None, repr=False)
     n_samples: np.ndarray = field(default=None, repr=False)
+    # Fit-time leaf assignment: ``fit_leaf_ids_[row]`` is the leaf node id
+    # of every row that was in the training partition, -1 for rows the
+    # caller excluded via ``rows=`` (subsampling). Consumed by the
+    # boosting margin update; callers may clear it to free memory.
+    fit_leaf_ids_: np.ndarray = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Growing
@@ -77,26 +103,51 @@ class Tree:
         grad: np.ndarray,
         hess: np.ndarray,
         rng: "np.random.Generator | None" = None,
+        rows: "np.ndarray | None" = None,
     ) -> "Tree":
         """Grow the tree on binned ``codes`` against ``grad``/``hess``.
 
         ``edges[j]`` holds the interior quantile edges of column ``j`` so
         that bin index ``b`` maps back to the raw threshold ``edges[j][b]``.
+        ``rows``, when given, restricts training to that subset of row
+        indices (boosting row subsampling): excluded rows are simply not
+        part of any node partition, so they count toward *nothing* — not
+        ``min_samples_leaf``, not histogram bins, not ``n_samples``.
+
+        Growth is level-order. All histograms of one level are built in a
+        single batched pass (see ``NodeHistogramBuilder``), and per split
+        only the smaller child is accumulated from rows — its sibling's
+        histogram is ``parent - smaller``. After growth,
+        ``fit_leaf_ids_`` holds each partitioned row's leaf node id (and
+        -1 for rows excluded via ``rows``), which is what lets the caller
+        turn the margin update into a gather instead of a fresh descent.
         """
         if self.max_depth < 1:
             raise ConfigurationError("max_depth must be >= 1")
         n_rows, n_cols = codes.shape
-        # Vectorized histogram layout: every feature gets a fixed-width
-        # slot of `stride` bins, so one flattened bincount per node builds
-        # all per-feature histograms at once (columns with fewer effective
-        # bins simply leave their tail slots empty).
-        stride = max(len(e) for e in edges) + 2 if edges else 2
-        offsets = (np.arange(n_cols, dtype=np.int64) * stride)[None, :]
-        codes_offset = codes + offsets
+        grad = np.asarray(grad, dtype=np.float64)
+        hess = np.asarray(hess, dtype=np.float64)
+        # Fixed-width histogram layout: every feature gets a slot of
+        # `stride` bins, so one level's histograms are a dense
+        # (n_channels, n_nodes, n_cols, stride) block.
+        stride = histogram_stride(edges)
         n_edges = np.array([len(e) for e in edges], dtype=np.int64)
+        # Boundaries at or past a feature's missing code are vacuous
+        # (n_edges <= stride - 2, so the trailing slot is always masked).
+        boundary_ok = np.arange(stride)[None, :] <= n_edges[:, None]
+        # With XGBoost-style stopping (min_samples_leaf == 0, only
+        # min_child_weight binds) the per-bin count channel is never
+        # consulted, so skip accumulating it entirely.
+        with_counts = self.min_samples_leaf > 0
+        builder = NodeHistogramBuilder(
+            codes, stride, grad, hess, with_counts=with_counts
+        )
+        codes_f = builder.codes
         nodes: list[dict] = []
 
         def new_node(depth: int, idx: np.ndarray) -> int:
+            g_sum = float(grad[idx].sum())
+            h_sum = float(hess[idx].sum())
             nodes.append(
                 {
                     "feature": -1,
@@ -104,98 +155,128 @@ class Tree:
                     "threshold_bin": -1,
                     "left": -1,
                     "right": -1,
-                    "value": 0.0,
+                    "value": -g_sum / (h_sum + self.reg_lambda),
                     "gain": 0.0,
                     "n_samples": idx.size,
                     "_depth": depth,
                     "_idx": idx,
+                    "_gsum": g_sum,
+                    "_hsum": h_sum,
                 }
             )
             return len(nodes) - 1
 
-        root = new_node(0, np.arange(n_rows))
-        stack = [root]
+        def searchable(node_id: int) -> bool:
+            node = nodes[node_id]
+            return not (
+                node["_depth"] >= self.max_depth
+                or node["_idx"].size < 2 * self.min_samples_leaf
+                or node["_hsum"] < 2 * self.min_child_weight
+            )
+
+        root_idx = (
+            np.arange(n_rows) if rows is None else np.asarray(rows, dtype=np.int64)
+        )
+        root = new_node(0, root_idx)
         all_cols = np.arange(n_cols)
         n_sub = max(1, int(round(self.colsample * n_cols)))
-        while stack:
-            node_id = stack.pop()
-            node = nodes[node_id]
-            idx = node["_idx"]
-            g_sum = float(grad[idx].sum())
-            h_sum = float(hess[idx].sum())
-            node["value"] = -g_sum / (h_sum + self.reg_lambda)
-            if (
-                node["_depth"] >= self.max_depth
-                or idx.size < 2 * self.min_samples_leaf
-                or h_sum < 2 * self.min_child_weight
-            ):
-                continue
-            # One flattened bincount builds every feature's (grad, hess,
-            # count) histogram; cumulative sums then scan all candidate
-            # boundaries of all features simultaneously.
-            flat = codes_offset[idx].ravel()
-            g_node = grad[idx]
-            h_node = hess[idx]
-            length = n_cols * stride
-            g_hist = np.bincount(
-                flat, weights=np.repeat(g_node, n_cols), minlength=length
-            ).reshape(n_cols, stride)
-            h_hist = np.bincount(
-                flat, weights=np.repeat(h_node, n_cols), minlength=length
-            ).reshape(n_cols, stride)
-            c_hist = np.bincount(flat, minlength=length).reshape(n_cols, stride)
-            gl = np.cumsum(g_hist, axis=1)[:, :-1]
-            hl = np.cumsum(h_hist, axis=1)[:, :-1]
-            cl = np.cumsum(c_hist, axis=1)[:, :-1]
-            gr = g_sum - gl
-            hr = h_sum - hl
-            cr = idx.size - cl
-            parent_term = g_sum * g_sum / (h_sum + self.reg_lambda)
-            gains = 0.5 * (
-                gl * gl / (hl + self.reg_lambda)
-                + gr * gr / (hr + self.reg_lambda)
-                - parent_term
-            ) - self.gamma
-            valid = (
-                (cl >= self.min_samples_leaf)
-                & (cr >= self.min_samples_leaf)
-                & (hl >= self.min_child_weight)
-                & (hr >= self.min_child_weight)
-                # Boundaries past a feature's missing code are vacuous.
-                & (np.arange(stride - 1)[None, :] <= n_edges[:, None])
-            )
-            if n_sub < n_cols and rng is not None:
-                keep_cols = rng.choice(all_cols, size=n_sub, replace=False)
-                col_mask = np.zeros(n_cols, dtype=bool)
-                col_mask[keep_cols] = True
-                valid &= col_mask[:, None]
-            gains = np.where(valid, gains, -np.inf)
-            best_flat = int(np.argmax(gains))
-            j, b = divmod(best_flat, stride - 1)
-            if not np.isfinite(gains[j, b]) or gains[j, b] <= 0:
-                continue
-            best_gain = float(gains[j, b])
-            col_edges = edges[j]
-            # bin b is the last bin that goes left; x <= edges[b] goes left.
-            # If b exceeds the interior edges (can only happen when the
-            # "real value vs missing" boundary is chosen), the threshold is
-            # +inf: every real value goes left, missing goes right.
-            threshold = float(col_edges[b]) if b < len(col_edges) else np.inf
-            go_left = codes[idx, j] <= b
-            left_idx = idx[go_left]
-            right_idx = idx[~go_left]
-            if left_idx.size == 0 or right_idx.size == 0:
-                continue
-            node["feature"] = j
-            node["threshold"] = threshold
-            node["threshold_bin"] = b
-            node["gain"] = best_gain
-            left_id = new_node(node["_depth"] + 1, left_idx)
-            right_id = new_node(node["_depth"] + 1, right_idx)
-            node["left"] = left_id
-            node["right"] = right_id
-            stack.append(left_id)
-            stack.append(right_id)
+        lam = self.reg_lambda
+        # Level state: up to two position-aligned (node ids, histogram
+        # block) groups — the directly-built smaller children (a zero-copy
+        # leading view of the level's build block) and the subtracted
+        # larger children. Subtraction happens bin-wise in histogram
+        # domain (not on prefix sums, whose larger magnitudes would
+        # amplify cancellation error in the gains).
+        groups: "list[tuple[list[int], np.ndarray]]" = []
+        if searchable(root):
+            groups = [([root], builder.build_level([root_idx]))]
+        scheduler = SubtractionScheduler(builder)
+        while groups:
+            scheduler.begin_level()
+            for group_i, (ids, block) in enumerate(groups):
+                m = len(ids)
+                g_sums = np.array([nodes[i]["_gsum"] for i in ids])
+                h_sums = np.array([nodes[i]["_hsum"] for i in ids])
+                sizes = np.array([float(nodes[i]["_idx"].size) for i in ids])
+                # Batched split search over the whole group: one cumsum
+                # scans all candidate boundaries of all (node, feature)
+                # pairs. The gain arithmetic cycles the scratch prefix
+                # buffers in place (elementwise-identical to the per-node
+                # form) and leaves the block intact — it is the
+                # subtraction parent for the next level.
+                prefix = np.cumsum(block, axis=-1)
+                gl, hl = prefix[0], prefix[1]
+                hr = h_sums[:, None, None] - hl
+                valid = (
+                    (hl >= self.min_child_weight)
+                    & (hr >= self.min_child_weight)
+                    & boundary_ok
+                )
+                if with_counts:
+                    cl = prefix[2]
+                    valid &= cl >= self.min_samples_leaf
+                    valid &= cl <= (sizes - self.min_samples_leaf)[:, None, None]
+                if n_sub < n_cols and rng is not None:
+                    col_mask = np.zeros((m, n_cols), dtype=bool)
+                    for pos in range(m):
+                        keep_cols = rng.choice(all_cols, size=n_sub, replace=False)
+                        col_mask[pos, keep_cols] = True
+                    valid &= col_mask[:, :, None]
+                gr = g_sums[:, None, None] - gl
+                np.add(hl, lam, out=hl)
+                np.multiply(gl, gl, out=gl)
+                np.divide(gl, hl, out=gl)
+                np.add(hr, lam, out=hr)
+                np.multiply(gr, gr, out=gr)
+                np.divide(gr, hr, out=gr)
+                gains = np.add(gl, gr, out=gl)
+                np.subtract(
+                    gains, (g_sums * g_sums / (h_sums + lam))[:, None, None], out=gains
+                )
+                np.multiply(gains, 0.5, out=gains)
+                np.subtract(gains, self.gamma, out=gains)
+                np.logical_not(valid, out=valid)
+                np.copyto(gains, -np.inf, where=valid)
+                # gains is (m, n_cols, stride) contiguous, so the per-node
+                # flat argmax (and its first-index tie-breaking in
+                # (feature, bin) order) costs no transpose copy.
+                flat_gains = gains.reshape(m, -1)
+                best_flat = np.argmax(flat_gains, axis=1)
+                best_gains = flat_gains[np.arange(m), best_flat]
+                for pos, node_id in enumerate(ids):
+                    best_gain = float(best_gains[pos])
+                    if not np.isfinite(best_gain) or best_gain <= 0:
+                        continue
+                    node = nodes[node_id]
+                    idx = node["_idx"]
+                    j, b = divmod(int(best_flat[pos]), stride)
+                    col_edges = edges[j]
+                    # bin b is the last bin that goes left; x <= edges[b]
+                    # goes left. If b exceeds the interior edges (can only
+                    # happen when the "real value vs missing" boundary is
+                    # chosen), the threshold is +inf: every real value goes
+                    # left, missing goes right.
+                    threshold = float(col_edges[b]) if b < len(col_edges) else np.inf
+                    go_left = codes_f[idx, j] <= b
+                    left_idx = idx[go_left]
+                    right_idx = idx[~go_left]
+                    if left_idx.size == 0 or right_idx.size == 0:
+                        continue
+                    node["feature"] = j
+                    node["threshold"] = threshold
+                    node["threshold_bin"] = b
+                    node["gain"] = best_gain
+                    left_id = new_node(node["_depth"] + 1, left_idx)
+                    right_id = new_node(node["_depth"] + 1, right_idx)
+                    node["left"] = left_id
+                    node["right"] = right_id
+                    scheduler.add_split(
+                        group_i,
+                        pos,
+                        (left_id, left_idx, searchable(left_id)),
+                        (right_id, right_idx, searchable(right_id)),
+                    )
+            groups = scheduler.finish_level(groups)
 
         self.feature = np.array([n["feature"] for n in nodes], dtype=np.int64)
         self.threshold = np.array([n["threshold"] for n in nodes], dtype=np.float64)
@@ -205,6 +286,10 @@ class Tree:
         self.value = np.array([n["value"] for n in nodes], dtype=np.float64)
         self.gain = np.array([n["gain"] for n in nodes], dtype=np.float64)
         self.n_samples = np.array([n["n_samples"] for n in nodes], dtype=np.int64)
+        self.fit_leaf_ids_ = np.full(n_rows, -1, dtype=np.int64)
+        for i, n in enumerate(nodes):
+            if n["feature"] == -1:
+                self.fit_leaf_ids_[n["_idx"]] = i
         return self
 
     # ------------------------------------------------------------------
@@ -228,8 +313,13 @@ class Tree:
         """Route every row from the root to its leaf; returns node ids.
 
         The single traversal loop behind both :meth:`predict` and
-        :meth:`apply`. NaN comparisons are False, so missing values take
-        the right branch (the fixed default direction).
+        :meth:`apply`. Non-finite values (NaN and ±inf) are routed to the
+        right branch explicitly — the fixed default direction, matching
+        the training-time binning that maps every non-finite value to the
+        per-column missing code. (NaN comparisons are already False, but
+        ``-inf <= t`` and ``+inf <= +inf`` are True, so relying on the
+        comparison alone would send infinities down the left branch the
+        training partition never put them in.)
         """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
@@ -238,7 +328,28 @@ class Tree:
         while active.any():
             rows = np.flatnonzero(active)
             nid = node_ids[rows]
-            go_left = X[rows, self.feature[nid]] <= self.threshold[nid]
+            xv = X[rows, self.feature[nid]]
+            go_left = np.isfinite(xv) & (xv <= self.threshold[nid])
+            node_ids[rows] = np.where(go_left, self.left[nid], self.right[nid])
+            active[rows] = self.feature[node_ids[rows]] >= 0
+        return node_ids
+
+    def _descend_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Binned descent: route pre-binned rows to leaves via bin codes.
+
+        ``codes`` must be binned with the *training* edges
+        (``codes_from_edges_matrix(X, edges)``); a row goes left when its
+        code is ``<= threshold_bin``. Missing codes exceed every valid
+        boundary, so missing values fall right automatically. Bit-identical
+        to :meth:`_descend` on the unbinned matrix.
+        """
+        self._check_fitted()
+        node_ids = np.zeros(codes.shape[0], dtype=np.int64)
+        active = self.feature[node_ids] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            nid = node_ids[rows]
+            go_left = codes[rows, self.feature[nid]] <= self.threshold_bin[nid]
             node_ids[rows] = np.where(go_left, self.left[nid], self.right[nid])
             active[rows] = self.feature[node_ids[rows]] >= 0
         return node_ids
@@ -246,6 +357,10 @@ class Tree:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Leaf values for raw (unbinned) input rows, vectorized."""
         return self.value[self._descend(X)]
+
+    def predict_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Leaf values for rows pre-binned with the training edges."""
+        return self.value[self._descend_codes(codes)]
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Leaf node id per row (for diagnostics)."""

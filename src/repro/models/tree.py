@@ -5,6 +5,14 @@ learner (RF, ET, AdaBoost). Unlike the boosting regression tree it splits
 on class-impurity decrease (gini or entropy), supports sample weights
 (AdaBoost), feature subsampling per split (forests), and the
 random-threshold splitter (ExtraTrees).
+
+Growth is level-order on the shared histogram substrate
+(:class:`repro.boosting.histogram.NodeHistogramBuilder`): all smaller
+children of one level are accumulated in a single batched pass over the
+(total weight, positive weight, count) channels, and every larger
+sibling's histogram comes from parent-minus-sibling subtraction. Raw
+descent routes non-finite values right, matching the binning that maps
+them to the per-column missing code.
 """
 
 from __future__ import annotations
@@ -13,6 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..boosting.histogram import (
+    NodeHistogramBuilder,
+    SubtractionScheduler,
+    histogram_stride,
+)
 from ..exceptions import ConfigurationError
 from ..tabular.binning import quantile_codes_matrix
 from ..utils import check_random_state
@@ -118,114 +131,130 @@ class ClassificationTree:
         codes, edges = quantile_codes_matrix(X, max_bins=self.max_bins)
         n_sub = _resolve_max_features(self.max_features, n_cols)
         max_depth = self.max_depth if self.max_depth is not None else 10**9
-        # Fixed-width histogram layout: one flattened bincount per node
-        # builds every feature's weighted class histogram at once.
-        stride = max(len(e) for e in edges) + 2 if edges else 2
-        offsets = (np.arange(n_cols, dtype=np.int64) * stride)[None, :]
-        codes_offset = codes + offsets
+        # Fixed-width histogram layout; the shared builder accumulates the
+        # (total weight, positive weight, count) channels of all smaller
+        # children of a level in one batched pass, and larger siblings
+        # come from parent-minus-sibling subtraction.
+        stride = histogram_stride(edges)
         n_edges = np.array([len(e) for e in edges], dtype=np.int64)
         boundary_ok = np.arange(stride - 1)[None, :] <= n_edges[:, None]
 
         wy = w * y  # weighted positive indicator
+        builder = NodeHistogramBuilder(codes, stride, w, wy)
+        codes_f = builder.codes
         nodes: list[dict] = []
         self.importance_gain_ = np.zeros(n_cols)
 
         def new_node(depth: int, idx: np.ndarray) -> int:
+            w_total = float(w[idx].sum())
+            pos_total = float(wy[idx].sum())
             nodes.append(
                 {"feature": -1, "threshold": np.nan, "left": -1, "right": -1,
-                 "proba": 0.0, "_depth": depth, "_idx": idx}
+                 "proba": pos_total / w_total if w_total > 0 else 0.5,
+                 "_depth": depth, "_idx": idx,
+                 "_wtot": w_total, "_pos": pos_total}
             )
             return len(nodes) - 1
 
-        stack = [new_node(0, np.arange(n_rows))]
-        all_cols = np.arange(n_cols)
-        while stack:
-            nid = stack.pop()
-            node = nodes[nid]
-            idx = node["_idx"]
-            w_node = w[idx]
-            w_total = float(w_node.sum())
-            pos_total = float(wy[idx].sum())
-            node["proba"] = pos_total / w_total if w_total > 0 else 0.5
-            if (
+        def searchable(node_id: int) -> bool:
+            node = nodes[node_id]
+            return not (
                 node["_depth"] >= max_depth
-                or idx.size < self.min_samples_split
-                or idx.size < 2 * self.min_samples_leaf
-                or pos_total <= _EPS
-                or pos_total >= w_total - _EPS
-            ):
-                continue
-            parent_imp = float(
-                _impurity(np.array([pos_total]), np.array([w_total]), self.criterion)[0]
+                or node["_idx"].size < self.min_samples_split
+                or node["_idx"].size < 2 * self.min_samples_leaf
+                or node["_pos"] <= _EPS
+                or node["_pos"] >= node["_wtot"] - _EPS
             )
-            wy_node = wy[idx]
-            flat = codes_offset[idx].ravel()
-            length = n_cols * stride
-            tot_hist = np.bincount(
-                flat, weights=np.repeat(w_node, n_cols), minlength=length
-            ).reshape(n_cols, stride)
-            pos_hist = np.bincount(
-                flat, weights=np.repeat(wy_node, n_cols), minlength=length
-            ).reshape(n_cols, stride)
-            cnt_hist = np.bincount(flat, minlength=length).reshape(n_cols, stride)
-            tot_l = np.cumsum(tot_hist, axis=1)[:, :-1]
-            pos_l = np.cumsum(pos_hist, axis=1)[:, :-1]
-            cnt_l = np.cumsum(cnt_hist, axis=1)[:, :-1]
-            tot_r = w_total - tot_l
-            pos_r = pos_total - pos_l
-            cnt_r = idx.size - cnt_l
-            valid = (
-                (cnt_l >= self.min_samples_leaf)
-                & (cnt_r >= self.min_samples_leaf)
-                & (tot_l > 0)
-                & (tot_r > 0)
-                & boundary_ok
-            )
-            if n_sub < n_cols:
-                keep_cols = rng.choice(all_cols, size=n_sub, replace=False)
-                col_mask = np.zeros(n_cols, dtype=bool)
-                col_mask[keep_cols] = True
-                valid &= col_mask[:, None]
-            if self.splitter == "random":
-                # ExtraTrees: one uniformly-random valid boundary per
-                # feature; the best feature still wins by gain.
-                counts = valid.sum(axis=1)
-                has = counts > 0
-                picks = np.zeros(n_cols, dtype=np.int64)
-                if has.any():
-                    draw = (rng.random(n_cols) * counts).astype(np.int64)
-                    draw = np.minimum(draw, np.maximum(counts - 1, 0))
-                    cum = np.cumsum(valid, axis=1)
-                    picks = (cum == (draw + 1)[:, None]).argmax(axis=1)
-                chosen = np.zeros_like(valid)
-                chosen[np.flatnonzero(has), picks[has]] = True
-                valid = valid & chosen
-            imp_l = _impurity(pos_l, tot_l, self.criterion)
-            imp_r = _impurity(pos_r, tot_r, self.criterion)
-            child = (tot_l * imp_l + tot_r * imp_r) / w_total
-            gains = np.where(valid, parent_imp - child, -np.inf)
-            best_flat = int(np.argmax(gains))
-            best_feat, best_bin = divmod(best_flat, stride - 1)
-            best_gain = float(gains[best_feat, best_bin])
-            if not np.isfinite(best_gain) or best_gain <= _EPS:
-                continue
-            col_edges = edges[best_feat]
-            threshold = (
-                float(col_edges[best_bin]) if best_bin < len(col_edges) else np.inf
-            )
-            go_left = codes[idx, best_feat] <= best_bin
-            left_idx = idx[go_left]
-            right_idx = idx[~go_left]
-            if left_idx.size == 0 or right_idx.size == 0:
-                continue
-            node["feature"] = best_feat
-            node["threshold"] = threshold
-            self.importance_gain_[best_feat] += best_gain * w_total
-            lid = new_node(node["_depth"] + 1, left_idx)
-            rid = new_node(node["_depth"] + 1, right_idx)
-            node["left"], node["right"] = lid, rid
-            stack.append(lid)
-            stack.append(rid)
+
+        root = new_node(0, np.arange(n_rows))
+        all_cols = np.arange(n_cols)
+        # Level state mirrors the boosting tree: up to two position-aligned
+        # (node ids, histogram block) groups per level — directly-built
+        # smaller children (a leading view of the build block) and
+        # subtracted larger children.
+        groups: "list[tuple[list[int], np.ndarray]]" = []
+        if searchable(root):
+            groups = [([root], builder.build_level([nodes[root]["_idx"]]))]
+        scheduler = SubtractionScheduler(builder)
+        while groups:
+            scheduler.begin_level()
+            for group_i, (ids, block) in enumerate(groups):
+                for pos, nid in enumerate(ids):
+                    node = nodes[nid]
+                    idx = node["_idx"]
+                    w_total = node["_wtot"]
+                    pos_total = node["_pos"]
+                    parent_imp = float(
+                        _impurity(
+                            np.array([pos_total]), np.array([w_total]), self.criterion
+                        )[0]
+                    )
+                    hist = block[:, pos]
+                    tot_l = np.cumsum(hist[0], axis=1)[:, :-1]
+                    pos_l = np.cumsum(hist[1], axis=1)[:, :-1]
+                    cnt_l = np.cumsum(hist[2], axis=1)[:, :-1]
+                    tot_r = w_total - tot_l
+                    pos_r = pos_total - pos_l
+                    cnt_r = idx.size - cnt_l
+                    valid = (
+                        (cnt_l >= self.min_samples_leaf)
+                        & (cnt_r >= self.min_samples_leaf)
+                        & (tot_l > 0)
+                        & (tot_r > 0)
+                        & boundary_ok
+                    )
+                    if n_sub < n_cols:
+                        keep_cols = rng.choice(all_cols, size=n_sub, replace=False)
+                        col_mask = np.zeros(n_cols, dtype=bool)
+                        col_mask[keep_cols] = True
+                        valid &= col_mask[:, None]
+                    if self.splitter == "random":
+                        # ExtraTrees: one uniformly-random valid boundary
+                        # per feature; the best feature still wins by gain.
+                        counts = valid.sum(axis=1)
+                        has = counts > 0
+                        picks = np.zeros(n_cols, dtype=np.int64)
+                        if has.any():
+                            draw = (rng.random(n_cols) * counts).astype(np.int64)
+                            draw = np.minimum(draw, np.maximum(counts - 1, 0))
+                            cum = np.cumsum(valid, axis=1)
+                            picks = (cum == (draw + 1)[:, None]).argmax(axis=1)
+                        chosen = np.zeros_like(valid)
+                        chosen[np.flatnonzero(has), picks[has]] = True
+                        valid = valid & chosen
+                    imp_l = _impurity(pos_l, tot_l, self.criterion)
+                    imp_r = _impurity(pos_r, tot_r, self.criterion)
+                    child = (tot_l * imp_l + tot_r * imp_r) / w_total
+                    gains = np.where(valid, parent_imp - child, -np.inf)
+                    best_flat = int(np.argmax(gains))
+                    best_feat, best_bin = divmod(best_flat, stride - 1)
+                    best_gain = float(gains[best_feat, best_bin])
+                    if not np.isfinite(best_gain) or best_gain <= _EPS:
+                        continue
+                    col_edges = edges[best_feat]
+                    threshold = (
+                        float(col_edges[best_bin])
+                        if best_bin < len(col_edges)
+                        else np.inf
+                    )
+                    go_left = codes_f[idx, best_feat] <= best_bin
+                    left_idx = idx[go_left]
+                    right_idx = idx[~go_left]
+                    if left_idx.size == 0 or right_idx.size == 0:
+                        continue
+                    node["feature"] = best_feat
+                    node["threshold"] = threshold
+                    self.importance_gain_[best_feat] += best_gain * w_total
+                    lid = new_node(node["_depth"] + 1, left_idx)
+                    rid = new_node(node["_depth"] + 1, right_idx)
+                    node["left"], node["right"] = lid, rid
+                    scheduler.add_split(
+                        group_i,
+                        pos,
+                        (lid, left_idx, searchable(lid)),
+                        (rid, right_idx, searchable(rid)),
+                    )
+            groups = scheduler.finish_level(groups)
 
         self.feature_ = np.array([n["feature"] for n in nodes], dtype=np.int64)
         self.threshold_ = np.array([n["threshold"] for n in nodes], dtype=np.float64)
@@ -244,7 +273,10 @@ class ClassificationTree:
         while active.any():
             rows = np.flatnonzero(active)
             nid = node_ids[rows]
-            go_left = X[rows, self.feature_[nid]] <= self.threshold_[nid]
+            xv = X[rows, self.feature_[nid]]
+            # Non-finite values (NaN and ±inf) take the right branch, the
+            # same default direction training gave the missing-value code.
+            go_left = np.isfinite(xv) & (xv <= self.threshold_[nid])
             node_ids[rows] = np.where(go_left, self.left_[nid], self.right_[nid])
             active[rows] = self.feature_[node_ids[rows]] >= 0
         return node_ids

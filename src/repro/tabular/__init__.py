@@ -4,6 +4,7 @@ from .binning import (
     Binner,
     chimerge_edges,
     codes_from_edges,
+    codes_from_edges_matrix,
     equal_frequency_edges,
     equal_width_edges,
     quantile_codes_matrix,
@@ -28,6 +29,7 @@ __all__ = [
     "chimerge_edges",
     "clean_matrix",
     "codes_from_edges",
+    "codes_from_edges_matrix",
     "default_names",
     "equal_frequency_edges",
     "equal_width_edges",

@@ -169,22 +169,43 @@ def chimerge_edges(
     return np.asarray(cut_points, dtype=np.float64)
 
 
+def codes_from_edges_matrix(X: np.ndarray, edges_per_column: "list[np.ndarray]") -> np.ndarray:
+    """Bin every column of ``X`` against already-fitted interior edges.
+
+    The matrix counterpart of :func:`codes_from_edges`: column ``j`` is
+    coded against ``edges_per_column[j]``, with non-finite values mapped to
+    the column's dedicated missing code ``len(edges_per_column[j]) + 1``.
+    Returns a Fortran-ordered int64 matrix so that the per-column gathers
+    of histogram tree growth and binned descent stay contiguous. This is
+    how a fitted tree ensemble bins a *new* matrix (e.g. the early-stopping
+    eval set) exactly once instead of re-descending raw floats per round.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError("codes_from_edges_matrix expects a 2-D matrix")
+    if X.shape[1] != len(edges_per_column):
+        raise DataError(
+            f"X has {X.shape[1]} columns but {len(edges_per_column)} edge sets"
+        )
+    codes = np.empty(X.shape, dtype=np.int64, order="F")
+    for j, edges in enumerate(edges_per_column):
+        codes[:, j] = codes_from_edges(X[:, j], edges)
+    return codes
+
+
 def quantile_codes_matrix(X: np.ndarray, max_bins: int = 64) -> tuple[np.ndarray, list[np.ndarray]]:
     """Bin every column of a matrix for histogram-based tree learning.
 
-    Returns ``(codes, edges_per_column)`` where ``codes`` is an int matrix
-    of the same shape as ``X`` (missing values mapped to the last code of
-    each column) and ``edges_per_column[j]`` holds the interior edges used
-    for column ``j``.
+    Returns ``(codes, edges_per_column)`` where ``codes`` is a
+    Fortran-ordered int matrix of the same shape as ``X`` (missing values
+    mapped to the last code of each column) and ``edges_per_column[j]``
+    holds the interior edges used for column ``j``. Transforming another
+    matrix with the same fitted edges is :func:`codes_from_edges_matrix`.
     """
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise DataError("quantile_codes_matrix expects a 2-D matrix")
-    n_rows, n_cols = X.shape
-    codes = np.empty((n_rows, n_cols), dtype=np.int64)
-    edges_per_column: list[np.ndarray] = []
-    for j in range(n_cols):
-        edges = equal_frequency_edges(X[:, j], max_bins)
-        edges_per_column.append(edges)
-        codes[:, j] = codes_from_edges(X[:, j], edges)
-    return codes, edges_per_column
+    edges_per_column = [
+        equal_frequency_edges(X[:, j], max_bins) for j in range(X.shape[1])
+    ]
+    return codes_from_edges_matrix(X, edges_per_column), edges_per_column

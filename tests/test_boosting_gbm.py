@@ -75,11 +75,121 @@ class TestEarlyStopping:
         assert len(model.trees_) < 200
         assert model.best_iteration_ is not None
 
+    def test_truncates_to_best_iteration(self, rng):
+        """Regression: predictions must not include the trees grown after
+        the best validation loss (the early_stopping_rounds overshoot)."""
+        X = rng.normal(size=(1500, 4))
+        y = ((X[:, 0] + 0.3 * rng.normal(size=1500)) > 0).astype(float)
+        model = GradientBoostingClassifier(
+            n_estimators=300, learning_rate=0.5, early_stopping_rounds=5
+        ).fit(X[:1000], y[:1000], eval_set=(X[1000:], y[1000:]))
+        assert len(model.trees_) == model.best_iteration_ + 1
+        assert len(model.staged_decision_function(X[:20])) == len(model.trees_)
+
+    def test_truncated_model_equals_shorter_fit(self, rng):
+        """The early-stopped model predicts exactly like a fresh fit with
+        n_estimators == best_iteration_ + 1 (no trailing trees linger)."""
+        X = rng.normal(size=(1500, 4))
+        y = ((X[:, 0] + 0.3 * rng.normal(size=1500)) > 0).astype(float)
+        stopped = GradientBoostingClassifier(
+            n_estimators=300, learning_rate=0.5, early_stopping_rounds=5
+        ).fit(X[:1000], y[:1000], eval_set=(X[1000:], y[1000:]))
+        assert len(stopped.trees_) < 300
+        refit = GradientBoostingClassifier(
+            n_estimators=stopped.best_iteration_ + 1, learning_rate=0.5
+        ).fit(X[:1000], y[:1000])
+        assert np.array_equal(
+            stopped.decision_function(X), refit.decision_function(X)
+        )
+
+    def test_no_truncation_without_early_stopping(self, rng):
+        X = rng.normal(size=(600, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = GradientBoostingClassifier(n_estimators=30).fit(
+            X[:400], y[:400], eval_set=(X[400:], y[400:])
+        )
+        assert len(model.trees_) == 30
+        assert model.best_iteration_ is not None
+
     def test_eval_set_shape_checked(self, rng):
         X = rng.normal(size=(100, 3))
         y = (X[:, 0] > 0).astype(float)
         with pytest.raises(DataError):
             GradientBoostingClassifier().fit(X, y, eval_set=(X[:, :2], y))
+
+
+class TestMissingValueRouting:
+    def _specials_matrix(self, rng, n=1200, d=5):
+        X = rng.normal(size=(n, d))
+        X[rng.random(size=n) < 0.1, 0] = np.inf
+        X[rng.random(size=n) < 0.1, 1] = -np.inf
+        X[rng.random(size=n) < 0.1, 2] = np.nan
+        y = (np.nan_to_num(X[:, 3]) + 0.5 * np.nan_to_num(X[:, 4]) > 0).astype(float)
+        return X, y
+
+    def test_inf_train_predict_parity(self, rng):
+        """Regression: raw-float descent must route ±inf exactly like the
+        training partition did (to the missing side), so fit-time margins
+        and decision_function agree bit-for-bit on ±inf data."""
+        from repro.tabular.binning import quantile_codes_matrix
+
+        X, y = self._specials_matrix(rng)
+        model = GradientBoostingClassifier(n_estimators=8, max_depth=4).fit(X, y)
+        codes, __ = quantile_codes_matrix(X, max_bins=model.max_bins)
+        margin = np.full(X.shape[0], model.base_score_)
+        for tree in model.trees_:
+            margin += model.learning_rate * tree.predict_codes(codes)
+        assert np.array_equal(margin, model.decision_function(X))
+
+    def test_nonfinite_rows_follow_missing_branch(self, rng):
+        X, y = self._specials_matrix(rng)
+        model = GradientBoostingClassifier(n_estimators=8, max_depth=4).fit(X, y)
+        probe = np.zeros((3, X.shape[1]))
+        probe[0], probe[1], probe[2] = np.nan, np.inf, -np.inf
+        preds = model.decision_function(probe)
+        # All-non-finite rows always take the right branch, so every kind
+        # of non-finite row lands in the same leaf path.
+        assert preds[0] == preds[1] == preds[2]
+
+
+class TestSubsamplePartitions:
+    def test_dropped_rows_leave_the_partition(self, rng):
+        """Regression: subsampled-away rows no longer count toward node
+        sizes (they used to be zero-weighted but kept, inflating
+        ``n_samples`` and ``min_samples_leaf`` checks with phantom rows)."""
+        X = rng.normal(size=(2000, 5))
+        y = (X[:, 0] > 0).astype(float)
+        model = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.5, max_depth=3
+        ).fit(X, y)
+        for tree in model.trees_:
+            root_n = int(tree.n_samples[0])
+            assert root_n < 2000
+            assert 700 < root_n < 1300  # ~Binomial(2000, 0.5)
+            leaves = tree.feature == -1
+            assert int(tree.n_samples[leaves].sum()) == root_n
+
+    def test_leaf_sizes_respect_min_samples_leaf_on_real_rows(self, rng):
+        X = rng.normal(size=(1500, 4))
+        y = (X[:, 0] * X[:, 1] > 0).astype(float)
+        msl = 20
+        model = GradientBoostingClassifier(
+            n_estimators=8, subsample=0.5, min_samples_leaf=msl, max_depth=4
+        ).fit(X, y)
+        for tree in model.trees_:
+            leaves = (tree.feature == -1) & (tree.n_samples < tree.n_samples[0])
+            # Every non-root leaf holds >= msl *actually trained* rows.
+            assert (tree.n_samples[leaves] >= msl).all()
+
+    def test_subsampled_fit_still_learns(self, rng):
+        from repro.metrics import roc_auc_score
+
+        X = rng.normal(size=(2000, 6))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(float)
+        model = GradientBoostingClassifier(
+            n_estimators=30, max_depth=3, subsample=0.6
+        ).fit(X[:1500], y[:1500])
+        assert roc_auc_score(y[1500:], model.predict_proba(X[1500:])[:, 1]) > 0.85
 
 
 class TestPredict:

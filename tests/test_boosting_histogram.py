@@ -111,3 +111,65 @@ class TestBestSplitForFeature:
             assert cand.grad_left + cand.grad_right == pytest.approx(grad.sum())
             assert cand.hess_left + cand.hess_right == pytest.approx(hess.sum())
             assert cand.n_left + cand.n_right == 200
+
+
+class TestNodeHistogramBuilder:
+    def _setup(self, rng, n=300, n_cols=4, n_bins=8):
+        from repro.tabular.binning import quantile_codes_matrix
+
+        X = rng.normal(size=(n, n_cols))
+        codes, edges = quantile_codes_matrix(X, max_bins=n_bins)
+        stride = max(len(e) for e in edges) + 2
+        grad = rng.normal(size=n)
+        hess = rng.random(n) + 0.5
+        return codes, stride, grad, hess
+
+    def test_build_level_matches_per_node_bincounts(self):
+        from repro.boosting.histogram import NodeHistogramBuilder
+
+        rng = np.random.default_rng(0)
+        codes, stride, grad, hess = self._setup(rng)
+        builder = NodeHistogramBuilder(codes, stride, grad, hess)
+        idx_a = np.arange(0, 150)
+        idx_b = np.arange(150, 300)
+        block = builder.build_level([idx_a, idx_b])
+        assert block.shape == (3, 2, codes.shape[1], stride)
+        for pos, idx in enumerate([idx_a, idx_b]):
+            for j in range(codes.shape[1]):
+                col = np.asarray(codes[idx, j], dtype=np.int64)
+                g, h, c = feature_histogram(col, grad[idx], hess[idx], stride)
+                assert np.array_equal(block[0, pos, j], g)
+                assert np.array_equal(block[1, pos, j], h)
+                assert np.array_equal(block[2, pos, j], c)
+
+    def test_subtraction_recovers_counts_exactly(self):
+        from repro.boosting.histogram import NodeHistogramBuilder
+
+        rng = np.random.default_rng(1)
+        codes, stride, grad, hess = self._setup(rng)
+        builder = NodeHistogramBuilder(codes, stride, grad, hess)
+        parent = np.arange(300)
+        left = np.arange(0, 120)
+        right = np.arange(120, 300)
+        blocks = builder.build_level([parent, left, right])
+        # Count channel: parent - left == right bit-exactly (integer floats).
+        assert np.array_equal(blocks[2, 0] - blocks[2, 1], blocks[2, 2])
+
+    def test_without_counts_channel(self):
+        from repro.boosting.histogram import NodeHistogramBuilder
+
+        rng = np.random.default_rng(2)
+        codes, stride, grad, hess = self._setup(rng)
+        builder = NodeHistogramBuilder(codes, stride, grad, hess, with_counts=False)
+        block = builder.build_level([np.arange(300)])
+        assert block.shape == (2, 1, codes.shape[1], stride)
+
+    def test_shape_validation(self):
+        from repro.boosting.histogram import NodeHistogramBuilder
+
+        with pytest.raises(DataError):
+            NodeHistogramBuilder(np.zeros(5, dtype=np.int64), 4, np.zeros(5), np.zeros(5))
+        with pytest.raises(DataError):
+            NodeHistogramBuilder(
+                np.zeros((5, 2), dtype=np.int64), 4, np.zeros(4), np.zeros(4)
+            )

@@ -136,3 +136,43 @@ class TestQuantileCodesMatrix:
         X = np.array([[1.0], [2.0], [np.nan]])
         codes, edges = quantile_codes_matrix(X, max_bins=4)
         assert codes[2, 0] == edges[0].size + 1
+
+
+class TestCodesFromEdgesMatrix:
+    def test_matches_per_column_codes(self):
+        from repro.tabular.binning import codes_from_edges_matrix
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 4))
+        X[::7, 1] = np.nan
+        X[::11, 2] = np.inf
+        __, edges = quantile_codes_matrix(X, max_bins=8)
+        X_new = rng.normal(size=(80, 4))
+        X_new[::5, 0] = -np.inf
+        out = codes_from_edges_matrix(X_new, edges)
+        for j in range(4):
+            assert np.array_equal(out[:, j], codes_from_edges(X_new[:, j], edges[j]))
+
+    def test_fortran_ordered_int64(self):
+        from repro.tabular.binning import codes_from_edges_matrix
+
+        X = np.random.default_rng(2).normal(size=(30, 3))
+        codes, edges = quantile_codes_matrix(X, max_bins=4)
+        assert codes.flags.f_contiguous
+        assert codes.dtype == np.int64
+        again = codes_from_edges_matrix(X, edges)
+        assert np.array_equal(again, codes)
+
+    def test_column_count_mismatch(self):
+        from repro.tabular.binning import codes_from_edges_matrix
+
+        X = np.random.default_rng(3).normal(size=(10, 3))
+        __, edges = quantile_codes_matrix(X, max_bins=4)
+        with pytest.raises(DataError):
+            codes_from_edges_matrix(X[:, :2], edges)
+
+    def test_rejects_1d(self):
+        from repro.tabular.binning import codes_from_edges_matrix
+
+        with pytest.raises(DataError):
+            codes_from_edges_matrix(np.arange(4.0), [np.array([0.5])])
