@@ -37,16 +37,33 @@ values per feature). Measures
   may resolve differently under histogram-subtraction float noise,
   which train rows cannot observe but off-train rows can).
 
+* the selection stage (Algorithm 4 redundancy removal) — seed reference:
+  faithful copy of the full-matrix greedy (complete k x k
+  ``pearson_matrix``, then the IV-ordered kept-scan); fast path: the
+  blocked incremental Gram kernel
+  (``core.redundancy.remove_redundant_features_blocked``) on a
+  50k-row x 3k-candidate pool with grouped correlation structure plus
+  constant/near-constant/duplicate/NaN pathologies. Kept indices must be
+  **identical**.
+
 Verifies the batched results match the scalar ones (scoring to 1e-9,
 generation bit-identical: same expression keys/states and byte-equal
-candidate matrices; boosting parity margins byte-equal) and writes
-``BENCH_perf.json`` at the repo root.
+candidate matrices; boosting parity margins byte-equal; selection kept
+indices identical) and writes ``BENCH_perf.json`` at the repo root.
 
 Run: ``PYTHONPATH=src python benchmarks/run_perf.py``
+
+A single workload can be re-timed and merged into the existing
+``BENCH_perf.json`` without re-running the others:
+``PYTHONPATH=src python benchmarks/run_perf.py --stage selection``
+(repeatable; stages: scoring, generation, boosting, end_to_end,
+selection).
 """
 
 from __future__ import annotations
 
+import argparse
+import functools
 import json
 import sys
 import time
@@ -61,12 +78,14 @@ from repro.core.generation import (
     generate_features,
     rank_combinations,
 )
+from repro.core.redundancy import remove_redundant_features_blocked
 from repro.core.scoring import score_combinations
 from repro.metrics.batched import information_values_matrix
 from repro.metrics.information import (
     _EPS,
     cells_from_split_values,
     information_value,
+    pearson_matrix,
 )
 from repro.operators import (
     Applied,
@@ -103,6 +122,12 @@ BOOST_N_EVAL_ROWS = 10_000
 # never accumulates a per-bin count channel.
 BOOST_MIN_SAMPLES_LEAF = 0
 BOOST_MIN_CHILD_WEIGHT = 1e-3
+SEL_N_ROWS = 50_000
+SEL_N_COLS = 3_000
+SEL_N_GROUPS = 150
+SEL_NOISE = 0.35  # within-group |corr| ~ 1/(1+sigma^2) ~ 0.89 > theta
+SEL_THETA = 0.8
+SEL_BLOCK_SIZE = 512
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
@@ -353,7 +378,11 @@ def seed_gbm_fit(X, y, eval_set, subsample):
 # ----------------------------------------------------------------------
 # Workload
 # ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=1)
 def build_workload() -> tuple[np.ndarray, np.ndarray, list]:
+    """Deterministic shared workload (memoized: the scoring, generation
+    and boosting stages all read the same matrices and never mutate
+    them, so one build serves a full multi-stage run)."""
     rng = np.random.default_rng(SEED)
     X = rng.normal(size=(N_ROWS, N_COLS))
     X[:, 10] = np.round(X[:, 10] * 3)  # duplicate-heavy column
@@ -524,6 +553,81 @@ def run_boosting_benchmark(repeats: int = 2) -> dict:
     }
 
 
+def seed_remove_redundant(X: np.ndarray, ivs: np.ndarray, theta: float) -> np.ndarray:
+    """Faithful copy of the seed's full-matrix Algorithm 4 greedy.
+
+    Materializes the complete k x k |Pearson| matrix (O(k^2 * n) flops,
+    O(k^2) memory) before the IV-ordered kept-scan — the path the blocked
+    incremental kernel replaces.
+    """
+    corr = np.abs(pearson_matrix(X))
+    order = np.lexsort((np.arange(ivs.size), -ivs))
+    kept: list[int] = []
+    for j in order:
+        if not kept or corr[j, kept].max() <= theta:
+            kept.append(int(j))
+    kept.sort()
+    return np.asarray(kept, dtype=np.int64)
+
+
+def build_selection_workload() -> tuple[np.ndarray, np.ndarray]:
+    """50k x 3k candidate pool with production-shaped redundancy.
+
+    Candidates are noisy copies of ``SEL_N_GROUPS`` latent factors, so
+    each group's highest-IV member should survive and the rest should be
+    rejected against it — the regime where the greedy's kept set stays
+    far smaller than the candidate pool. Pathological columns (constant,
+    noise-floor constant, exact duplicates, sparse NaN) and IV ties are
+    mixed in; the kept indices must match the full-matrix path on all of
+    them.
+    """
+    rng = np.random.default_rng(SEED + 4)
+    factors = rng.normal(size=(SEL_N_ROWS, SEL_N_GROUPS))
+    groups = rng.integers(0, SEL_N_GROUPS, size=SEL_N_COLS)
+    X = factors[:, groups]
+    X += SEL_NOISE * rng.normal(size=(SEL_N_ROWS, SEL_N_COLS))
+    X[:, 17] = 3.25  # exactly constant
+    X[:, 23] = 1e8 + 1e-7 * rng.normal(size=SEL_N_ROWS)  # noise-floor constant
+    X[:, 31] = X[:, 5]  # exact duplicate
+    X[:, 37] = -2.0 * X[:, 11]  # negated scaled duplicate
+    X[rng.random(SEL_N_ROWS) < 0.001, 41] = np.nan  # sparse missing values
+    ivs = rng.uniform(0.05, 1.0, size=SEL_N_COLS)
+    ivs[200:210] = ivs[199]  # IV ties break by column order
+    ivs[41] = 0.01  # the NaN column is visited late (kept set non-empty)
+    return X, ivs
+
+
+def run_selection_benchmark(repeats: int = 2) -> dict:
+    """Full-matrix seed greedy vs blocked incremental kernel, 50k x 3k.
+
+    The seed side runs once (it is the expensive path being replaced);
+    the blocked side takes best-of-``repeats``. Kept indices must be
+    identical.
+    """
+    X, ivs = build_selection_workload()
+    seed_s, seed_kept = best_of(
+        lambda: seed_remove_redundant(X, ivs, SEL_THETA), 1
+    )
+    blocked_s, blocked_kept = best_of(
+        lambda: remove_redundant_features_blocked(
+            X, ivs, SEL_THETA, block_size=SEL_BLOCK_SIZE
+        ),
+        repeats,
+    )
+    return {
+        "n_rows": SEL_N_ROWS,
+        "n_candidates": SEL_N_COLS,
+        "n_groups": SEL_N_GROUPS,
+        "theta": SEL_THETA,
+        "block_size": SEL_BLOCK_SIZE,
+        "n_kept": int(blocked_kept.size),
+        "seed_seconds": seed_s,
+        "blocked_seconds": blocked_s,
+        "speedup": seed_s / blocked_s,
+        "kept_identical": bool(np.array_equal(seed_kept, blocked_kept)),
+    }
+
+
 def run_end_to_end_fit() -> dict:
     """One engine-path SAFE.fit, recorded for regression tracking."""
     from repro.core import SAFE, SAFEConfig
@@ -557,7 +661,8 @@ def best_of(fn, repeats: int = 3) -> tuple[float, object]:
     return best, result
 
 
-def main(write_json: bool = True) -> dict:
+def run_scoring_benchmark() -> dict:
+    """Ranking + IV stages, scalar vs batched (the PR 1 workloads)."""
     X, y, combos = build_workload()
 
     scalar_rank_s, scalar_ratios = best_of(lambda: scalar_rank(X, y, combos), 1)
@@ -568,27 +673,8 @@ def main(write_json: bool = True) -> dict:
     batched_iv_s, batched_ivs = best_of(
         lambda: information_values_matrix(X, y, n_bins=IV_BINS), 3
     )
-
-    # Same repeat count on both sides so the best-of comparison is fair.
-    ranked_gen, base_exprs, X_valid = build_generation_workload(combos)
-    scalar_gen_s, scalar_gen_out = best_of(
-        lambda: scalar_generation_stage(ranked_gen, base_exprs, X, X_valid), 3
-    )
-    batched_gen_s, batched_gen_out = best_of(
-        lambda: batched_generation_stage(ranked_gen, base_exprs, X, X_valid), 3
-    )
-    s_exprs, s_cand, s_valid = scalar_gen_out
-    b_exprs, b_cand, b_valid = batched_gen_out
-    generation_identical = (
-        [e.key for e in s_exprs] == [e.key for e in b_exprs]
-        and [e.state for e in s_exprs] == [e.state for e in b_exprs]
-        and np.array_equal(s_cand, b_cand, equal_nan=True)
-        and np.array_equal(s_valid, b_valid, equal_nan=True)
-    )
-
     rank_err = float(np.abs(scalar_ratios - batched_ratios).max())
     iv_err = float(np.abs(scalar_ivs - batched_ivs).max())
-    equivalent = rank_err <= TOL and iv_err <= TOL and generation_identical
 
     # gamma only truncates the sorted output; include it so the measured
     # stage is exactly what the pipeline runs.
@@ -596,7 +682,7 @@ def main(write_json: bool = True) -> dict:
     assert len(ranked) == GAMMA
 
     combined = (scalar_rank_s + scalar_iv_s) / (batched_rank_s + batched_iv_s)
-    report = {
+    return {
         "workload": {
             "n_rows": N_ROWS,
             "n_cols": N_COLS,
@@ -617,6 +703,30 @@ def main(write_json: bool = True) -> dict:
             "speedup": scalar_iv_s / batched_iv_s,
             "max_abs_diff": iv_err,
         },
+        "combined_speedup": combined,
+    }
+
+
+def run_generation_benchmark() -> dict:
+    """Generation stage, scalar vs CSE engine (the PR 3 workload)."""
+    X, __, combos = build_workload()
+    # Same repeat count on both sides so the best-of comparison is fair.
+    ranked_gen, base_exprs, X_valid = build_generation_workload(combos)
+    scalar_gen_s, scalar_gen_out = best_of(
+        lambda: scalar_generation_stage(ranked_gen, base_exprs, X, X_valid), 3
+    )
+    batched_gen_s, batched_gen_out = best_of(
+        lambda: batched_generation_stage(ranked_gen, base_exprs, X, X_valid), 3
+    )
+    s_exprs, s_cand, s_valid = scalar_gen_out
+    b_exprs, b_cand, b_valid = batched_gen_out
+    generation_identical = (
+        [e.key for e in s_exprs] == [e.key for e in b_exprs]
+        and [e.state for e in s_exprs] == [e.state for e in b_exprs]
+        and np.array_equal(s_cand, b_cand, equal_nan=True)
+        and np.array_equal(s_valid, b_valid, equal_nan=True)
+    )
+    return {
         "generation": {
             "n_combinations": GAMMA,
             "n_valid_rows": N_VALID_ROWS,
@@ -626,49 +736,130 @@ def main(write_json: bool = True) -> dict:
             "batched_seconds": batched_gen_s,
             "speedup": scalar_gen_s / batched_gen_s,
             "bit_identical": generation_identical,
-        },
-        "boosting": run_boosting_benchmark(),
-        "end_to_end_fit": run_end_to_end_fit(),
-        "combined_speedup": combined,
-        "equivalent_within_1e-9": equivalent,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
     }
+
+
+#: Stage name -> callable returning the top-level keys that stage owns.
+STAGE_RUNNERS = {
+    "scoring": run_scoring_benchmark,
+    "generation": run_generation_benchmark,
+    "boosting": lambda: {"boosting": run_boosting_benchmark()},
+    "end_to_end": lambda: {"end_to_end_fit": run_end_to_end_fit()},
+    "selection": lambda: {"selection": run_selection_benchmark()},
+}
+ALL_STAGES = tuple(STAGE_RUNNERS)
+
+
+def _print_stage_summaries(report: dict) -> None:
+    if "ranking" in report:
+        r = report["ranking"]
+        print(
+            f"ranking: {r['scalar_seconds']:.3f}s -> {r['batched_seconds']:.3f}s "
+            f"({r['speedup']:.1f}x)"
+        )
+    if "information_value" in report:
+        r = report["information_value"]
+        print(
+            f"IV:      {r['scalar_seconds']:.3f}s -> {r['batched_seconds']:.3f}s "
+            f"({r['speedup']:.1f}x)"
+        )
+    if "generation" in report:
+        r = report["generation"]
+        print(
+            f"generation: {r['scalar_seconds']:.3f}s -> {r['batched_seconds']:.3f}s "
+            f"({r['speedup']:.1f}x)  bit-identical: {r['bit_identical']}"
+        )
+    if "boosting" in report:
+        r = report["boosting"]
+        print(
+            f"boosting: {r['seed_seconds']:.3f}s -> {r['fast_seconds']:.3f}s "
+            f"({r['speedup']:.1f}x)  parity {r['parity']['speedup']:.1f}x "
+            f"bit-identical: {r['parity']['train_margins_bit_identical']}"
+        )
+    if "selection" in report:
+        r = report["selection"]
+        print(
+            f"selection: {r['seed_seconds']:.3f}s -> {r['blocked_seconds']:.3f}s "
+            f"({r['speedup']:.1f}x)  kept {r['n_kept']}/{r['n_candidates']} "
+            f"identical: {r['kept_identical']}"
+        )
+    if "end_to_end_fit" in report:
+        print(f"end-to-end fit: {report['end_to_end_fit']['seconds']:.3f}s")
+    if "combined_speedup" in report:
+        print(
+            f"combined: {report['combined_speedup']:.2f}x   "
+            f"equivalent: {report.get('equivalent_within_1e-9')}"
+        )
+
+
+def main(write_json: bool = True, stages: "list[str] | None" = None) -> dict:
+    """Run the requested stages (default: all) and merge into the report.
+
+    When a subset of stages is requested and ``BENCH_perf.json`` exists,
+    the untouched stages' records are carried over from it, so one
+    workload can be re-timed without re-running the others.
+    """
+    requested = list(stages) if stages else list(ALL_STAGES)
+    unknown = set(requested) - set(ALL_STAGES)
+    if unknown:
+        raise ValueError(f"unknown benchmark stage(s): {sorted(unknown)}")
+    report: dict = {}
+    if write_json and RESULT_PATH.exists() and set(requested) != set(ALL_STAGES):
+        report = json.loads(RESULT_PATH.read_text())
+    for stage in requested:
+        report.update(STAGE_RUNNERS[stage]())
+    if all(k in report for k in ("ranking", "information_value", "generation")):
+        report["equivalent_within_1e-9"] = (
+            report["ranking"]["max_abs_diff"] <= TOL
+            and report["information_value"]["max_abs_diff"] <= TOL
+            and report["generation"]["bit_identical"]
+        )
+    report["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
     if write_json:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(
-        f"ranking: {scalar_rank_s:.3f}s -> {batched_rank_s:.3f}s "
-        f"({report['ranking']['speedup']:.1f}x)"
-    )
-    print(
-        f"IV:      {scalar_iv_s:.3f}s -> {batched_iv_s:.3f}s "
-        f"({report['information_value']['speedup']:.1f}x)"
-    )
-    print(
-        f"generation: {scalar_gen_s:.3f}s -> {batched_gen_s:.3f}s "
-        f"({report['generation']['speedup']:.1f}x)  "
-        f"bit-identical: {generation_identical}"
-    )
-    boost = report["boosting"]
-    print(
-        f"boosting: {boost['seed_seconds']:.3f}s -> {boost['fast_seconds']:.3f}s "
-        f"({boost['speedup']:.1f}x)  parity {boost['parity']['speedup']:.1f}x "
-        f"bit-identical: {boost['parity']['train_margins_bit_identical']}"
-    )
-    print(f"end-to-end fit: {report['end_to_end_fit']['seconds']:.3f}s")
-    print(f"combined: {combined:.2f}x   equivalent: {equivalent}")
+    _print_stage_summaries(report)
     if write_json:
         print(f"wrote {RESULT_PATH}")
     return report
 
 
+#: Per-stage pass criteria applied to the merged report by ``__main__``.
+STAGE_GATES = {
+    "scoring": lambda r: (
+        r["combined_speedup"] >= 5.0
+        and r["ranking"]["max_abs_diff"] <= TOL
+        and r["information_value"]["max_abs_diff"] <= TOL
+    ),
+    "generation": lambda r: (
+        r["generation"]["speedup"] >= 4.0 and r["generation"]["bit_identical"]
+    ),
+    "boosting": lambda r: (
+        r["boosting"]["speedup"] >= 3.0
+        and r["boosting"]["parity"]["train_margins_bit_identical"]
+    ),
+    "selection": lambda r: (
+        r["selection"]["speedup"] >= 4.0 and r["selection"]["kept_identical"]
+    ),
+    "end_to_end": lambda r: r["end_to_end_fit"]["n_output_features"] >= 1,
+}
+
+
 if __name__ == "__main__":
-    report = main()
-    ok = (
-        report["equivalent_within_1e-9"]
-        and report["combined_speedup"] >= 5.0
-        and report["generation"]["speedup"] >= 4.0
-        and report["generation"]["bit_identical"]
-        and report["boosting"]["speedup"] >= 3.0
-        and report["boosting"]["parity"]["train_margins_bit_identical"]
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stage",
+        action="append",
+        choices=ALL_STAGES,
+        help="re-run only this workload and merge it into BENCH_perf.json "
+        "(repeatable; default: all stages)",
     )
-    sys.exit(0 if ok else 1)
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without touching BENCH_perf.json",
+    )
+    cli = parser.parse_args()
+    ran = list(cli.stage) if cli.stage else list(ALL_STAGES)
+    report = main(write_json=not cli.no_write, stages=ran)
+    sys.exit(0 if all(STAGE_GATES[s](report) for s in ran) else 1)

@@ -1,0 +1,41 @@
+"""Perf gate for the blocked incremental redundancy kernel (not tier-1).
+
+Run explicitly with ``PYTHONPATH=src python -m pytest -m perf
+benchmarks/test_perf_selection.py``. Asserts the acceptance criteria of
+the blocked-selection PR: >= 4x speedup over the seed's full-matrix
+greedy (complete k x k ``pearson_matrix`` before the IV-ordered scan) on
+the 50k-row x 3k-candidate pool, with **identical** kept indices, and a
+kept set that actually exercises the incremental panel (the grouped
+workload keeps roughly one candidate per latent factor).
+
+The memory-scaling assertion (peak working set stays O((block+kept)*n),
+never O(k^2)) lives in the tier-1 suite:
+``tests/test_core_selection.py::TestBlockedRedundancyEquivalence::
+test_peak_memory_stays_subquadratic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import run_perf
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_perf.run_selection_benchmark()
+
+
+def test_selection_speedup(record):
+    assert record["n_candidates"] == run_perf.SEL_N_COLS
+    assert record["speedup"] >= 4.0
+
+
+def test_kept_indices_identical(record):
+    assert record["kept_identical"] is True
+    # The grouped workload must keep a non-trivial but heavily pruned
+    # set: every latent factor survives (plus the always-kept constant
+    # columns), the redundant copies do not.
+    assert run_perf.SEL_N_GROUPS <= record["n_kept"] <= run_perf.SEL_N_COLS // 4

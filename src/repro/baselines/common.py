@@ -85,10 +85,15 @@ def run_generation_and_selection(
         n_jobs=n_jobs,
     )
     candidates: list[Expression] = base + new_exprs
-    X_cand = clean_matrix(evaluate_forest(candidates, cache=train_cache))
+    # Both evaluate_forest blocks are freshly allocated (cache columns are
+    # copied into them), so clean_matrix may sanitize in place.
+    X_cand = clean_matrix(evaluate_forest(candidates, cache=train_cache), copy=False)
     eval_cand = None
     if valid is not None and valid.y is not None:
-        eval_cand = (clean_matrix(evaluate_forest(candidates, valid.X)), valid.y)
+        eval_cand = (
+            clean_matrix(evaluate_forest(candidates, valid.X), copy=False),
+            valid.y,
+        )
     if max_output is None:
         max_output = 2 * train.n_cols
     report = select_features(

@@ -13,6 +13,7 @@ from .generation import (
 )
 from .interface import AutoFeatureEngineer
 from .pipeline import SAFE, IterationTrace
+from .redundancy import remove_redundant_features_blocked
 from .scoring import IntervalCodeCache, score_combinations
 from .selection import (
     SelectionReport,
@@ -41,6 +42,7 @@ __all__ = [
     "rank_by_importance",
     "rank_combinations",
     "remove_redundant_features",
+    "remove_redundant_features_blocked",
     "score_combinations",
     "search_space_size",
     "select_features",

@@ -102,10 +102,13 @@ class SAFE(AutoFeatureEngineer):
             ):
                 break
             iter_timer = Timer()
-            X_fit = clean_matrix(X_cur)
+            # X_cur / X_valid_cur are private fresh allocations (an
+            # explicit .copy() on iteration 0, fancy-indexed survivor
+            # slices afterwards), so they too are sanitized in place.
+            X_fit = clean_matrix(X_cur, copy=False)
             eval_set = None
             if X_valid_cur is not None and y_valid is not None:
-                eval_set = (clean_matrix(X_valid_cur), y_valid)
+                eval_set = (clean_matrix(X_valid_cur, copy=False), y_valid)
 
             # -- Generation --------------------------------------------
             mining = fit_mining_model(
@@ -142,11 +145,18 @@ class SAFE(AutoFeatureEngineer):
                 candidates = list(expressions) + new_exprs
             else:
                 candidates = new_exprs
-            X_cand = clean_matrix(evaluate_forest(candidates, cache=train_cache))
+            # evaluate_forest fills a freshly allocated block (cached
+            # columns are copied into it), so in-place sanitation is safe
+            # and saves one full-matrix copy per iteration per matrix.
+            X_cand = clean_matrix(
+                evaluate_forest(candidates, cache=train_cache), copy=False
+            )
             eval_cand = None
             if valid_cache is not None and y_valid is not None:
                 eval_cand = (
-                    clean_matrix(evaluate_forest(candidates, cache=valid_cache)),
+                    clean_matrix(
+                        evaluate_forest(candidates, cache=valid_cache), copy=False
+                    ),
                     y_valid,
                 )
 

@@ -4,11 +4,19 @@ Three computationally-cheap stages, applied in order:
 
 1. :func:`filter_by_information_value` — Algorithm 3. Features whose IV
    (Eq. 6, β equal-frequency bins) does not exceed α are dropped; the
-   default α = 0.1 keeps "medium" predictors and above (Table I).
+   default α = 0.1 keeps "medium" predictors and above (Table I). One
+   batched matrix kernel scores every column at once
+   (:func:`repro.metrics.batched.information_values_matrix`).
 2. :func:`remove_redundant_features` — Algorithm 4 with the intended
    semantics (see DESIGN.md): process features in decreasing IV order and
    keep a feature iff its |Pearson| with every already-kept feature is
    below θ = 0.8, so the higher-IV member of each correlated pair wins.
+   Runs on the blocked incremental Gram kernel
+   (:mod:`repro.core.redundancy`): candidate columns are standardized
+   once, visited in decreasing-IV blocks, and correlated only against the
+   growing kept panel via BLAS matmuls — O(k * |kept| * n) time and
+   O((block + |kept|) * n) memory instead of the full-matrix greedy's
+   O(k^2 * n) time and O(k^2) memory, with identical kept indices.
 3. :func:`rank_by_importance` — order survivors by the ranking GBM's
    average split gain and truncate to the output budget.
 """
@@ -21,7 +29,8 @@ import numpy as np
 
 from ..boosting.gbm import GradientBoostingClassifier
 from ..exceptions import DataError
-from ..metrics.information import information_values, pearson_matrix
+from ..metrics.information import information_values
+from .redundancy import DEFAULT_BLOCK_SIZE, remove_redundant_features_blocked
 
 
 @dataclass(frozen=True)
@@ -79,28 +88,26 @@ def remove_redundant_features(
     X: np.ndarray,
     ivs: np.ndarray,
     theta: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    n_jobs: int = 1,
 ) -> np.ndarray:
     """Algorithm 4 (intended semantics): greedy de-correlation by IV.
 
     Features are visited in decreasing IV order; a feature is kept iff its
     absolute Pearson correlation with every feature kept so far is at most
     ``theta``. Ties in IV break by column order for determinism.
+
+    Runs on the blocked incremental kernel
+    (:func:`repro.core.redundancy.remove_redundant_features_blocked`),
+    which never materializes the k x k correlation matrix but returns the
+    exact kept set the full-matrix greedy would.
     """
-    if X.shape[1] != ivs.size:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] != np.asarray(ivs).ravel().size:
         raise DataError("ivs length must match number of columns")
-    if X.shape[1] == 0:
-        return np.empty(0, dtype=np.int64)
-    corr = np.abs(pearson_matrix(X))
-    order = np.lexsort((np.arange(ivs.size), -ivs))
-    kept: list[int] = []
-    for j in order:
-        # Vectorized kept-scan; a NaN correlation (constant column) makes
-        # the max comparison False, rejecting j exactly like the scalar
-        # per-pair check did.
-        if not kept or corr[j, kept].max() <= theta:
-            kept.append(int(j))
-    kept.sort()
-    return np.asarray(kept, dtype=np.int64)
+    return remove_redundant_features_blocked(
+        X, ivs, theta, block_size=block_size, n_jobs=n_jobs
+    )
 
 
 def rank_by_importance(
@@ -145,9 +152,18 @@ def select_features(
 ) -> SelectionReport:
     """Run the full three-stage pipeline; returns indices into ``X``."""
     kept_iv, ivs = filter_by_information_value(X, y, alpha, iv_bins, n_jobs=n_jobs)
-    sub = X[:, kept_iv]
-    kept_red_local = remove_redundant_features(sub, ivs[kept_iv], theta)
-    kept_red = kept_iv[kept_red_local]
+    # The blocked kernel gathers candidate columns straight from X one
+    # block at a time, so the IV survivors are never fancy-index copied
+    # as a whole; the only full gather left is the (much smaller)
+    # redundancy-survivor matrix the ranking GBM actually fits on.
+    # n_jobs is deliberately not forwarded here: the kernel's hot loop is
+    # one in-process (BLAS-threaded) GEMM per block, which beats shipping
+    # the kept panel to a process pool; the explicit
+    # remove_redundant_features_blocked(..., n_jobs=) path remains for
+    # deployments that pin BLAS to one thread per worker.
+    kept_red = remove_redundant_features_blocked(
+        X, ivs[kept_iv], theta, columns=kept_iv
+    )
     sub2 = X[:, kept_red]
     eval_sub = None
     if eval_set is not None:

@@ -107,16 +107,34 @@ class FeatureTransformer:
         return self.transform_matrix(data)
 
     def _output_names(self) -> tuple[str, ...]:
-        """Unique output column names (formulas, deduped if ever needed)."""
+        """Unique output column names (formulas, deduped if ever needed).
+
+        First occurrences keep their formula verbatim; later duplicates
+        get a ``#k`` suffix. A candidate suffix is skipped when it would
+        collide with any *literal* formula (e.g. a duplicate of ``foo``
+        must not be renamed to ``foo#1`` if some column's formula already
+        reads ``foo#1``) or with a name already emitted.
+        """
         names = list(self.feature_names)
-        seen: dict[str, int] = {}
-        for i, name in enumerate(names):
-            if name in seen:
-                names[i] = f"{name}#{seen[name]}"
-                seen[name] += 1
-            else:
-                seen[name] = 1
-        return tuple(names)
+        literal = set(names)
+        used: set[str] = set()
+        next_suffix: dict[str, int] = {}
+        out: list[str] = []
+        for name in names:
+            if name not in used:
+                out.append(name)
+                used.add(name)
+                continue
+            k = next_suffix.get(name, 1)
+            while True:
+                candidate = f"{name}#{k}"
+                k += 1
+                if candidate not in used and candidate not in literal:
+                    break
+            next_suffix[name] = k
+            out.append(candidate)
+            used.add(candidate)
+        return tuple(out)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -98,19 +98,30 @@ def information_values(
 
 
 def pearson_correlation(x: "np.ndarray | list", y: "np.ndarray | list") -> float:
-    """Pearson correlation per Eq. (7); 0.0 when either side is constant."""
+    """Pearson correlation per Eq. (7); 0.0 when either side is constant.
+
+    "Constant" uses the same float-cancellation noise floor as
+    :func:`pearson_matrix`: a vector whose centered norm is pure rounding
+    noise relative to its magnitude yields summation-order noise, not
+    signal, so it scores a deterministic 0.0 — the scalar and matrix
+    paths agree on every input.
+    """
     a = np.asarray(x, dtype=np.float64).ravel()
     b = np.asarray(y, dtype=np.float64).ravel()
     if a.size != b.size:
         raise DataError("inputs to pearson_correlation must have equal length")
     if a.size < 2:
         raise DataError("pearson_correlation needs at least 2 samples")
+    floor_scale = np.sqrt(a.size) * np.finfo(np.float64).eps * 16
+    floor_a = floor_scale * (np.abs(a).max() + 1.0)
+    floor_b = floor_scale * (np.abs(b).max() + 1.0)
     a = a - a.mean()
     b = b - b.mean()
-    denom = np.sqrt((a * a).sum()) * np.sqrt((b * b).sum())
-    if denom == 0:
+    norm_a = np.sqrt((a * a).sum())
+    norm_b = np.sqrt((b * b).sum())
+    if norm_a <= floor_a or norm_b <= floor_b:
         return 0.0
-    return float(np.clip((a * b).sum() / denom, -1.0, 1.0))
+    return float(np.clip((a * b).sum() / (norm_a * norm_b), -1.0, 1.0))
 
 
 def pearson_matrix(X: np.ndarray) -> np.ndarray:

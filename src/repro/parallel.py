@@ -8,7 +8,9 @@ machinery; :func:`parallel_information_values` is the IV stage's
 parallel path, :func:`parallel_score_combinations` chunks the
 Algorithm 2 ranking over combinations, and
 :func:`parallel_generate_features` chunks the operator-application
-stage over the surviving combinations (all enabled with
+stage over the surviving combinations, and
+:func:`parallel_max_abs_correlation` chunks the redundancy stage's
+candidate-vs-kept correlation reductions (all enabled with
 ``SAFEConfig(n_jobs=...)``).
 
 Design notes:
@@ -210,6 +212,65 @@ def parallel_generate_features(
                 continue
             seen.add(expr.key)
             out.append(expr)
+    return out
+
+
+def _corr_chunk(
+    payload: "tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]",
+) -> list[float]:
+    """Worker: candidate-vs-kept max |Pearson| for a block of candidates."""
+    Z, panel, cand_constant, kept_constant = payload
+    from .core.redundancy import max_abs_correlation
+
+    return max_abs_correlation(
+        Z, panel, cand_constant=cand_constant, kept_constant=kept_constant
+    ).tolist()
+
+
+def parallel_max_abs_correlation(
+    Z: np.ndarray,
+    panel: np.ndarray,
+    cand_constant: "np.ndarray | None" = None,
+    kept_constant: "np.ndarray | None" = None,
+    n_jobs: "int | None" = None,
+) -> np.ndarray:
+    """Redundancy-stage candidate-vs-kept correlation, chunked over candidates.
+
+    The paper calls out per-pair Pearson correlation as parallelizable
+    (§IV-E.2); in the blocked incremental greedy the parallel unit is one
+    chunk of a candidate block's standardized columns, each worker
+    reducing its chunk against the (shared) kept panel to per-candidate
+    maxima. Result order matches ``Z``'s columns.
+
+    Cost note: every worker receives a pickled copy of the kept panel per
+    block, so this pays O(jobs * kept * n) IPC per block where the serial
+    path is a single in-process (and BLAS-threaded) GEMM. Worth it only
+    when BLAS is pinned to one thread per process or the per-row work is
+    heavy; the ``n_jobs=1`` default keeps the zero-copy serial path.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    from .core.redundancy import max_abs_correlation
+
+    if jobs == 1 or Z.shape[1] <= 1:
+        return max_abs_correlation(
+            Z, panel, cand_constant=cand_constant, kept_constant=kept_constant
+        )
+    chunks = chunk_indices(Z.shape[1], jobs)
+    panel = np.asfortranarray(panel)
+    payloads = [
+        (
+            np.asfortranarray(Z[:, idx]),
+            panel,
+            None if cand_constant is None else cand_constant[idx],
+            kept_constant,
+        )
+        for idx in chunks
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(_corr_chunk, payloads))
+    out = np.empty(Z.shape[1])
+    for idx, values in zip(chunks, results):
+        out[idx] = values
     return out
 
 

@@ -99,14 +99,22 @@ class MeanImputer:
         return self.fit(X).transform(X)
 
 
-def clean_matrix(X: np.ndarray, clip: float = 1e12) -> np.ndarray:
+def clean_matrix(X: np.ndarray, clip: float = 1e12, copy: bool = True) -> np.ndarray:
     """Replace non-finite values with 0 and clip extreme magnitudes.
 
     Generated features (e.g. division by near-zero) can contain inf/NaN;
     downstream numpy classifiers require finite input. This is the single
     sanitation choke point used before model fitting.
+
+    ``copy=False`` sanitizes in place and is only for callers that own
+    ``X`` outright — e.g. a freshly allocated ``evaluate_forest`` block —
+    where it saves one full-matrix copy. (A non-float64 input is
+    converted regardless, so the returned matrix is then fresh anyway.)
     """
-    X = as_float_matrix(X).copy()
+    if copy:
+        X = as_float_matrix(X).copy()
+    else:
+        X = as_float_matrix(X, contiguous=False)
     X[~np.isfinite(X)] = 0.0
     np.clip(X, -clip, clip, out=X)
     return X

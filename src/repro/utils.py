@@ -35,8 +35,16 @@ def check_random_state(seed: "int | np.random.Generator | None") -> np.random.Ge
     raise DataError(f"cannot interpret {seed!r} as a random state")
 
 
-def as_float_matrix(X: "np.ndarray | list", name: str = "X") -> np.ndarray:
-    """Validate and convert ``X`` to a 2-D C-contiguous float64 matrix."""
+def as_float_matrix(
+    X: "np.ndarray | list", name: str = "X", contiguous: bool = True
+) -> np.ndarray:
+    """Validate and convert ``X`` to a 2-D float64 matrix.
+
+    ``contiguous=True`` (the default) additionally forces C order, which
+    copies Fortran-ordered input; pass ``False`` when the caller is
+    layout-agnostic (e.g. in-place sanitation of a freshly allocated
+    column-major block) to keep the input's layout and avoid that copy.
+    """
     arr = np.asarray(X, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr.reshape(-1, 1)
@@ -46,7 +54,7 @@ def as_float_matrix(X: "np.ndarray | list", name: str = "X") -> np.ndarray:
         raise DataError(f"{name} has zero rows")
     if arr.shape[1] == 0:
         raise DataError(f"{name} has zero columns")
-    return np.ascontiguousarray(arr)
+    return np.ascontiguousarray(arr) if contiguous else arr
 
 
 def as_label_vector(y: "np.ndarray | list", n_rows: "int | None" = None) -> np.ndarray:

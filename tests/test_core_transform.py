@@ -86,6 +86,37 @@ class TestTransform:
         out = psi.transform(ds)
         assert len(set(out.names)) == 2
 
+    def test_rename_never_collides_with_literal_name(self):
+        # Regression: a duplicate of "a" used to be renamed "a#1", which
+        # collides when some column's literal formula already reads "a#1".
+        psi = FeatureTransformer(
+            expressions=(Var(0), Var(0), Var(1)),
+            original_names=("a", "a#1"),
+        )
+        names = psi._output_names()
+        assert len(set(names)) == 3
+        assert names[0] == "a"  # first occurrences keep their formula
+        assert names[2] == "a#1"  # the literal name wins its own slot
+        assert names[1] not in {"a", "a#1"}
+
+    def test_rename_collision_with_literal_after_duplicate(self):
+        # The literal "a#1" appears *after* the renamed duplicate.
+        psi = FeatureTransformer(
+            expressions=(Var(0), Var(1), Var(2), Var(2)),
+            original_names=("a", "a", "a#1"),
+        )
+        names = psi._output_names()
+        assert len(set(names)) == 4
+        assert names[0] == "a" and names[2] == "a#1"
+
+    def test_triple_duplicates_get_increasing_suffixes(self):
+        psi = FeatureTransformer(
+            expressions=(Var(0), Var(0), Var(0)),
+            original_names=("a",),
+        )
+        names = psi._output_names()
+        assert names == ("a", "a#1", "a#2")
+
 
 class TestPersistence:
     def test_dict_roundtrip(self, psi, rng):

@@ -138,8 +138,31 @@ class TestPearson:
         X = np.column_stack([np.ones(10), np.arange(10.0)])
         corr = pearson_matrix(X)
         assert corr[0, 1] == 0.0
-        assert corr[1, 0] == 0.0
-        assert corr[0, 0] == 1.0
+        assert corr[1, 0] == 0.0  # zeroing is symmetric
+        # The diagonal is restored to 1.0 *after* the constant zeroing.
+        assert corr[0, 0] == 1.0 and corr[1, 1] == 1.0
+
+    def test_near_constant_scalar_matches_matrix(self):
+        # A column whose spread is pure float-cancellation noise: the
+        # matrix path zeroes it via the noise floor; the scalar path must
+        # agree instead of returning summation-order noise.
+        rng = np.random.default_rng(8)
+        near_constant = 1e8 + 1e-7 * rng.normal(size=100)
+        other = rng.normal(size=100)
+        assert near_constant.std() > 0  # not exactly constant
+        X = np.column_stack([near_constant, other])
+        assert pearson_matrix(X)[0, 1] == 0.0
+        assert pearson_correlation(near_constant, other) == 0.0
+
+    def test_scalar_matrix_parity_on_regular_data(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(150, 3))
+        corr = pearson_matrix(X)
+        for i in range(3):
+            for j in range(3):
+                assert corr[i, j] == pytest.approx(
+                    pearson_correlation(X[:, i], X[:, j]), abs=1e-9
+                )
 
 
 class TestEntropy:

@@ -92,6 +92,34 @@ class TestParallelIV:
             SAFEConfig(n_jobs=0)
 
 
+class TestParallelRedundancy:
+    def test_blocked_greedy_matches_serial(self, rng):
+        n_groups = 5
+        factors = rng.normal(size=(300, n_groups))
+        X = factors[:, rng.integers(0, n_groups, size=24)]
+        X = X + 0.3 * rng.normal(size=(300, 24))
+        ivs = rng.uniform(0, 1, size=24)
+        from repro.core import remove_redundant_features
+
+        serial = remove_redundant_features(X, ivs, theta=0.8, block_size=8)
+        parallel = remove_redundant_features(
+            X, ivs, theta=0.8, block_size=8, n_jobs=2
+        )
+        assert parallel.tolist() == serial.tolist()
+
+    def test_max_abs_correlation_chunked_matches(self, rng):
+        from repro.core.redundancy import max_abs_correlation, standardize_columns
+        from repro.parallel import parallel_max_abs_correlation
+
+        Z, z_const = standardize_columns(rng.normal(size=(100, 9)))
+        panel, p_const = standardize_columns(rng.normal(size=(100, 5)))
+        serial = max_abs_correlation(Z, panel, z_const, p_const)
+        parallel = parallel_max_abs_correlation(
+            Z, panel, cand_constant=z_const, kept_constant=p_const, n_jobs=3
+        )
+        assert np.allclose(serial, parallel)
+
+
 class TestParallelIG:
     def test_matches_serial(self, rng):
         X = rng.normal(size=(800, 8))

@@ -265,3 +265,36 @@ class TestSelectionProperties:
         off_diag = corr[~np.eye(kept.size, dtype=bool)]
         if off_diag.size:
             assert off_diag.max() <= theta + 1e-9
+
+    @given(
+        data=hnp.arrays(np.float64, st.tuples(st.integers(20, 60), st.integers(2, 10)),
+                        elements=finite_floats),
+        theta=st.floats(0.1, 0.99),
+        block_size=st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_greedy_matches_full_matrix_reference(
+        self, data, theta, block_size
+    ):
+        from repro.core import remove_redundant_features_blocked
+        from repro.metrics import pearson_matrix
+
+        ivs = np.linspace(1.0, 0.1, data.shape[1])
+        corr = np.abs(pearson_matrix(data))
+        # Both paths round each correlation through different (equally
+        # valid) BLAS summation orders, so a theta landing within rounding
+        # distance of an achieved |corr| is genuinely ambiguous — exclude
+        # only that measure-zero boundary, not the comparison itself.
+        off_diag = corr[~np.eye(corr.shape[0], dtype=bool)]
+        if off_diag.size and np.nanmin(np.abs(off_diag - theta)) < 1e-9:
+            return
+        order = np.lexsort((np.arange(ivs.size), -ivs))
+        reference: list[int] = []
+        for j in order:
+            if not reference or corr[j, reference].max() <= theta:
+                reference.append(int(j))
+        reference.sort()
+        kept = remove_redundant_features_blocked(
+            data, ivs, theta, block_size=block_size
+        )
+        assert kept.tolist() == reference

@@ -86,3 +86,16 @@ class TestCleanMatrix:
         X = np.array([[np.nan, 1.0]])
         clean_matrix(X)
         assert np.isnan(X[0, 0])
+
+    def test_copy_false_sanitizes_in_place(self):
+        X = np.asfortranarray([[np.nan, 1e300], [2.0, -np.inf]])
+        out = clean_matrix(X, copy=False)
+        assert out is X  # no copy: same buffer, layout preserved
+        assert np.isfinite(X).all()
+        assert X[0, 1] == 1e12 and X[0, 0] == 0.0
+
+    def test_copy_false_on_non_float_input_still_converts(self):
+        X = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        out = clean_matrix(X, copy=False)
+        assert out.dtype == np.float64
+        assert X[0, 0] == 1  # original untouched by the dtype conversion
