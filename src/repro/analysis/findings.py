@@ -1,0 +1,76 @@
+"""Lint findings: the one result type every rule emits.
+
+A :class:`Finding` pins a rule violation to a file and line so failures
+are actionable (`path:line: [rule-id] message`). Suppressions are
+per-line source comments::
+
+    woe = np.log(p / q)  # repro: ignore[log-guard] p, q are eps-floored above
+
+Multiple ids separate with commas (``ignore[log-guard,div-guard]``);
+``ignore[*]`` silences every rule on the line. A suppression without an
+explanation is legal but frowned upon — the comment *is* the audit
+trail for why the hazard is intentional.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass
+
+#: Matches one suppression comment; group 1 is the comma-separated ids.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([^\]]+)\]")
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.severity}: {self.message}"
+
+
+def parse_suppressions(source: str) -> "dict[int, set[str]]":
+    """Per-line suppressed rule ids (1-based), from ``repro: ignore`` comments."""
+    out: "dict[int, set[str]]" = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "repro:" not in text:
+            continue
+        for match in _SUPPRESS_RE.finditer(text):
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            out.setdefault(lineno, set()).update(ids)
+    return out
+
+
+def apply_suppressions(
+    findings: "list[Finding]",
+    suppressions_by_path: "dict[str, dict[int, set[str]]]",
+) -> "list[Finding]":
+    """Drop findings whose line carries a matching suppression."""
+    kept: "list[Finding]" = []
+    for finding in findings:
+        ids = suppressions_by_path.get(finding.path, {}).get(finding.line, set())
+        if finding.rule in ids or "*" in ids:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def render_findings(findings: "list[Finding]", as_json: bool = False) -> str:
+    """Human (one per line) or JSON (list of objects) rendering."""
+    if as_json:
+        return json.dumps([asdict(f) for f in findings], indent=2)
+    if not findings:
+        return "no findings"
+    lines = [f.render() for f in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -1,0 +1,334 @@
+"""Static validation of saved feature-generation plans (Ψ).
+
+A fitted :class:`~repro.core.transform.FeatureTransformer` is persisted
+as JSON and later loaded in a serving process. A corrupted or
+hand-edited artifact should be rejected *before* it ever touches data:
+this module abstractly interprets the raw payload — no operator is
+applied, no matrix is evaluated — and reports structural defects
+(unknown operator, wrong arity, missing fitted state) plus numerical
+ones (features whose abstract domain admits NaN/±inf, degenerate
+subtrees such as ``x - x``).
+
+The abstract domain per subtree is an interval with taint flags,
+``(lo, hi, may_nan, may_inf)``. Transfer functions come from the
+operator catalogue's class annotations (``abstract_bounds``,
+``introduces_nan``/``introduces_inf``, ``absorbs_nan``/``absorbs_inf``)
+or a per-operator :meth:`~repro.operators.base.Operator.abstract_transfer`
+override, so the validator stays correct as the catalogue grows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import OperatorError
+from ..operators.base import Operator, get_operator
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Domain:
+    """Abstract value of a subtree: interval bounds plus taint flags."""
+
+    lo: float = -_INF
+    hi: float = _INF
+    may_nan: bool = True
+    may_inf: bool = True
+
+    def render(self) -> str:
+        taints = [t for t, on in (("nan", self.may_nan), ("inf", self.may_inf)) if on]
+        tag = f" may={'|'.join(taints)}" if taints else " clean"
+        return f"[{self.lo:g}, {self.hi:g}]{tag}"
+
+
+#: Domain of an original input column: unknown real data may hold anything.
+VAR_DOMAIN = Domain()
+
+
+@dataclass(frozen=True)
+class PlanIssue:
+    """One defect found in a plan payload.
+
+    ``path`` locates the node in the payload, e.g.
+    ``expressions[3].children[0]``; ``code`` is a stable kebab-case id.
+    """
+
+    path: str
+    code: str
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.path}: [{self.code}] {self.severity}: {self.message}"
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Validation outcome: issues plus the inferred per-feature domains."""
+
+    issues: tuple[PlanIssue, ...]
+    n_expressions: int = 0
+    feature_domains: tuple[Domain, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not any(i.severity == "error" for i in self.issues)
+
+    def render(self) -> str:
+        lines = [i.render() for i in self.issues]
+        verdict = "OK" if self.ok else "REJECTED"
+        lines.append(
+            f"plan {verdict}: {self.n_expressions} expressions, "
+            f"{sum(i.severity == 'error' for i in self.issues)} errors, "
+            f"{sum(i.severity == 'warning' for i in self.issues)} warnings"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "n_expressions": self.n_expressions,
+                "issues": [
+                    {
+                        "path": i.path,
+                        "code": i.code,
+                        "severity": i.severity,
+                        "message": i.message,
+                    }
+                    for i in self.issues
+                ],
+                "feature_domains": [
+                    {
+                        "lo": d.lo,
+                        "hi": d.hi,
+                        "may_nan": d.may_nan,
+                        "may_inf": d.may_inf,
+                    }
+                    for d in self.feature_domains
+                ],
+            },
+            indent=2,
+        )
+
+
+def _generic_transfer(op: Operator, children: "list[Domain]") -> Domain:
+    """Transfer driven purely by the operator's class annotations."""
+    lo, hi = op.abstract_bounds if op.abstract_bounds is not None else (-_INF, _INF)
+    may_nan = op.introduces_nan or (
+        not op.absorbs_nan and any(c.may_nan for c in children)
+    )
+    bounded = lo > -_INF and hi < _INF
+    may_inf = (
+        False
+        if bounded
+        else op.introduces_inf
+        or (not op.absorbs_inf and any(c.may_inf for c in children))
+    )
+    return Domain(lo, hi, may_nan, may_inf)
+
+
+def _transfer(op: Operator, children: "list[Domain]", state) -> Domain:
+    custom = op.abstract_transfer(
+        tuple((c.lo, c.hi, c.may_nan, c.may_inf) for c in children), state
+    )
+    if custom is not None:
+        return Domain(*custom)
+    return _generic_transfer(op, children)
+
+
+class _PayloadChecker:
+    def __init__(self, width: "int | None"):
+        self.width = width
+        self.issues: "list[PlanIssue]" = []
+
+    def error(self, path: str, code: str, message: str) -> None:
+        self.issues.append(PlanIssue(path, code, message))
+
+    def warn(self, path: str, code: str, message: str) -> None:
+        self.issues.append(PlanIssue(path, code, message, severity="warning"))
+
+    # ------------------------------------------------------------------
+    def check_node(self, node, path: str) -> Domain:
+        """Validate one expression payload node, returning its domain."""
+        if not isinstance(node, dict):
+            self.error(path, "bad-node", f"expected an object, got {type(node).__name__}")
+            return VAR_DOMAIN
+        kind = node.get("type")
+        if kind == "var":
+            return self._check_var(node, path)
+        if kind == "apply":
+            return self._check_apply(node, path)
+        self.error(
+            path,
+            "unknown-node-type",
+            f"node type must be 'var' or 'apply', got {kind!r}",
+        )
+        return VAR_DOMAIN
+
+    def _check_var(self, node: dict, path: str) -> Domain:
+        index = node.get("index")
+        if not isinstance(index, int) or isinstance(index, bool):
+            self.error(path, "bad-var-index", f"var index must be an integer, got {index!r}")
+            return VAR_DOMAIN
+        if self.width is not None and not 0 <= index < self.width:
+            self.error(
+                path,
+                "var-out-of-range",
+                f"var references column {index}, but the plan's schema has "
+                f"{self.width} columns (original_names)",
+            )
+        return VAR_DOMAIN
+
+    def _check_apply(self, node: dict, path: str) -> Domain:
+        name = node.get("op")
+        children = node.get("children")
+        if not isinstance(children, list):
+            self.error(path, "bad-node", "'apply' node has no children list")
+            children = []
+        child_domains = [
+            self.check_node(child, f"{path}.children[{i}]")
+            for i, child in enumerate(children)
+        ]
+        try:
+            op = get_operator(name) if isinstance(name, str) else None
+        except OperatorError:
+            op = None
+        if op is None:
+            self.error(
+                path,
+                "unknown-operator",
+                f"operator {name!r} is not in the registry — the serving "
+                "process cannot evaluate this plan (was it saved from a build "
+                "with extension operators loaded?)",
+            )
+            return VAR_DOMAIN
+        if len(children) != op.arity:
+            self.error(
+                path,
+                "arity-mismatch",
+                f"operator {op.name!r} takes {op.arity} children, payload has "
+                f"{len(children)}",
+            )
+            return VAR_DOMAIN
+        state = node.get("state")
+        self._check_state(op, state, path)
+        self._check_degenerate(op, children, path)
+        return _transfer(op, child_domains, state if isinstance(state, dict) else None)
+
+    def _check_state(self, op: Operator, state, path: str) -> None:
+        if op.is_stateful:
+            if not isinstance(state, dict):
+                self.error(
+                    path,
+                    "missing-state",
+                    f"stateful operator {op.name!r} requires a fitted state "
+                    f"dict, payload has {state!r} — refit before saving",
+                )
+                return
+            missing = [k for k in op.state_schema if k not in state]
+            if missing:
+                self.error(
+                    path,
+                    "state-schema",
+                    f"fitted state for {op.name!r} is missing keys {missing} "
+                    f"(schema: {list(op.state_schema)})",
+                )
+        elif state:
+            self.warn(
+                path,
+                "unexpected-state",
+                f"stateless operator {op.name!r} carries state {state!r}; it "
+                "will be ignored at serve time",
+            )
+
+    def _check_degenerate(self, op: Operator, children: list, path: str) -> None:
+        if not op.degenerate_on_equal_children or len(children) < 2:
+            return
+        try:
+            canon = {json.dumps(c, sort_keys=True) for c in children}
+        except TypeError:
+            return  # malformed children already reported
+        if len(canon) == 1:
+            self.warn(
+                path,
+                "degenerate-subtree",
+                f"all children of {op.name!r} are the identical expression; "
+                "the subtree collapses to a constant or its own child",
+            )
+
+
+def validate_payload(payload) -> PlanReport:
+    """Validate a raw ``FeatureTransformer.to_dict()`` payload.
+
+    Works on plain dicts so corrupted artifacts produce issue lists
+    instead of exceptions, and never evaluates any data.
+    """
+    if not isinstance(payload, dict):
+        return PlanReport(
+            issues=(
+                PlanIssue(
+                    "$", "bad-payload", f"expected an object, got {type(payload).__name__}"
+                ),
+            )
+        )
+    checker = _PayloadChecker(width=None)
+
+    names = payload.get("original_names")
+    if not isinstance(names, list) or not all(isinstance(n, str) for n in names):
+        checker.error(
+            "original_names",
+            "bad-schema",
+            "original_names must be a list of column-name strings",
+        )
+    else:
+        checker.width = len(names)
+
+    expressions = payload.get("expressions")
+    domains: "list[Domain]" = []
+    if not isinstance(expressions, list):
+        checker.error("expressions", "bad-schema", "expressions must be a list")
+    elif not expressions:
+        checker.error("expressions", "empty-plan", "a plan must generate at least one feature")
+    else:
+        seen: "dict[str, int]" = {}
+        for i, node in enumerate(expressions):
+            path = f"expressions[{i}]"
+            domains.append(checker.check_node(node, path))
+            try:
+                canon = json.dumps(node, sort_keys=True)
+            except TypeError:
+                continue
+            if canon in seen:
+                checker.warn(
+                    path,
+                    "duplicate-feature",
+                    f"identical to expressions[{seen[canon]}]; redundant output column",
+                )
+            else:
+                seen[canon] = i
+
+    checker.issues.sort(key=lambda i: (i.severity != "error", i.path))
+    return PlanReport(
+        issues=tuple(checker.issues),
+        n_expressions=len(expressions) if isinstance(expressions, list) else 0,
+        feature_domains=tuple(domains),
+    )
+
+
+def validate_plan(path: "str | Path") -> PlanReport:
+    """Load a saved plan file and validate its payload statically."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        return PlanReport(issues=(PlanIssue("$", "unreadable", str(exc)),))
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return PlanReport(
+            issues=(PlanIssue("$", "bad-json", f"not valid JSON: {exc}"),)
+        )
+    return validate_payload(payload)

@@ -1,0 +1,141 @@
+"""Contract registries for the numerical kernels.
+
+Five PRs of batched kernels rest on conventions nothing used to enforce:
+every batched kernel must keep a scalar *oracle* (the audited reference
+implementation it is bit-identical — or tolerance-identical — to) and a
+parity test exercising both; every function that mutates a parameter
+array in place must be explicitly registered as an in-place mutator so
+callers know it may alias their data.
+
+This module is the runtime half of that enforcement: lightweight
+decorators that attach contract metadata to the functions themselves
+(zero call overhead — the wrapped function is returned unchanged) and
+module-level registries the meta-tests and the static linter
+(:mod:`repro.analysis.rules_kernels`) cross-check.
+
+It deliberately imports nothing from the rest of the package so kernel
+modules anywhere in the tree can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """Declared contract of one batched kernel."""
+
+    #: Qualified name (``module.qualname``) of the kernel.
+    name: str
+    #: Bare function name, used for test-suite AST cross-checks.
+    func_name: str
+    #: Bare name of the scalar reference the kernel must match.
+    oracle: "str | None"
+    #: Source location for lint findings.
+    path: str
+    line: int
+
+
+#: All registered batched kernels, keyed by qualified name.
+KERNEL_REGISTRY: "dict[str, KernelContract]" = {}
+
+#: Scalar reference implementations (the audited semantics).
+ORACLE_REGISTRY: "dict[str, KernelContract]" = {}
+
+#: Public kernel-module functions explicitly outside the contract.
+EXEMPT_REGISTRY: "dict[str, str]" = {}
+
+#: Functions allowed to mutate a parameter array in place.
+INPLACE_MUTATORS: "dict[str, str]" = {}
+
+
+def _location(fn) -> "tuple[str, int]":
+    try:
+        path = inspect.getsourcefile(fn) or "<unknown>"
+        line = fn.__code__.co_firstlineno
+    except (AttributeError, TypeError):
+        path, line = "<unknown>", 0
+    return path, line
+
+
+def _qualname(fn) -> str:
+    return f"{fn.__module__}.{fn.__qualname__}"
+
+
+def batched_kernel(oracle: "str | None" = None):
+    """Declare a function (or method) as a batched numerical kernel.
+
+    ``oracle`` names the scalar reference implementation the kernel is
+    kept numerically identical to; the kernel-parity lint rule fails any
+    kernel registered without one, and any kernel whose name does not
+    co-occur with its oracle's name in some test module (the parity
+    test). The function itself is returned unchanged.
+    """
+
+    def decorate(fn):
+        path, line = _location(fn)
+        contract = KernelContract(
+            name=_qualname(fn),
+            func_name=fn.__name__,
+            oracle=oracle,
+            path=path,
+            line=line,
+        )
+        KERNEL_REGISTRY[contract.name] = contract
+        fn.__kernel_contract__ = contract
+        return fn
+
+    return decorate
+
+
+def kernel_oracle(fn):
+    """Mark a function as a scalar reference (the audited semantics).
+
+    Oracles are the *other half* of the kernel contract: they stay
+    simple, per-item, and reviewable against the paper, and parity tests
+    compare kernels to them.
+    """
+    path, line = _location(fn)
+    contract = KernelContract(
+        name=_qualname(fn),
+        func_name=fn.__name__,
+        oracle=None,
+        path=path,
+        line=line,
+    )
+    ORACLE_REGISTRY[contract.name] = contract
+    fn.__kernel_oracle__ = True
+    return fn
+
+
+def kernel_exempt(reason: str):
+    """Exempt a public kernel-module function from the kernel contract.
+
+    For layout/bookkeeping helpers that are not numerical kernels. The
+    registry-completeness meta-test accepts only decorated exemptions, so
+    every escape from the contract is explicit and carries a reason.
+    """
+    if not isinstance(reason, str) or not reason:
+        raise TypeError("kernel_exempt requires a non-empty reason string")
+
+    def decorate(fn):
+        EXEMPT_REGISTRY[_qualname(fn)] = reason
+        fn.__kernel_exempt__ = reason
+        return fn
+
+    return decorate
+
+
+def inplace_mutator(fn):
+    """Register a function that intentionally mutates a parameter array.
+
+    The aliasing lint rule flags any undeclared write-through to a
+    parameter; this decorator is the declaration. Callers of a decorated
+    function must own the array they pass (see each function's docstring
+    for its exact aliasing contract).
+    """
+    INPLACE_MUTATORS[_qualname(fn)] = fn.__name__
+    fn.__inplace_mutator__ = True
+    return fn

@@ -1,0 +1,237 @@
+"""Aliasing lint rule: undeclared in-place mutation of parameters.
+
+``inplace-alias`` flags any function that writes through a parameter
+array — subscript stores, mutating ndarray methods (``.sort()``,
+``.fill()``), ``out=`` keywords, or numpy's mutate-first-arg functions
+(``np.fill_diagonal`` …) — unless the function is declared with
+``@inplace_mutator`` (see :mod:`repro.analysis.registry`). Mutating
+caller data without declaring it is how ``clean_matrix(copy=False)``
+bugs are born: the caller's matrix silently changes under them.
+
+Aliases are tracked statement-by-statement: a parameter name stops
+being caller-owned once rebound to a provably fresh array
+(``X = X.copy()``), stays caller-owned through layout casts
+(``X = np.asarray(X)``), and spreads to new names bound to views
+(``row = X[i]``). Branches are merged conservatively — an alias
+surviving *either* arm survives the merge.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .linter import LintContext, LintRule, SourceModule
+from .scopes import (
+    ALIAS_PRESERVING_CALLS,
+    MUTATING_FIRST_ARG_FUNCS,
+    MUTATING_METHODS,
+    call_name,
+    dotted_name,
+    iter_function_defs,
+    rhs_allocates,
+)
+
+
+def _root(name: "str | None") -> "str | None":
+    return name.split(".")[0] if name else None
+
+
+def _decorator_names(fn) -> "set[str]":
+    names: "set[str]" = set()
+    for dec in fn.decorator_list:
+        node = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(node)
+        if name:
+            names.add(name.split(".")[-1])
+    return names
+
+
+class InplaceAliasRule(LintRule):
+    rule_id = "inplace-alias"
+
+    def check_module(self, module: SourceModule, ctx: LintContext):
+        for fn in iter_function_defs(module.tree):
+            if "inplace_mutator" in _decorator_names(fn):
+                continue
+            args = fn.args
+            params = {
+                a.arg
+                for a in [
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    *([args.vararg] if args.vararg else []),
+                    *([args.kwarg] if args.kwarg else []),
+                ]
+                if a.arg not in ("self", "cls")
+            }
+            if not params:
+                continue
+            events: "list[tuple[int, str]]" = []
+            self._scan(fn.body, set(params), events)
+            for line, name in sorted(set(events)):
+                yield Finding(
+                    path=module.path,
+                    line=line,
+                    rule=self.rule_id,
+                    message=(
+                        f"writes through parameter '{name}' without declaring it: "
+                        "decorate the function with @inplace_mutator (and document "
+                        "the aliasing contract) or copy before mutating"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    def _scan(
+        self,
+        stmts: "list[ast.stmt]",
+        aliases: "set[str]",
+        events: "list[tuple[int, str]]",
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are checked on their own
+            if isinstance(stmt, ast.Assign):
+                self._check_expr(stmt.value, aliases, events)
+                for target in stmt.targets:
+                    self._check_store(target, aliases, events)
+                    self._rebind(target, stmt.value, aliases)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._check_expr(stmt.value, aliases, events)
+                    self._check_store(stmt.target, aliases, events)
+                    self._rebind(stmt.target, stmt.value, aliases)
+            elif isinstance(stmt, ast.AugAssign):
+                self._check_expr(stmt.value, aliases, events)
+                # `X[i] += v` stores through the view; `x += v` on a bare
+                # name rebinds for scalars (the overwhelmingly common
+                # case for parameters named this way) and is not flagged.
+                self._check_store(stmt.target, aliases, events, bare_names=False)
+            elif isinstance(stmt, (ast.If,)):
+                self._check_expr(stmt.test, aliases, events)
+                then_aliases, else_aliases = set(aliases), set(aliases)
+                self._scan(stmt.body, then_aliases, events)
+                self._scan(stmt.orelse, else_aliases, events)
+                aliases.clear()
+                aliases.update(then_aliases | else_aliases)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._check_expr(stmt.iter, aliases, events)
+                self._rebind(stmt.target, stmt.iter, aliases)
+                body_aliases = set(aliases)
+                self._scan(stmt.body, body_aliases, events)
+                self._scan(stmt.orelse, body_aliases, events)
+                aliases.update(body_aliases)
+            elif isinstance(stmt, ast.While):
+                self._check_expr(stmt.test, aliases, events)
+                body_aliases = set(aliases)
+                self._scan(stmt.body, body_aliases, events)
+                self._scan(stmt.orelse, body_aliases, events)
+                aliases.update(body_aliases)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._check_expr(item.context_expr, aliases, events)
+                self._scan(stmt.body, aliases, events)
+            elif isinstance(stmt, ast.Try):
+                self._scan(stmt.body, aliases, events)
+                for handler in stmt.handlers:
+                    self._scan(handler.body, set(aliases), events)
+                self._scan(stmt.orelse, aliases, events)
+                self._scan(stmt.finalbody, aliases, events)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    self._check_expr(stmt.value, aliases, events)
+            elif isinstance(stmt, ast.Expr):
+                self._check_expr(stmt.value, aliases, events)
+            elif isinstance(stmt, (ast.Assert, ast.Raise)):
+                for child in ast.iter_child_nodes(stmt):
+                    self._check_expr(child, aliases, events)
+
+    # ------------------------------------------------------------------
+    def _check_store(
+        self,
+        target: ast.AST,
+        aliases: "set[str]",
+        events: "list[tuple[int, str]]",
+        bare_names: bool = True,
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element, aliases, events, bare_names)
+            return
+        if isinstance(target, ast.Subscript):
+            base = _root(dotted_name(target.value))
+            if base in aliases:
+                events.append((target.lineno, base))
+        # Bare-name stores rebind the local; they never mutate the array.
+
+    def _check_expr(
+        self,
+        expr: ast.AST,
+        aliases: "set[str]",
+        events: "list[tuple[int, str]]",
+    ) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, (ast.Lambda,)):
+                continue
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+                base = _root(dotted_name(func.value))
+                if base in aliases:
+                    events.append((sub.lineno, base))
+            name = call_name(sub)
+            if name in MUTATING_FIRST_ARG_FUNCS and sub.args:
+                base = _root(dotted_name(sub.args[0]))
+                if base in aliases:
+                    events.append((sub.lineno, base))
+            for kw in sub.keywords:
+                if kw.arg == "out":
+                    base = _root(dotted_name(kw.value))
+                    if base in aliases:
+                        events.append((kw.value.lineno, base))
+
+    # ------------------------------------------------------------------
+    def _rebind(self, target: ast.AST, value: ast.AST, aliases: "set[str]") -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # Unpacking: conservatively treat every bound name as aliasing
+            # if the RHS aliases at all (e.g. `a, b = X, X[0]`).
+            hit = self._value_aliases(value, aliases)
+            for element in target.elts:
+                name = dotted_name(element)
+                if name and "." not in name:
+                    if hit:
+                        aliases.add(name)
+                    else:
+                        aliases.discard(name)
+            return
+        name = dotted_name(target)
+        if name is None or "." in name:
+            return
+        if self._value_aliases(value, aliases):
+            aliases.add(name)
+        elif rhs_allocates(value):
+            aliases.discard(name)
+        # Otherwise (opaque RHS such as another local) leave as-is.
+
+    def _value_aliases(self, value: ast.AST, aliases: "set[str]") -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in aliases
+        if isinstance(value, ast.Attribute):
+            # X.T / X.real are views of X.
+            return _root(dotted_name(value)) in aliases
+        if isinstance(value, ast.Subscript):
+            return self._value_aliases(value.value, aliases)
+        if isinstance(value, ast.Call):
+            if call_name(value) in ALIAS_PRESERVING_CALLS:
+                return any(self._value_aliases(arg, aliases) for arg in value.args)
+            func = value.func
+            if isinstance(func, ast.Attribute) and func.attr in ALIAS_PRESERVING_CALLS:
+                return self._value_aliases(func.value, aliases)
+            return False
+        if isinstance(value, ast.IfExp):
+            return self._value_aliases(value.body, aliases) or self._value_aliases(
+                value.orelse, aliases
+            )
+        return False

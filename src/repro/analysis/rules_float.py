@@ -1,0 +1,264 @@
+"""Float-hazard lint rules.
+
+Five rules over the numerical code:
+
+* ``float-eq`` — ``==`` / ``!=`` where an operand is visibly
+  float-valued (float literal, division, or a float-producing call).
+  Rounding makes exact float equality order-dependent; compare with a
+  tolerance or restructure. Integer-zero sentinel checks on arrays
+  (``std[std == 0] = 1.0``) are deliberately *not* flagged — comparing
+  to the exact value just stored is well-defined.
+* ``log-guard`` — ``np.log`` family on an argument with no in-function
+  guard evidence (``log(0) = -inf``, ``log(<0) = nan``).
+* ``div-guard`` — true division by an unguarded denominator.
+* ``float32-cast`` — any float32 dtype mention; the kernel contract is
+  float64 end-to-end, and a silent downcast breaks oracle parity at the
+  7th digit.
+* ``empty-fill`` — ``np.empty`` whose target is never provably filled
+  (subscript store, ``.fill``, or ``out=``) in the same function;
+  reading uninitialised memory is nondeterministic.
+
+Guard evidence and ``np.errstate`` escape hatches come from
+:class:`~repro.analysis.scopes.FunctionScope`; see that module for the
+exact heuristics.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .linter import LintContext, LintRule, SourceModule
+from .scopes import FunctionScope, call_name, dotted_name
+
+LOG_CALLS = frozenset({"log", "log2", "log10"})
+
+#: Calls that produce float values (for float-equality evidence).
+FLOAT_PRODUCERS = frozenset(
+    {
+        "mean",
+        "nanmean",
+        "std",
+        "nanstd",
+        "var",
+        "nanvar",
+        "log",
+        "log2",
+        "log10",
+        "log1p",
+        "exp",
+        "sqrt",
+        "float",
+        "divide",
+        "true_divide",
+    }
+)
+
+
+def scoped_nodes(tree: ast.AST) -> "list[tuple[ast.AST, ast.AST]]":
+    """Every node paired with its innermost enclosing scope node.
+
+    The module itself is the outermost scope; lambdas share their
+    enclosing function's scope (their guard evidence is collected there).
+    """
+    out: "list[tuple[ast.AST, ast.AST]]" = []
+
+    def visit(node: ast.AST, scope_node: ast.AST) -> None:
+        out.append((node, scope_node))
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, child)
+            else:
+                visit(child, scope_node)
+
+    visit(tree, tree)
+    return out
+
+
+class _ScopedRule(LintRule):
+    """Shared scaffolding: iterate nodes with a cached FunctionScope."""
+
+    def check_module(self, module: SourceModule, ctx: LintContext):
+        # Module-level nonzero numeric constants (`_RIDGE_ALPHA = 1.0`)
+        # count as guards in every function of the module.
+        module_consts = {
+            target.id
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, (int, float))
+            and stmt.value.value
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        }
+        scopes: "dict[int, FunctionScope]" = {}
+        findings: "list[Finding]" = []
+        for node, scope_node in scoped_nodes(module.tree):
+            key = id(scope_node)
+            if key not in scopes:
+                scopes[key] = FunctionScope(scope_node, module_consts)
+            findings.extend(self.check_node(node, scopes[key], module))
+        return findings
+
+    def check_node(self, node: ast.AST, scope: FunctionScope, module: SourceModule):
+        return ()
+
+
+def _float_evidence(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        if isinstance(sub, ast.Call) and call_name(sub) in FLOAT_PRODUCERS:
+            return True
+    return False
+
+
+class FloatEqualityRule(_ScopedRule):
+    rule_id = "float-eq"
+
+    def check_node(self, node, scope, module):
+        if not isinstance(node, ast.Compare):
+            return
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        if any(_float_evidence(operand) for operand in operands):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                rule=self.rule_id,
+                message=(
+                    "exact equality on a float-valued expression; rounding makes "
+                    "this order-dependent — compare with a tolerance "
+                    "(abs(a - b) <= tol) or restructure"
+                ),
+            )
+
+
+class GuardedLogRule(_ScopedRule):
+    rule_id = "log-guard"
+
+    def check_node(self, node, scope, module):
+        if not (isinstance(node, ast.Call) and call_name(node) in LOG_CALLS):
+            return
+        if not node.args:
+            return
+        if scope.in_errstate(node.lineno):
+            return
+        arg = node.args[0]
+        if scope.is_guarded(arg):
+            return
+        yield Finding(
+            path=module.path,
+            line=node.lineno,
+            rule=self.rule_id,
+            message=(
+                "np.log on an unguarded argument: log(0) is -inf and log(<0) is "
+                "nan — floor the argument (np.maximum(x, eps)), branch on it, or "
+                "wrap the site in np.errstate with explicit post-handling"
+            ),
+        )
+
+
+class GuardedDivisionRule(_ScopedRule):
+    rule_id = "div-guard"
+
+    def check_node(self, node, scope, module):
+        denom = None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            denom = node.right
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+            denom = node.value
+        if denom is None:
+            return
+        # `Path(...) / "name"` overloads Div for joining; a string literal
+        # denominator can never be numeric division.
+        if isinstance(denom, ast.Constant) and isinstance(denom.value, str):
+            return
+        if scope.in_errstate(node.lineno):
+            return
+        if scope.is_guarded(denom):
+            return
+        yield Finding(
+            path=module.path,
+            line=node.lineno,
+            rule=self.rule_id,
+            message=(
+                "division by an unguarded denominator: 0 yields inf/nan that "
+                "propagates silently — guard the denominator, floor it, or use "
+                "np.errstate with explicit post-handling"
+            ),
+        )
+
+
+class Float32CastRule(_ScopedRule):
+    rule_id = "float32-cast"
+
+    def check_node(self, node, scope, module):
+        hit = False
+        if isinstance(node, ast.Attribute) and node.attr == "float32":  # repro: ignore[float32-cast] the rule's own detection pattern
+            hit = True
+        elif isinstance(node, ast.Constant) and node.value == "float32":  # repro: ignore[float32-cast] the rule's own detection pattern
+            hit = True
+        if hit:
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                rule=self.rule_id,
+                message=(
+                    "float32 downcast: the kernel contract is float64 end-to-end "
+                    "and a silent downcast breaks oracle parity — keep float64 or "
+                    "suppress with a justification at an explicit I/O boundary"
+                ),
+            )
+
+
+class EmptyFillRule(_ScopedRule):
+    rule_id = "empty-fill"
+
+    def check_node(self, node, scope, module):
+        if not isinstance(node, ast.Assign):
+            return
+        if not (isinstance(node.value, ast.Call) and call_name(node.value) in {
+            "empty",
+            "empty_like",
+        }):
+            return
+        if len(node.targets) != 1:
+            return
+        target = dotted_name(node.targets[0])
+        if target is None:
+            return
+        if self._provably_filled(target, scope.fn):
+            return
+        yield Finding(
+            path=module.path,
+            line=node.lineno,
+            rule=self.rule_id,
+            message=(
+                f"np.empty target '{target}' has no visible fill (subscript "
+                "store, .fill(), or out=) in this function — uninitialised "
+                "reads are nondeterministic; use np.zeros or fill it"
+            ),
+        )
+
+    @staticmethod
+    def _provably_filled(target: str, scope_node: ast.AST) -> bool:
+        for sub in ast.walk(scope_node):
+            if isinstance(sub, ast.Subscript) and isinstance(sub.ctx, ast.Store):
+                if dotted_name(sub.value) == target:
+                    return True
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "fill"
+                    and dotted_name(func.value) == target
+                ):
+                    return True
+                for kw in sub.keywords:
+                    if kw.arg == "out" and dotted_name(kw.value) == target:
+                        return True
+        return False

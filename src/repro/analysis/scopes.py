@@ -1,0 +1,282 @@
+"""Per-function AST facts shared by the numerical lint rules.
+
+The float-hazard and aliasing rules both need cheap, local answers to
+"has this function shown any evidence of guarding this value?" and
+"which names still alias a parameter at this line?". Whole-program type
+inference is out of scope (and overkill for a numpy codebase); instead
+each rule reasons over one function at a time with the conservative
+syntactic evidence collected here:
+
+* **guard evidence** — a name that is compared against a constant,
+  tested for truthiness, assigned from a clamping call
+  (``np.maximum`` / ``np.clip`` / ``abs`` / ``np.exp`` …), assigned a
+  nonzero constant, or patched through a subscript store
+  (``safe[mask] = 1.0``) is treated as validated by the author;
+* **errstate ranges** — lines inside ``with np.errstate(...)`` are an
+  explicit acknowledgement of float-edge behaviour and are skipped;
+* **alias tracking** — parameter names stay "caller-owned" until rebound
+  to an expression that provably allocates (``.copy()``, ``np.empty``,
+  arithmetic, …); rebinding through layout casts (``np.asarray``,
+  ``reshape``, …) preserves the alias.
+
+Heuristics err toward *under*-flagging: a lint that cries wolf gets
+suppressed wholesale and enforces nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Calls whose result (or whose presence around a value) counts as guard
+#: evidence: clamps, magnitude maps, and total-order reducers.
+GUARDING_CALLS = frozenset(
+    {"maximum", "clip", "abs", "exp", "expm1", "max", "min", "where", "isfinite"}
+)
+
+#: Rebinding through these keeps the result aliased to its argument
+#: (no-copy casts and reshapes; ``ascontiguousarray`` may alias).
+ALIAS_PRESERVING_CALLS = frozenset(
+    {
+        "asarray",
+        "ascontiguousarray",
+        "asfortranarray",
+        "atleast_1d",
+        "atleast_2d",
+        "ravel",
+        "reshape",
+        "view",
+        "squeeze",
+        "transpose",
+        "as_float_matrix",
+        "prepare_matrix",
+        "broadcast_arrays",
+    }
+)
+
+#: ndarray methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset(
+    {"sort", "fill", "partition", "put", "resize", "byteswap", "setflags"}
+)
+
+#: numpy functions that mutate their first positional argument.
+MUTATING_FIRST_ARG_FUNCS = frozenset(
+    {"fill_diagonal", "copyto", "place", "putmask", "shuffle"}
+)
+
+
+def dotted_name(node: ast.AST) -> "str | None":
+    """Render ``a``, ``a.b``, ``a.b.c`` chains; None for anything else."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> "str | None":
+    """Bare callee name: ``np.maximum(...)`` → ``maximum``; ``max(...)`` → ``max``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def node_end_line(node: ast.AST) -> int:
+    return getattr(node, "end_lineno", None) or node.lineno
+
+
+def iter_function_defs(tree: ast.AST):
+    """Every (possibly nested) function/method definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class FunctionScope:
+    """Syntactic guard evidence and errstate ranges for one function."""
+
+    def __init__(
+        self,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Module",
+        extra_guarded: "set[str] | frozenset[str]" = frozenset(),
+    ) -> None:
+        self.fn = fn
+        self.guarded: "set[str]" = set(extra_guarded)
+        self.errstate_ranges: "list[tuple[int, int]]" = []
+        self._collect()
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        assigns: "list[ast.Assign]" = []
+        for node in ast.walk(self.fn):
+            if isinstance(node, ast.Compare):
+                for operand in [node.left, *node.comparators]:
+                    # `base[clf] > 0` is guard evidence on `base` too.
+                    if isinstance(operand, ast.Subscript):
+                        operand = operand.value
+                    name = dotted_name(operand)
+                    if name:
+                        self.guarded.add(name)
+            elif isinstance(node, (ast.If, ast.IfExp, ast.While)):
+                name = dotted_name(node.test)
+                if name:
+                    self.guarded.add(name)
+            elif isinstance(node, ast.Assert):
+                for sub in ast.walk(node.test):
+                    name = dotted_name(sub)
+                    if name:
+                        self.guarded.add(name)
+            elif isinstance(node, ast.Assign):
+                assigns.append(node)
+                self._collect_assign(node)
+            elif isinstance(node, ast.Subscript):
+                # `safe[mask] = 1.0` appears as a Subscript in Store ctx.
+                if isinstance(node.ctx, ast.Store):
+                    name = dotted_name(node.value)
+                    if name:
+                        self.guarded.add(name)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call) and call_name(expr) == "errstate":
+                        self.errstate_ranges.append(
+                            (node.lineno, node_end_line(node))
+                        )
+        # Fixpoint: guardedness flows through assignments
+        # (`n2 = float(a.size * a.size)` is guarded once `a.size` is).
+        # Walk order is not execution order, so this can credit a guard
+        # textually below the use — acceptable under-flagging.
+        changed = True
+        while changed:
+            changed = False
+            for node in assigns:
+                if not self.is_guarded(node.value):
+                    continue
+                for target in node.targets:
+                    elements = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for element in elements:
+                        name = dotted_name(element)
+                        if name and name not in self.guarded:
+                            self.guarded.add(name)
+                            changed = True
+
+    def _collect_assign(self, node: ast.Assign) -> None:
+        rhs_guards = False
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Call) and call_name(sub) in GUARDING_CALLS:
+                rhs_guards = True
+                break
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, (int, float))
+                and sub.value
+            ):
+                # e.g. `eps = 1e-12`, `safe = norms + 1.0`
+                rhs_guards = True
+        if not rhs_guards:
+            return
+        for target in node.targets:
+            elements = (
+                target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            )
+            for element in elements:
+                name = dotted_name(element)
+                if name:
+                    self.guarded.add(name)
+
+    # ------------------------------------------------------------------
+    def in_errstate(self, lineno: int) -> bool:
+        return any(start <= lineno <= end for start, end in self.errstate_ranges)
+
+    def is_guarded(self, node: ast.AST) -> bool:
+        """Conservatively: has the author shown handling for this value?"""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float)) and bool(node.value)
+        name = dotted_name(node)
+        if name is not None:
+            return name in self.guarded or name.split(".")[0] in self.guarded
+        if isinstance(node, ast.Subscript):
+            return self.is_guarded(node.value)
+        if isinstance(node, ast.Call):
+            if call_name(node) in GUARDING_CALLS:
+                return True
+            if any(self.is_guarded(arg) for arg in node.args):
+                return True
+            # A reduction/method on a guarded array (`wts.sum()` where
+            # wts came from np.maximum) inherits the guard.
+            if isinstance(node.func, ast.Attribute):
+                return self.is_guarded(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Add):
+                # `x + eps` is the canonical positivity guard; either
+                # guarded side is taken as the author's floor.
+                return self.is_guarded(node.left) or self.is_guarded(node.right)
+            return self.is_guarded(node.left) and self.is_guarded(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_guarded(node.operand)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            return self.is_guarded(node.elt)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return all(self.is_guarded(item) for item in node.elts)
+        if isinstance(node, ast.IfExp):
+            return self.is_guarded(node.body) and self.is_guarded(node.orelse)
+        return False
+
+
+def rhs_allocates(value: ast.AST) -> bool:
+    """Does this assignment RHS provably produce a fresh array?
+
+    Fresh: ``.copy()`` / ``.astype`` anywhere, allocation calls
+    (``np.empty`` …), arithmetic/comparison expressions, literals.
+    Everything else — including layout casts and subscripted views —
+    conservatively preserves the alias.
+    """
+    fresh_calls = {
+        "copy",
+        "astype",
+        "array",
+        "empty",
+        "empty_like",
+        "zeros",
+        "zeros_like",
+        "ones",
+        "ones_like",
+        "full",
+        "full_like",
+        "concatenate",
+        "stack",
+        "vstack",
+        "hstack",
+        "tile",
+        "repeat",
+        "arange",
+        "linspace",
+        "sort",  # np.sort (function form) returns a fresh array
+        "unique",
+        "bincount",
+        "searchsorted",
+        "where",
+    }
+    if isinstance(value, (ast.BinOp, ast.Compare, ast.BoolOp)):
+        return True
+    if isinstance(value, (ast.List, ast.Tuple, ast.Dict, ast.ListComp, ast.Constant)):
+        return True
+    if isinstance(value, ast.Call):
+        name = call_name(value)
+        if name in fresh_calls:
+            return True
+        if name in ALIAS_PRESERVING_CALLS:
+            return False
+        # Unknown call: assume it allocates (under-flagging beats noise).
+        return True
+    return False

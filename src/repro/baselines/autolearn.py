@@ -126,7 +126,7 @@ class AutoLearn(AutoFeatureEngineer):
             mean_ig += scores
             chosen = np.argsort(-scores)[:keep_per_round]
             votes[chosen] += 1
-        mean_ig /= self.n_stability_rounds
+        mean_ig /= self.n_stability_rounds  # repro: ignore[div-guard] n_stability_rounds is a positive config count
         stable = votes >= self.stability_fraction * self.n_stability_rounds
         if not stable.any():
             stable = np.ones(len(candidates), dtype=bool)

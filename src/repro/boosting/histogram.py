@@ -28,9 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.registry import batched_kernel, kernel_exempt, kernel_oracle
 from ..exceptions import DataError
 
 
+@kernel_exempt("layout bookkeeping, not a numerical kernel")
 def histogram_stride(edges: "list[np.ndarray]") -> int:
     """Fixed per-feature slot width of the histogram layout.
 
@@ -41,6 +43,7 @@ def histogram_stride(edges: "list[np.ndarray]") -> int:
     return max(len(e) for e in edges) + 2 if edges else 2
 
 
+@kernel_exempt("code remapping helper, not a numerical kernel")
 def compact_codes(codes: np.ndarray, stride: int) -> np.ndarray:
     """Code matrix in the builder's preferred form: Fortran order (the
     per-column gathers stay contiguous) and uint8 whenever every code
@@ -96,6 +99,7 @@ class NodeHistogramBuilder:
         self.w0 = w0
         self.w1 = w1
 
+    @batched_kernel(oracle="feature_histogram")
     def build_level(self, idx_list: "list[np.ndarray]") -> np.ndarray:
         """Histograms of all nodes in ``idx_list``:
         ``(n_channels, m, n_cols, stride)``.
@@ -243,6 +247,7 @@ class SplitCandidate:
     n_right: int
 
 
+@kernel_oracle
 def feature_histogram(
     codes: np.ndarray,
     grad: np.ndarray,
@@ -258,6 +263,7 @@ def feature_histogram(
     return g, h, c
 
 
+@kernel_oracle
 def split_gain(
     gl: np.ndarray,
     hl: np.ndarray,
@@ -273,11 +279,12 @@ def split_gain(
     """
     gr = g_total - gl
     hr = h_total - hl
-    parent = g_total * g_total / (h_total + reg_lambda)
-    gain = 0.5 * (gl * gl / (hl + reg_lambda) + gr * gr / (hr + reg_lambda) - parent)
+    parent = g_total * g_total / (h_total + reg_lambda)  # repro: ignore[div-guard] hessian sums are >= 0 and reg_lambda > 0
+    gain = 0.5 * (gl * gl / (hl + reg_lambda) + gr * gr / (hr + reg_lambda) - parent)  # repro: ignore[div-guard] hessian sums are >= 0 and reg_lambda > 0
     return gain - gamma
 
 
+@kernel_oracle
 def best_split_for_feature(
     codes: np.ndarray,
     grad: np.ndarray,

@@ -155,7 +155,7 @@ class Tree:
                     "threshold_bin": -1,
                     "left": -1,
                     "right": -1,
-                    "value": -g_sum / (h_sum + self.reg_lambda),
+                    "value": -g_sum / (h_sum + self.reg_lambda),  # repro: ignore[div-guard] h_sum >= 0 and reg_lambda > 0
                     "gain": 0.0,
                     "n_samples": idx.size,
                     "_depth": depth,
@@ -231,7 +231,7 @@ class Tree:
                 np.divide(gr, hr, out=gr)
                 gains = np.add(gl, gr, out=gl)
                 np.subtract(
-                    gains, (g_sums * g_sums / (h_sums + lam))[:, None, None], out=gains
+                    gains, (g_sums * g_sums / (h_sums + lam))[:, None, None], out=gains  # repro: ignore[div-guard] hessian sums >= 0 and lam > 0
                 )
                 np.multiply(gains, 0.5, out=gains)
                 np.subtract(gains, self.gamma, out=gains)

@@ -8,6 +8,8 @@ mirrors that lifecycle on CSV files:
 * ``transform``  — apply a saved plan to a CSV, write the generated CSV
 * ``evaluate``   — compare original vs. plan features for a classifier
 * ``inspect``    — print a saved plan's features (the interpretability view)
+* ``lint``       — static analysis of the numerical kernels (AST lint)
+* ``validate-plan`` — statically validate a saved plan without touching data
 
 Usage::
 
@@ -15,6 +17,8 @@ Usage::
     python -m repro transform --plan psi.json --input new.csv --output out.csv
     python -m repro evaluate --train train.csv --test test.csv --plan psi.json
     python -m repro inspect --plan psi.json
+    python -m repro lint --json
+    python -m repro validate-plan --plan psi.json
 """
 
 from __future__ import annotations
@@ -80,6 +84,28 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import render_findings, run_lint
+
+    src_root = args.src or Path(__file__).resolve().parent
+    repo_root = src_root.parent.parent  # src/repro -> repo checkout
+    tests_root = args.tests
+    if tests_root is None:
+        candidate = repo_root / "tests"
+        tests_root = candidate if candidate.is_dir() else None
+    findings = run_lint(src_root, tests_root=tests_root, repo_root=repo_root)
+    print(render_findings(findings, as_json=args.json))
+    return 1 if findings else 0
+
+
+def _cmd_validate_plan(args: argparse.Namespace) -> int:
+    from .analysis import validate_plan
+
+    report = validate_plan(args.plan)
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     transformer = FeatureTransformer.load(args.plan)
     print(transformer.describe())
@@ -132,6 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect", help="print a saved plan")
     inspect.add_argument("--plan", required=True, type=Path)
     inspect.set_defaults(func=_cmd_inspect)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis of the numerical kernels (exit 1 on findings)"
+    )
+    lint.add_argument("--src", type=Path, default=None,
+                      help="source root to lint (default: the installed repro package)")
+    lint.add_argument("--tests", type=Path, default=None,
+                      help="test root for the kernel-parity cross-check "
+                           "(default: <repo>/tests when present)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as a JSON array")
+    lint.set_defaults(func=_cmd_lint)
+
+    validate_plan = sub.add_parser(
+        "validate-plan",
+        help="statically validate a saved plan (exit 1 when rejected)",
+    )
+    validate_plan.add_argument("--plan", required=True, type=Path)
+    validate_plan.add_argument("--json", action="store_true",
+                               help="emit the report as JSON")
+    validate_plan.set_defaults(func=_cmd_validate_plan)
     return parser
 
 

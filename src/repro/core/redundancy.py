@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.registry import batched_kernel, inplace_mutator
 from ..exceptions import DataError
 
 #: Candidates standardized and checked per BLAS block. 512 columns keep
@@ -56,6 +57,8 @@ from ..exceptions import DataError
 DEFAULT_BLOCK_SIZE = 512
 
 
+@batched_kernel(oracle="pearson_matrix")
+@inplace_mutator
 def standardize_columns(
     B: np.ndarray, out: "np.ndarray | None" = None
 ) -> "tuple[np.ndarray, np.ndarray]":
@@ -98,6 +101,7 @@ def standardize_columns(
     return centered, constant
 
 
+@batched_kernel(oracle="pearson_matrix")
 def max_abs_correlation(
     Z: np.ndarray,
     panel: np.ndarray,
@@ -141,6 +145,7 @@ def _grown_panel(
     return bigger, bigger_constant
 
 
+@batched_kernel(oracle="pearson_matrix")
 def remove_redundant_features_blocked(
     X: np.ndarray,
     ivs: np.ndarray,
@@ -220,7 +225,7 @@ def remove_redundant_features_blocked(
                 B[:, t] = X[:, c]
         else:
             B = X[:, block_cols]
-        Z, z_constant = standardize_columns(B, out=B)
+        Z, z_constant = standardize_columns(B, out=B)  # repro: ignore[inplace-alias] B is the owned gather buf or a fancy-index copy of X, never a view
         if n_kept:
             if n_jobs != 1:
                 from ..parallel import parallel_max_abs_correlation

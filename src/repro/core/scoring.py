@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.registry import batched_kernel
 from ..exceptions import ConfigurationError
 from ..metrics.batched import (
     _DENSE_CELL_FACTOR,
@@ -165,6 +166,7 @@ class IntervalCodeCache:
         fine, lut = self._lut(int(f), values)
         return self._take(fine, lut, scale, include_label), int(values.size)
 
+    @batched_kernel(oracle="cells_from_split_values")
     def cells(self, features, split_values) -> tuple[np.ndarray, int]:
         """Mixed-radix cell ids for one combination.
 
@@ -190,6 +192,7 @@ class IntervalCodeCache:
         return cell, int(stride)
 
 
+@batched_kernel(oracle="information_gain_ratio")
 def score_combinations(X: np.ndarray, y: np.ndarray, combos) -> np.ndarray:
     """Gain ratio for every combination, through the shared code cache.
 

@@ -156,7 +156,7 @@ class SyntheticTask:
         spec = self.spec
         rng = check_random_state(spec.seed + 1 if seed is None else seed)
         X = self._features(n_rows, rng)
-        z = (self._raw_logit(X, rng) - self.logit_center) / self.logit_scale
+        z = (self._raw_logit(X, rng) - self.logit_center) / self.logit_scale  # repro: ignore[div-guard] logit_scale is floored at calibration
         p = sigmoid(2.5 * z + self.logit_shift)
         y = (rng.random(n_rows) < p).astype(np.float64)
         return Dataset(X=X, names=default_names(spec.n_features), y=y)
@@ -226,7 +226,7 @@ def _calibrate_shift(task: SyntheticTask, target: float) -> float:
     """Bisection on the intercept to reach the target positive rate."""
     rng = check_random_state(task.spec.seed + 98)
     X = task._features(6000, rng)
-    z = (task._raw_logit(X, rng) - task.logit_center) / task.logit_scale
+    z = (task._raw_logit(X, rng) - task.logit_center) / task.logit_scale  # repro: ignore[div-guard] logit_scale is floored at calibration
     lo, hi = -25.0, 25.0
     for _ in range(40):
         mid = 0.5 * (lo + hi)

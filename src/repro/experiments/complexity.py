@@ -82,7 +82,7 @@ def run(
         m_sweep.append((m, safe_s, timer.elapsed()))
 
     # Log-log slope of time vs N estimates the scaling exponent.
-    logs_n = np.log([n for n, __ in n_sweep])
+    logs_n = np.log([max(n, 1) for n, __ in n_sweep])
     logs_t = np.log([max(t, 1e-4) for __, t in n_sweep])
     exponent = float(np.polyfit(logs_n, logs_t, 1)[0])
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.registry import batched_kernel
 from ..exceptions import DataError
 from .information import _EPS, _xlogx, entropy
 
@@ -33,6 +34,7 @@ _DENSE_CELL_FACTOR = 4
 _DENSE_CELL_FLOOR = 1 << 16
 
 
+@batched_kernel(oracle="information_gain_ratio")
 def gain_ratio_from_cells(
     y: np.ndarray,
     cells: np.ndarray,
@@ -74,6 +76,7 @@ def gain_ratio_from_cells(
     )
 
 
+@batched_kernel(oracle="information_gain_ratio")
 def gain_ratio_from_labeled_cells(
     labeled: np.ndarray,
     n_codes: int,
@@ -95,7 +98,7 @@ def gain_ratio_from_labeled_cells(
     occupied = totals > 0
     totals = totals[occupied]
     pos = both[occupied, 1]
-    w = totals / n_rows
+    w = totals / n_rows  # repro: ignore[div-guard] n_rows >= 1 whenever any cell is occupied
     split_info = float(-(w * np.log(np.maximum(w, _EPS))).sum())
     if split_info <= _EPS:
         return 0.0
@@ -105,6 +108,7 @@ def gain_ratio_from_labeled_cells(
     return float(gain / split_info)
 
 
+@batched_kernel(oracle="information_value")
 def information_values_matrix(
     X: np.ndarray,
     y: np.ndarray,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.registry import kernel_oracle
 from ..exceptions import ConfigurationError, DataError
 from ..tabular.binning import Binner
 
@@ -43,6 +44,7 @@ def iv_predictive_power(iv: float) -> str:
     return IV_PREDICTIVE_POWER_BANDS[-1][2]
 
 
+@kernel_oracle
 def information_value(
     x: "np.ndarray | list",
     y: "np.ndarray | list",
@@ -124,6 +126,7 @@ def pearson_correlation(x: "np.ndarray | list", y: "np.ndarray | list") -> float
     return float(np.clip((a * b).sum() / (norm_a * norm_b), -1.0, 1.0))
 
 
+@kernel_oracle
 def pearson_matrix(X: np.ndarray) -> np.ndarray:
     """Pairwise |column| correlation matrix with constant-safe handling."""
     X = np.asarray(X, dtype=np.float64)
@@ -192,6 +195,7 @@ def partition_entropy(y: np.ndarray, cells: np.ndarray) -> float:
     return _partition_stats(y, cells)[0]
 
 
+@kernel_oracle
 def cells_from_split_values(
     X: np.ndarray,
     feature_indices: "list[int] | tuple[int, ...]",
@@ -224,6 +228,7 @@ def information_gain(y: np.ndarray, cells: np.ndarray) -> float:
     return max(0.0, entropy(y) - partition_entropy(y, cells))
 
 
+@kernel_oracle
 def information_gain_ratio(y: np.ndarray, cells: np.ndarray) -> float:
     """Information gain normalized by the partition's intrinsic entropy.
 

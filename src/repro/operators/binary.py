@@ -29,6 +29,8 @@ class AddOp(Operator):
     commutative = True
     symbol = "+"
     batchable = True
+    # add(x, x) is 2x: linearly redundant with its child.
+    degenerate_on_equal_children = True
 
     def apply(self, state, a, b):
         return a + b
@@ -40,6 +42,7 @@ class SubOp(Operator):
     commutative = False
     symbol = "-"
     batchable = True
+    degenerate_on_equal_children = True  # x - x == 0
 
     def apply(self, state, a, b):
         return a - b
@@ -64,6 +67,9 @@ class DivOp(Operator):
     commutative = False
     symbol = "/"
     batchable = True
+    # Protected against exact 0 only; a subnormal denominator overflows.
+    introduces_inf = True
+    degenerate_on_equal_children = True  # x / x is 1 (or 0 at x == 0)
 
     def apply(self, state, a, b):
         a = np.asarray(a, dtype=np.float64)
@@ -84,6 +90,11 @@ class _LogicalOp(Operator):
 
     arity = 2
     batchable = True
+    abstract_bounds = (0.0, 1.0)
+    # `x != 0` is defined for NaN (False), and every connective of a
+    # subtree with itself collapses to a constant or to the child.
+    absorbs_nan = True
+    degenerate_on_equal_children = True
 
     def table(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -180,6 +191,11 @@ class _GroupByThenOp(Operator):
     arity = 2
     commutative = False
     n_key_bins = 10
+    state_schema = ("edges", "groups", "fallback")
+    # Output values come from the fitted table, not the serve columns:
+    # non-finite serve input selects a bin, it never reaches the output.
+    absorbs_nan = True
+    absorbs_inf = True
 
     @staticmethod
     def _stat(values: np.ndarray) -> float:

@@ -35,6 +35,7 @@ class _LagOp(Operator):
 
     arity = 1
     k = 1
+    state_schema = ("pad",)
 
     def fit(self, x):
         return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}
@@ -66,6 +67,7 @@ class Diff1Op(Operator):
     name = "diff1"
     arity = 1
     symbol = "diff1"
+    state_schema = ("pad",)
 
     def fit(self, x):
         return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}
@@ -85,6 +87,7 @@ class _RollingOp(Operator):
 
     arity = 1
     window = 5
+    state_schema = ("pad",)
 
     def fit(self, x):
         return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}
@@ -128,6 +131,7 @@ class EwmOp(Operator):
     arity = 1
     symbol = "ewm"
     alpha = 2.0 / 6.0
+    state_schema = ("pad",)
 
     def fit(self, x):
         return {"pad": _train_mean(np.asarray(x, dtype=np.float64))}

@@ -47,6 +47,7 @@ import json
 
 import numpy as np
 
+from ..analysis.registry import batched_kernel, inplace_mutator
 from ..exceptions import SchemaError
 from .expressions import Applied, Expression, Var
 
@@ -144,6 +145,8 @@ class EvalCache:
         return np.asarray(expr.evaluate(self.X), dtype=np.float64)
 
 
+@batched_kernel(oracle="evaluate_expressions")
+@inplace_mutator
 def batch_populate_cache(
     cache: EvalCache, expressions: "list[Expression]"
 ) -> None:
@@ -184,6 +187,7 @@ def batch_populate_cache(
             cache.put(expr, np.ascontiguousarray(batch[:, j]))
 
 
+@batched_kernel(oracle="evaluate_expressions")
 def evaluate_forest(
     expressions: "list[Expression]",
     X: "np.ndarray | None" = None,

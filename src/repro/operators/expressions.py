@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.registry import kernel_oracle
 from ..exceptions import OperatorError, SchemaError
 from .base import Operator, get_operator
 
@@ -189,6 +190,7 @@ def fit_applied(
     return Applied(op_name=op.name, children=children, state=state)
 
 
+@kernel_oracle
 def evaluate_expressions(
     expressions: "list[Expression]",
     X: np.ndarray,

@@ -33,7 +33,13 @@ def _standardize_params(x: np.ndarray) -> tuple[float, float]:
         return 0.0, 1.0
     mean = float(finite.mean())
     std = float(finite.std())
-    return mean, std if std > 0 else 1.0
+    # Noise floor as in ZScoreOp.fit: a numerically constant input has
+    # std ~eps-scale from summation rounding; standardizing by it would
+    # blow z up to ~1e16 and poison the downstream regression.
+    noise = (
+        np.sqrt(finite.size) * np.finfo(np.float64).eps * (abs(mean) + 1.0) * 16.0
+    )
+    return mean, std if std > noise else 1.0
 
 
 class RidgePredictOp(Operator):
@@ -43,6 +49,7 @@ class RidgePredictOp(Operator):
     arity = 2
     commutative = False
     symbol = "ridge"
+    state_schema = ("slope", "intercept", "a_mean", "a_std")
 
     def fit(self, a, b):
         a = np.asarray(a, dtype=np.float64)
@@ -51,7 +58,7 @@ class RidgePredictOp(Operator):
         if ok.sum() < 2:
             return {"slope": 0.0, "intercept": 0.0, "a_mean": 0.0, "a_std": 1.0}
         a_mean, a_std = _standardize_params(a[ok])
-        z = (a[ok] - a_mean) / a_std
+        z = (a[ok] - a_mean) / a_std  # repro: ignore[div-guard] a_std is noise-floored in _standardize_params
         t = b[ok]
         # Closed-form 1-D ridge: w = <z, t-mean(t)> / (<z, z> + alpha).
         t_mean = float(t.mean())
@@ -93,6 +100,7 @@ class KernelRidgePredictOp(Operator):
     arity = 2
     commutative = False
     symbol = "kernel_ridge"
+    state_schema = ("anchors", "dual", "gamma", "a_mean", "a_std", "fallback")
 
     def fit(self, a, b):
         a = np.asarray(a, dtype=np.float64)
@@ -103,7 +111,7 @@ class KernelRidgePredictOp(Operator):
                     "a_mean": 0.0, "a_std": 1.0, "fallback": 0.0}
         a_ok, b_ok = a[ok], b[ok]
         a_mean, a_std = _standardize_params(a_ok)
-        z = (a_ok - a_mean) / a_std
+        z = (a_ok - a_mean) / a_std  # repro: ignore[div-guard] a_std is noise-floored in _standardize_params
         # Deterministic anchor choice: quantile grid over the training z.
         n_anchors = min(_MAX_ANCHORS, np.unique(z).size)
         anchors = np.quantile(z, np.linspace(0.0, 1.0, n_anchors))

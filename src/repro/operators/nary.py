@@ -26,6 +26,12 @@ class ConditionalOp(Operator):
     def apply(self, state, a, b, c):
         return np.where(np.asarray(a, dtype=np.float64) != 0, b, c)
 
+    def abstract_transfer(self, domains, state=None):
+        # The output is drawn from b or c; the condition only selects
+        # (NaN is truthy under `!= 0`, so `a` never propagates).
+        _, b, c = domains
+        return (min(b[0], c[0]), max(b[1], c[1]), b[2] or c[2], b[3] or c[3])
+
     def format(self, *operands):
         return f"({operands[0]} ? {operands[1]} : {operands[2]})"
 
@@ -35,7 +41,17 @@ class _NaryReduceOp(Operator):
 
     commutative = True
     batchable = True
+    degenerate_on_equal_children = True  # reduce(x, x, ...) == x
     reducer = None  # type: ignore[assignment]
+
+    def abstract_transfer(self, domains, state=None):
+        # max/min/mean all stay inside the hull of their inputs.
+        return (
+            min(d[0] for d in domains),
+            max(d[1] for d in domains),
+            any(d[2] for d in domains),
+            any(d[3] for d in domains),
+        )
 
     def apply(self, state, *cols):
         # np.stack (not vstack) so (n, m) batches reduce columnwise too.

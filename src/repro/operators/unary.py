@@ -44,6 +44,7 @@ class SquareOp(Operator):
     arity = 1
     symbol = "square"
     batchable = True
+    abstract_bounds = (0.0, float("inf"))
 
     def apply(self, state, x):
         return x * x
@@ -54,6 +55,7 @@ class SigmoidOp(Operator):
     arity = 1
     symbol = "sigmoid"
     batchable = True
+    abstract_bounds = (0.0, 1.0)
 
     def apply(self, state, x):
         return sigmoid(np.asarray(x, dtype=np.float64))
@@ -64,6 +66,7 @@ class TanhOp(Operator):
     arity = 1
     symbol = "tanh"
     batchable = True
+    abstract_bounds = (-1.0, 1.0)
 
     def apply(self, state, x):
         return np.tanh(x)
@@ -84,6 +87,7 @@ class AbsOp(Operator):
     arity = 1
     symbol = "abs"
     batchable = True
+    abstract_bounds = (0.0, float("inf"))
 
     def apply(self, state, x):
         return np.abs(x)
@@ -106,6 +110,8 @@ class ReciprocalOp(Operator):
     arity = 1
     symbol = "reciprocal"
     batchable = True
+    # Protected against exact 0 only; a subnormal input still overflows.
+    introduces_inf = True
 
     def apply(self, state, x):
         x = np.asarray(x, dtype=np.float64)
@@ -121,12 +127,23 @@ class ZScoreOp(Operator):
     name = "zscore"
     arity = 1
     symbol = "zscore"
+    state_schema = ("mean", "std")
 
     def fit(self, x):
         finite = x[np.isfinite(x)]
         mean = float(finite.mean()) if finite.size else 0.0
         std = float(finite.std()) if finite.size else 1.0
-        return {"mean": mean, "std": std if std > 0 else 1.0}
+        # A numerically constant column (np.full(n, 0.1)) has std ~1e-17
+        # from summation rounding, not 0.0 — dividing by it turns a
+        # constant feature into ±1e16 garbage. Same noise floor recipe
+        # as `pearson_matrix`: treat std below it as constant.
+        noise = (
+            np.sqrt(max(finite.size, 1))
+            * np.finfo(np.float64).eps
+            * (abs(mean) + 1.0)
+            * 16.0
+        )
+        return {"mean": mean, "std": std if std > noise else 1.0}
 
     def apply(self, state, x):
         state = state or {"mean": 0.0, "std": 1.0}
@@ -139,6 +156,7 @@ class MinMaxOp(Operator):
     name = "minmax"
     arity = 1
     symbol = "minmax"
+    state_schema = ("min", "range")
 
     def fit(self, x):
         finite = x[np.isfinite(x)]
@@ -156,6 +174,11 @@ class _DiscretizeBase(Operator):
     """Shared machinery for fitted-edges discretizers."""
 
     n_bins = 10
+    state_schema = ("edges",)
+    # Codes span 0..n_bins+1 (one extra bin catches missing values), so
+    # NaN input maps to a finite code instead of propagating.
+    abstract_bounds = (0.0, 11.0)
+    absorbs_nan = True
 
     def apply(self, state, x):
         edges = np.asarray((state or {}).get("edges", []), dtype=np.float64)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.registry import inplace_mutator
 from ..exceptions import NotFittedError
 from ..utils import as_float_matrix
 
@@ -99,6 +100,7 @@ class MeanImputer:
         return self.fit(X).transform(X)
 
 
+@inplace_mutator
 def clean_matrix(X: np.ndarray, clip: float = 1e12, copy: bool = True) -> np.ndarray:
     """Replace non-finite values with 0 and clip extreme magnitudes.
 

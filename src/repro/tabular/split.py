@@ -57,7 +57,7 @@ def train_valid_test_split(
         total = data.n_rows
         parts_per_class: list[list[np.ndarray]] = []
         for cls_idx in (pos_idx, neg_idx):
-            frac = cls_idx.size / total
+            frac = cls_idx.size / total  # repro: ignore[div-guard] validated split sizes imply n_rows > 0
             sizes = [
                 int(round(n_train * frac)),
                 int(round(n_valid * frac)),

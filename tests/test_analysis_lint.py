@@ -1,0 +1,317 @@
+"""The static-analysis subsystem: repo gate, per-rule firing, registries.
+
+Three layers:
+
+* the tier-1 gate — ``run_lint`` over the real source tree must come
+  back empty (the same check as ``python -m repro lint``);
+* seeded defects — for every rule, a synthetic module carrying exactly
+  the defect the rule exists for must produce a finding with the right
+  rule id (and the suppression syntax must silence it);
+* registry completeness — every public function of the batched kernel
+  modules is a kernel, an oracle, or an explicit exemption.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import run_lint
+from repro.analysis.linter import SourceModule, lint_modules
+
+pytestmark = pytest.mark.analysis
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC_ROOT.parent.parent
+TESTS_ROOT = REPO_ROOT / "tests"
+
+
+def _lint_src(source: str, tests: "list[str] | None" = None) -> "list":
+    modules = [SourceModule.from_source(source, path="synthetic.py")]
+    test_modules = [
+        SourceModule.from_source(t, path=f"test_synthetic_{i}.py")
+        for i, t in enumerate(tests or [])
+    ]
+    return lint_modules(modules, test_modules)
+
+
+def _rule_ids(findings) -> "list[str]":
+    return [f.rule for f in findings]
+
+
+class TestRepoIsLintClean:
+    """Tier-1 gate: the shipped source tree has zero findings."""
+
+    def test_run_lint_on_the_repo_is_clean(self):
+        findings = run_lint(SRC_ROOT, tests_root=TESTS_ROOT, repo_root=REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestFloatHazardRules:
+    def test_float_equality_fires(self):
+        findings = _lint_src(
+            "def f(a, b):\n"
+            "    return a / 3.0 == b\n"
+        )
+        assert "float-eq" in _rule_ids(findings)
+
+    def test_integer_sentinel_compare_not_flagged(self):
+        findings = _lint_src(
+            "def f(counts):\n"
+            "    return counts == 0\n"
+        )
+        assert "float-eq" not in _rule_ids(findings)
+
+    def test_unguarded_log_fires(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.log(x)\n"
+        )
+        assert "log-guard" in _rule_ids(findings)
+
+    def test_floored_log_not_flagged(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.log(np.maximum(x, 1e-12))\n"
+        )
+        assert "log-guard" not in _rule_ids(findings)
+
+    def test_unguarded_division_fires(self):
+        findings = _lint_src(
+            "def f(a, b):\n"
+            "    return a / b\n"
+        )
+        assert "div-guard" in _rule_ids(findings)
+
+    def test_branch_guarded_division_not_flagged(self):
+        findings = _lint_src(
+            "def f(a, b):\n"
+            "    if b > 0:\n"
+            "        return a / b\n"
+            "    return 0.0\n"
+        )
+        assert "div-guard" not in _rule_ids(findings)
+
+    def test_float32_downcast_fires(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return x.astype(np.float32)\n"
+        )
+        assert "float32-cast" in _rule_ids(findings)
+
+    def test_unfilled_empty_fires(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    out = np.empty(n)\n"
+            "    return out\n"
+        )
+        assert "empty-fill" in _rule_ids(findings)
+
+    def test_subscript_filled_empty_not_flagged(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def f(n, vals):\n"
+            "    out = np.empty(n)\n"
+            "    out[:] = vals\n"
+            "    return out\n"
+        )
+        assert "empty-fill" not in _rule_ids(findings)
+
+
+class TestAliasingRule:
+    def test_unregistered_inplace_mutation_fires(self):
+        findings = _lint_src(
+            "def clobber(x):\n"
+            "    x.sort()\n"
+            "    return x\n"
+        )
+        assert "inplace-alias" in _rule_ids(findings)
+
+    def test_registered_mutator_not_flagged(self):
+        findings = _lint_src(
+            "from repro.analysis.registry import inplace_mutator\n"
+            "@inplace_mutator\n"
+            "def clobber(x):\n"
+            "    x.sort()\n"
+            "    return x\n"
+        )
+        assert "inplace-alias" not in _rule_ids(findings)
+
+    def test_mutating_a_local_copy_not_flagged(self):
+        findings = _lint_src(
+            "def f(x):\n"
+            "    y = x.copy()\n"
+            "    y.sort()\n"
+            "    return y\n"
+        )
+        assert "inplace-alias" not in _rule_ids(findings)
+
+
+class TestParallelRules:
+    def test_lambda_to_parallel_map_fires(self):
+        findings = _lint_src(
+            "from repro.utils import parallel_map\n"
+            "def f(items):\n"
+            "    return parallel_map(lambda x: x + 1, items)\n"
+        )
+        assert "parallel-callable" in _rule_ids(findings)
+
+    def test_module_level_worker_not_flagged(self):
+        findings = _lint_src(
+            "from repro.utils import parallel_map\n"
+            "def _score_one(x):\n"
+            "    return x + 1\n"
+            "def f(items):\n"
+            "    return parallel_map(_score_one, items)\n"
+        )
+        assert "parallel-callable" not in _rule_ids(findings)
+
+    def test_chunk_worker_touching_global_state_fires(self):
+        findings = _lint_src(
+            "def _score_chunk(items):\n"
+            "    global CACHE\n"
+            "    CACHE = items\n"
+            "    return items\n"
+        )
+        assert "parallel-chunk-state" in _rule_ids(findings)
+
+
+class TestKernelContractRules:
+    def test_kernel_without_oracle_fires(self):
+        findings = _lint_src(
+            "from repro.analysis.registry import batched_kernel\n"
+            "@batched_kernel\n"
+            "def fast_thing(x):\n"
+            "    return x\n"
+        )
+        assert "kernel-oracle" in _rule_ids(findings)
+
+    def test_kernel_with_unmarked_oracle_fires(self):
+        findings = _lint_src(
+            "from repro.analysis.registry import batched_kernel\n"
+            "@batched_kernel(oracle=\"slow_thing\")\n"
+            "def fast_thing(x):\n"
+            "    return x\n"
+        )
+        assert "kernel-oracle" in _rule_ids(findings)
+
+    def test_kernel_without_parity_test_fires(self):
+        source = (
+            "from repro.analysis.registry import batched_kernel, kernel_oracle\n"
+            "@kernel_oracle\n"
+            "def slow_thing(x):\n"
+            "    return x\n"
+            "@batched_kernel(oracle=\"slow_thing\")\n"
+            "def fast_thing(x):\n"
+            "    return x\n"
+        )
+        findings = _lint_src(source, tests=[])
+        assert "kernel-parity" in _rule_ids(findings)
+
+    def test_parity_test_co_occurrence_clears_the_finding(self):
+        source = (
+            "from repro.analysis.registry import batched_kernel, kernel_oracle\n"
+            "@kernel_oracle\n"
+            "def slow_thing(x):\n"
+            "    return x\n"
+            "@batched_kernel(oracle=\"slow_thing\")\n"
+            "def fast_thing(x):\n"
+            "    return x\n"
+        )
+        parity_test = (
+            "def test_parity():\n"
+            "    assert fast_thing(3) == slow_thing(3)\n"
+        )
+        findings = _lint_src(source, tests=[parity_test])
+        assert "kernel-parity" not in _rule_ids(findings)
+
+    def test_batchable_operator_outside_the_sweep_fires(self):
+        findings = _lint_src(
+            "class ShinyNewOp:\n"
+            "    name = \"shiny\"\n"
+            "    batchable = True\n"
+        )
+        assert "batchable-parity" in _rule_ids(findings)
+
+
+class TestSuppressions:
+    def test_inline_suppression_silences_the_rule(self):
+        findings = _lint_src(
+            "def f(a, b):\n"
+            "    return a / b  # repro: ignore[div-guard] b is validated upstream\n"
+        )
+        assert "div-guard" not in _rule_ids(findings)
+
+    def test_suppression_is_rule_specific(self):
+        findings = _lint_src(
+            "def f(a, b):\n"
+            "    return a / b  # repro: ignore[float-eq] wrong rule\n"
+        )
+        assert "div-guard" in _rule_ids(findings)
+
+    def test_wildcard_suppression_silences_everything(self):
+        findings = _lint_src(
+            "def f(a, b):\n"
+            "    return a / b  # repro: ignore[*] audited by hand\n"
+        )
+        assert findings == []
+
+
+class TestRegistryCompleteness:
+    """Satellite: every public kernel-module function carries a contract.
+
+    (``register_operator`` duplicate rejection — the other registry
+    satellite — already ships in the seed; see test_operators_base.py.)
+    """
+
+    CONTRACT_ATTRS = ("__kernel_contract__", "__kernel_oracle__", "__kernel_exempt__")
+
+    @staticmethod
+    def _public_functions(mod):
+        for name, obj in sorted(vars(mod).items()):
+            if name.startswith("_"):
+                continue
+            if inspect.isfunction(obj) and obj.__module__ == mod.__name__:
+                yield name, obj
+
+    def _modules(self):
+        from repro.boosting import histogram
+        from repro.core import redundancy
+        from repro.metrics import batched
+
+        return (batched, redundancy, histogram)
+
+    def test_every_public_function_is_kernel_oracle_or_exempt(self):
+        missing = []
+        for mod in self._modules():
+            for name, fn in self._public_functions(mod):
+                if not any(hasattr(fn, a) for a in self.CONTRACT_ATTRS):
+                    missing.append(f"{mod.__name__}.{name}")
+        assert missing == [], (
+            "public kernel-module functions without a declared contract "
+            f"(@batched_kernel / @kernel_oracle / @kernel_exempt): {missing}"
+        )
+
+    def test_exemptions_carry_reasons(self):
+        from repro.analysis.registry import EXEMPT_REGISTRY
+
+        assert EXEMPT_REGISTRY, "expected at least one explicit exemption"
+        for qualname, reason in EXEMPT_REGISTRY.items():
+            assert reason.strip(), f"{qualname} exempted without a reason"
+
+    def test_declared_kernels_point_at_marked_oracles(self):
+        from repro.analysis.registry import KERNEL_REGISTRY, ORACLE_REGISTRY
+
+        oracle_names = {c.func_name for c in ORACLE_REGISTRY.values()}
+        for contract in KERNEL_REGISTRY.values():
+            assert contract.oracle in oracle_names, (
+                f"kernel {contract.name} declares oracle {contract.oracle!r} "
+                "which is not marked @kernel_oracle"
+            )

@@ -1,0 +1,250 @@
+"""Static plan validation: accept real round-trips, reject corruption.
+
+``validate_payload`` / ``validate_plan`` abstractly interpret a saved
+Ψ payload — they must accept everything the pipeline itself produces
+(including a full SAFE fit → save → load cycle) and reject corrupted
+artifacts with actionable, located errors, all without evaluating any
+data (proved here by making every operator's ``apply`` explode).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import Domain, validate_payload, validate_plan
+from repro.core import SAFE, SAFEConfig
+from repro.core.transform import FeatureTransformer
+from repro.operators import (
+    Applied,
+    Var,
+    available_operators,
+    fit_applied,
+    get_operator,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+@pytest.fixture
+def plan_payload(rng) -> dict:
+    X = rng.normal(size=(80, 4))
+    expressions = (
+        Applied("add", (Var(0), Var(1))),
+        fit_applied("zscore", (Var(2),), X),
+        Applied("sigmoid", (Applied("mul", (Var(0), Var(3))),)),
+        Var(1),
+    )
+    ft = FeatureTransformer(
+        expressions=expressions, original_names=("a", "b", "c", "d")
+    )
+    return ft.to_dict()
+
+
+def _codes(report) -> "list[str]":
+    return [i.code for i in report.issues]
+
+
+class TestAcceptance:
+    def test_hand_built_round_trip_is_accepted(self, plan_payload):
+        report = validate_payload(plan_payload)
+        assert report.ok, report.render()
+        assert report.n_expressions == 4
+        assert _codes(report) == []
+
+    def test_full_pipeline_round_trip_is_accepted(self, tmp_path, linear_data):
+        cfg = SAFEConfig(gamma=8, mining_n_estimators=5, ranking_n_estimators=5)
+        transformer = SAFE(cfg).fit(linear_data)
+        path = tmp_path / "psi.json"
+        transformer.save(path)
+        report = validate_plan(path)
+        assert report.ok, report.render()
+        assert report.n_expressions == transformer.n_output_features
+
+    def test_validation_never_evaluates_data(self, plan_payload, monkeypatch):
+        for name in ("add", "mul", "sigmoid", "zscore"):
+            monkeypatch.setattr(
+                type(get_operator(name)),
+                "apply",
+                lambda self, state, *cols: pytest.fail(
+                    "validate_payload must not apply operators"
+                ),
+            )
+        assert validate_payload(plan_payload).ok
+
+    def test_whole_catalogue_round_trips(self, rng):
+        """Every registered operator validates from its own fit output."""
+        X = rng.normal(size=(60, 4))
+        expressions = []
+        for name in available_operators():
+            op = get_operator(name)
+            children = tuple(Var(i) for i in range(op.arity))
+            if op.is_stateful:
+                expressions.append(fit_applied(name, children, X))
+            else:
+                expressions.append(Applied(name, children))
+        ft = FeatureTransformer(
+            expressions=tuple(expressions),
+            original_names=("a", "b", "c", "d"),
+        )
+        report = validate_payload(ft.to_dict())
+        errors = [i for i in report.issues if i.severity == "error"]
+        assert not errors, report.render()
+
+
+class TestRejection:
+    def test_unknown_operator(self, plan_payload):
+        plan_payload["expressions"][0]["op"] = "frobnicate"
+        report = validate_payload(plan_payload)
+        assert not report.ok
+        assert "unknown-operator" in _codes(report)
+        assert any("expressions[0]" == i.path for i in report.issues)
+
+    def test_wrong_arity(self, plan_payload):
+        plan_payload["expressions"][0]["children"].append(
+            {"type": "var", "index": 0}
+        )
+        report = validate_payload(plan_payload)
+        assert not report.ok
+        assert "arity-mismatch" in _codes(report)
+
+    def test_missing_fitted_state(self, plan_payload):
+        plan_payload["expressions"][1]["state"] = None
+        report = validate_payload(plan_payload)
+        assert not report.ok
+        assert "missing-state" in _codes(report)
+
+    def test_incomplete_fitted_state(self, plan_payload):
+        plan_payload["expressions"][1]["state"] = {"mean": 0.0}
+        report = validate_payload(plan_payload)
+        assert not report.ok
+        issue = next(i for i in report.issues if i.code == "state-schema")
+        assert "std" in issue.message
+
+    def test_var_out_of_schema_range(self, plan_payload):
+        plan_payload["expressions"][3] = {"type": "var", "index": 11}
+        report = validate_payload(plan_payload)
+        assert not report.ok
+        assert "var-out-of-range" in _codes(report)
+
+    def test_nested_corruption_is_located(self, plan_payload):
+        plan_payload["expressions"][2]["children"][0]["op"] = "nope"
+        report = validate_payload(plan_payload)
+        assert not report.ok
+        issue = next(i for i in report.issues if i.code == "unknown-operator")
+        assert issue.path == "expressions[2].children[0]"
+
+    def test_empty_plan(self, plan_payload):
+        plan_payload["expressions"] = []
+        report = validate_payload(plan_payload)
+        assert not report.ok
+        assert "empty-plan" in _codes(report)
+
+    def test_unknown_node_type_and_bad_payloads(self, plan_payload):
+        plan_payload["expressions"][0] = {"type": "mystery"}
+        assert "unknown-node-type" in _codes(validate_payload(plan_payload))
+        assert "bad-payload" in _codes(validate_payload([1, 2, 3]))
+        assert "bad-schema" in _codes(
+            validate_payload({"original_names": "oops", "expressions": "oops"})
+        )
+
+    def test_unreadable_and_malformed_files(self, tmp_path):
+        report = validate_plan(tmp_path / "missing.json")
+        assert not report.ok and "unreadable" in _codes(report)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        report = validate_plan(bad)
+        assert not report.ok and "bad-json" in _codes(report)
+
+
+class TestWarnings:
+    def test_degenerate_subtree_warns_but_passes(self, plan_payload):
+        plan_payload["expressions"].append(
+            {
+                "type": "apply",
+                "op": "sub",
+                "state": None,
+                "children": [
+                    {"type": "var", "index": 0},
+                    {"type": "var", "index": 0},
+                ],
+            }
+        )
+        report = validate_payload(plan_payload)
+        assert report.ok
+        assert "degenerate-subtree" in _codes(report)
+
+    def test_duplicate_feature_warns(self, plan_payload):
+        plan_payload["expressions"].append(
+            json.loads(json.dumps(plan_payload["expressions"][0]))
+        )
+        report = validate_payload(plan_payload)
+        assert report.ok
+        assert "duplicate-feature" in _codes(report)
+
+    def test_state_on_stateless_operator_warns(self, plan_payload):
+        plan_payload["expressions"][0]["state"] = {"stray": 1}
+        report = validate_payload(plan_payload)
+        assert report.ok
+        assert "unexpected-state" in _codes(report)
+
+
+class TestDomainPropagation:
+    @staticmethod
+    def _domain_of(expr, names=("a", "b", "c")) -> Domain:
+        ft = FeatureTransformer(expressions=(expr,), original_names=names)
+        report = validate_payload(ft.to_dict())
+        assert report.ok, report.render()
+        return report.feature_domains[0]
+
+    def test_var_domain_is_unknown(self):
+        d = self._domain_of(Var(0))
+        assert (d.lo, d.hi, d.may_nan, d.may_inf) == (-np.inf, np.inf, True, True)
+
+    def test_finite_bounds_certify_no_inf(self):
+        d = self._domain_of(Applied("sigmoid", (Var(0),)))
+        assert (d.lo, d.hi) == (0.0, 1.0)
+        assert not d.may_inf
+        assert d.may_nan  # sigmoid(nan) is nan: taint propagates
+
+    def test_discretizer_absorbs_nan(self, rng):
+        X = rng.normal(size=(50, 3))
+        d = self._domain_of(fit_applied("disc_eqwidth", (Var(0),), X))
+        assert not d.may_nan and not d.may_inf
+        assert d.lo == 0.0
+
+    def test_conditional_takes_branch_hull(self):
+        expr = Applied(
+            "cond",
+            (Var(0), Applied("sigmoid", (Var(1),)), Applied("tanh", (Var(2),))),
+        )
+        d = self._domain_of(expr)
+        assert (d.lo, d.hi) == (-1.0, 1.0)
+        assert not d.may_inf
+
+    def test_nary_reduce_takes_input_hull(self):
+        expr = Applied(
+            "mean3",
+            (
+                Applied("sigmoid", (Var(0),)),
+                Applied("tanh", (Var(1),)),
+                Applied("sigmoid", (Var(2),)),
+            ),
+        )
+        d = self._domain_of(expr)
+        assert (d.lo, d.hi) == (-1.0, 1.0)
+        assert not d.may_inf
+
+    def test_report_json_round_trips(self, rng):
+        X = rng.normal(size=(40, 3))
+        ft = FeatureTransformer(
+            expressions=(fit_applied("zscore", (Var(0),), X),),
+            original_names=("a", "b", "c"),
+        )
+        report = validate_payload(ft.to_dict())
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["n_expressions"] == 1
+        assert payload["feature_domains"][0]["may_nan"] is True

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -104,3 +107,61 @@ class TestCommands:
         main(["transform", "--plan", str(plan),
               "--input", str(test_path), "--output", str(straight)])
         assert np.allclose(load_csv(out_csv).X, load_csv(straight).X)
+
+
+class TestLintCommand:
+    def test_lint_is_clean_on_the_repo(self, capsys):
+        rc = main(["lint"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no findings" in out
+
+    def test_lint_json_output(self, capsys):
+        rc = main(["lint", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out) == []
+
+    def test_lint_custom_src_with_defect(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a, b):\n    return a / b\n")
+        rc = main(["lint", "--src", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "div-guard" in out
+
+
+class TestValidatePlanCommand:
+    def _saved_plan(self, tmp_path) -> str:
+        from repro.core.transform import FeatureTransformer
+        from repro.operators import Applied, Var
+
+        ft = FeatureTransformer(
+            expressions=(Applied("add", (Var(0), Var(1))),),
+            original_names=("a", "b"),
+        )
+        path = tmp_path / "psi.json"
+        ft.save(path)
+        return str(path)
+
+    def test_valid_plan_accepted(self, tmp_path, capsys):
+        rc = main(["validate-plan", "--plan", self._saved_plan(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "plan OK" in out
+
+    def test_corrupt_plan_rejected(self, tmp_path, capsys):
+        path = self._saved_plan(tmp_path)
+        payload = json.loads(Path(path).read_text())
+        payload["expressions"][0]["op"] = "frobnicate"
+        Path(path).write_text(json.dumps(payload))
+        rc = main(["validate-plan", "--plan", path])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "unknown-operator" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        rc = main(["validate-plan", "--plan", self._saved_plan(tmp_path), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["ok"] is True

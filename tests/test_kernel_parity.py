@@ -1,0 +1,141 @@
+"""Kernel ↔ oracle parity tests required by the kernel-parity lint rule.
+
+Every ``@batched_kernel(oracle=...)`` function must appear in some test
+module together with its oracle (``python -m repro lint`` enforces this
+statically). This module holds the parity checks for the kernels whose
+oracle comparisons are not already exercised elsewhere:
+
+* ``standardize_columns``   vs ``pearson_matrix``
+* ``max_abs_correlation``   vs ``pearson_matrix``
+* ``gain_ratio_from_labeled_cells`` vs ``information_gain_ratio``
+* ``batch_populate_cache``  vs ``evaluate_expressions``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.redundancy import max_abs_correlation, standardize_columns
+from repro.metrics.batched import gain_ratio_from_labeled_cells
+from repro.metrics.information import (
+    entropy,
+    information_gain_ratio,
+    pearson_matrix,
+)
+from repro.operators import Applied, Var, evaluate_expressions
+from repro.operators.engine import EvalCache, batch_populate_cache
+
+
+def _corner_matrix(rng: np.random.Generator) -> np.ndarray:
+    """Random columns plus the corners the kernels guard against."""
+    X = rng.normal(size=(200, 7))
+    X[:, 2] = 3.25                      # exactly constant
+    X[:, 4] = 0.1                       # numerically constant (std ~1e-17)
+    X[:, 5] = 2.0 * X[:, 0] - 1.0       # perfectly correlated with x0
+    return X
+
+
+class TestStandardizeColumnsParity:
+    def test_gram_of_standardized_block_matches_pearson_matrix(self, rng):
+        X = _corner_matrix(rng)
+        Z, constant = standardize_columns(X.copy())
+        C = Z.T @ Z
+        C[constant, :] = 0.0
+        C[:, constant] = 0.0
+        np.fill_diagonal(C, 1.0)
+        C = np.clip(C, -1.0, 1.0)
+        np.testing.assert_allclose(C, pearson_matrix(X), atol=1e-10)
+
+    def test_constant_mask_matches_pearson_noise_floor(self, rng):
+        X = _corner_matrix(rng)
+        _, constant = standardize_columns(X.copy())
+        assert constant.tolist() == [False, False, True, False, True, False, False]
+
+    def test_nan_column_propagates_like_pearson(self, rng):
+        X = _corner_matrix(rng)
+        X[0, 1] = np.nan
+        Z, constant = standardize_columns(X.copy())
+        C = Z.T @ Z
+        C[constant, :] = 0.0
+        C[:, constant] = 0.0
+        np.fill_diagonal(C, 1.0)
+        np.testing.assert_allclose(
+            np.clip(C, -1.0, 1.0), pearson_matrix(X), atol=1e-10, equal_nan=True
+        )
+
+
+class TestMaxAbsCorrelationParity:
+    def test_matches_pearson_matrix_block_maximum(self, rng):
+        X = _corner_matrix(rng)
+        full = pearson_matrix(X)
+        n_cand = 3
+        Zc, cand_constant = standardize_columns(X[:, :n_cand].copy())
+        Zp, kept_constant = standardize_columns(X[:, n_cand:].copy())
+        # chunk=2 forces the chunked-GEMM reduction through multiple passes.
+        got = max_abs_correlation(Zc, Zp, cand_constant, kept_constant, chunk=2)
+        expected = np.abs(full[:n_cand, n_cand:]).max(axis=1)
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_constant_candidate_scores_zero_like_pearson_row(self, rng):
+        X = _corner_matrix(rng)
+        full = pearson_matrix(X)
+        Zc, cand_constant = standardize_columns(X[:, [2, 4]].copy())
+        Zp, kept_constant = standardize_columns(X[:, [0, 1]].copy())
+        got = max_abs_correlation(Zc, Zp, cand_constant, kept_constant)
+        expected = np.abs(full[np.ix_([2, 4], [0, 1])]).max(axis=1)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+        assert got.tolist() == [0.0, 0.0]
+
+
+class TestGainRatioFromLabeledCellsParity:
+    def test_matches_information_gain_ratio(self, rng):
+        y = rng.integers(0, 2, size=400)
+        cells = rng.integers(0, 9, size=400)
+        labeled = cells.astype(np.int64) * 2 + (y == 1)
+        got = gain_ratio_from_labeled_cells(labeled, 18, y.size, entropy(y))
+        assert got == pytest.approx(information_gain_ratio(y, cells), abs=1e-12)
+
+    def test_sparse_cell_ids_match_after_remap(self, rng):
+        # Huge, sparse cell ids (the np.unique fallback path of callers).
+        y = rng.integers(0, 2, size=300)
+        raw = rng.choice(np.array([7, 1000, 52341, 9]), size=300)
+        _, inverse = np.unique(raw, return_inverse=True)
+        labeled = inverse.astype(np.int64) * 2 + (y == 1)
+        got = gain_ratio_from_labeled_cells(labeled, 8, y.size, entropy(y))
+        assert got == pytest.approx(information_gain_ratio(y, raw), abs=1e-12)
+
+    def test_single_cell_partition_is_zero_both_ways(self, rng):
+        y = rng.integers(0, 2, size=100)
+        cells = np.zeros(100, dtype=np.int64)
+        labeled = cells * 2 + (y == 1)
+        assert gain_ratio_from_labeled_cells(labeled, 2, 100, entropy(y)) == 0.0
+        assert information_gain_ratio(y, cells) == 0.0
+
+
+class TestBatchPopulateCacheParity:
+    def test_batched_columns_bit_identical_to_evaluate_expressions(self, rng):
+        X = rng.normal(size=(64, 5))
+        X[3, 4] = 0.0  # exercise DivOp's protected-zero branch in batch
+        shared = Applied("add", (Var(0), Var(1)))
+        expressions = [
+            shared,
+            Applied("mul", (Var(2), Var(3))),
+            Applied("sigmoid", (shared,)),
+            Applied("div", (Var(1), Var(4))),
+            Applied("cond", (Var(0), Var(1), Var(2))),
+        ]
+        cache = EvalCache(X)
+        batch_populate_cache(cache, expressions)
+        reference = evaluate_expressions(expressions, X)
+        for j, expr in enumerate(expressions):
+            np.testing.assert_array_equal(cache.column(expr), reference[:, j])
+
+    def test_stateful_and_cached_nodes_are_left_alone(self, rng):
+        X = rng.normal(size=(32, 3))
+        expr = Applied("add", (Var(0), Var(1)))
+        cache = EvalCache(X)
+        sentinel = np.full(32, 42.0)
+        cache.put(expr, sentinel)
+        batch_populate_cache(cache, [expr])
+        np.testing.assert_array_equal(cache.column(expr), sentinel)

@@ -110,3 +110,34 @@ class TestKernelRidge:
         b = a**2
         state = get_operator("kernel_ridge").fit(a, b)
         assert len(state["anchors"]) <= 64
+
+
+class TestStandardizeNoiseFloor:
+    """Regression: a numerically constant regressor must not poison the fit.
+
+    Standardizing by the ~1e-17 rounding std of a constant column used to
+    feed ±1e16 values into the ridge solve; the noise floor maps the
+    column to ~0 instead, and the fit degrades gracefully to the
+    intercept-only model.
+    """
+
+    def test_constant_regressor_yields_intercept_only_ridge(self, rng):
+        a = np.full(150, 0.1)
+        assert 0.0 < a.std() < 1e-15  # the hazard exists on this input
+        b = rng.normal(loc=3.0, size=150)
+        op = get_operator("ridge")
+        state = op.fit(a, b)
+        assert state["a_std"] == 1.0
+        assert abs(state["slope"]) < 1e-10
+        out = op.apply(state, a, b)
+        assert np.allclose(out, b.mean())
+
+    def test_constant_regressor_keeps_kernel_ridge_finite(self, rng):
+        a = np.full(150, 0.1)
+        b = rng.normal(size=150)
+        op = get_operator("kernel_ridge")
+        state = op.fit(a, b)
+        assert state["a_std"] == 1.0
+        out = op.apply(state, a, b)
+        assert np.isfinite(out).all()
+        assert np.abs(out).max() < 1e3

@@ -113,3 +113,37 @@ class TestDiscretizers:
         op = get_operator("disc_eqfreq")
         state = op.fit(np.arange(50.0))
         json.dumps(state)  # must not raise
+
+
+class TestZScoreNoiseFloor:
+    """Regression: numerically constant columns must not explode.
+
+    ``np.full(n, 0.1)`` has std ~1e-17 — pure summation rounding, not
+    spread. Dividing by it used to turn a constant feature into ±1e16
+    garbage; the fit now floors std at the float-cancellation noise
+    level (the ``pearson_matrix`` recipe) and treats the column as
+    constant.
+    """
+
+    def test_numerically_constant_column_is_treated_as_constant(self):
+        x = np.full(100, 0.1)
+        assert 0.0 < x.std() < 1e-15  # the hazard exists on this input
+        op = get_operator("zscore")
+        state = op.fit(x)
+        assert state["std"] == 1.0
+        out = op.apply(state, x)
+        assert np.abs(out).max() < 1e-12
+
+    def test_large_magnitude_constant_column(self):
+        x = np.full(333, 1e6 + 0.1)
+        state = get_operator("zscore").fit(x)
+        assert state["std"] == 1.0
+        assert np.abs(get_operator("zscore").apply(state, x)).max() < 1e-6
+
+    def test_genuine_spread_is_untouched(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(scale=0.5, size=200)
+        state = get_operator("zscore").fit(x)
+        assert state["std"] == pytest.approx(x.std())
+        out = get_operator("zscore").apply(state, x)
+        assert out.std() == pytest.approx(1.0)
