@@ -100,6 +100,7 @@ def default_rules() -> "list[LintRule]":
     )
     from .rules_kernels import BatchableParityRule, KernelContractRule
     from .rules_parallel import ParallelCallableRule, ParallelChunkStateRule
+    from .rules_robustness import ExceptSwallowRule
 
     return [
         FloatEqualityRule(),
@@ -110,6 +111,7 @@ def default_rules() -> "list[LintRule]":
         InplaceAliasRule(),
         ParallelCallableRule(),
         ParallelChunkStateRule(),
+        ExceptSwallowRule(),
         KernelContractRule(),
         BatchableParityRule(),
     ]

@@ -1,0 +1,88 @@
+"""Robustness lint rules.
+
+The fault-tolerant runtime (``repro.runtime``) works because every
+swallowed exception is *accounted for*: quarantined expressions land on
+the :class:`~repro.runtime.RuntimeReport`, skipped checkpoints carry
+their reasons, retries warn before falling back. A handler that
+silently eats everything defeats all of that — the fault vanishes and
+the first symptom is a wrong number three stages later.
+
+* ``except-swallow`` — flags two shapes:
+
+  - a bare ``except:`` (any body) — it also catches
+    ``KeyboardInterrupt``/``SystemExit``, so even a well-meaning handler
+    turns Ctrl-C into silence;
+  - ``except Exception:`` / ``except BaseException:`` (alone or inside a
+    tuple) whose body is inert — only ``pass``, ``...`` or ``continue``
+    — i.e. the fault is dropped without being recorded, transformed, or
+    re-raised.
+
+  Handlers that do real work with a broad catch (quarantine, degraded
+  serving) are allowed; genuinely intentional swallows must carry a
+  ``# repro: ignore[except-swallow] <why>`` audit comment on the
+  ``except`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .linter import LintContext, LintRule, SourceModule
+
+#: Exception names considered "catches everything".
+BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler_type: "ast.expr | None") -> bool:
+    """Whether the handler's type expression catches every Exception."""
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in BROAD_EXCEPTION_NAMES
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(elt) for elt in handler_type.elts)
+    return False
+
+
+def _is_inert(body: "list[ast.stmt]") -> bool:
+    """Whether the handler body drops the fault without a trace."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+class ExceptSwallowRule(LintRule):
+    rule_id = "except-swallow"
+
+    def check_module(self, module: SourceModule, ctx: LintContext):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule=self.rule_id,
+                    message=(
+                        "bare 'except:' also catches KeyboardInterrupt and "
+                        "SystemExit — catch Exception (or something "
+                        "narrower) explicitly"
+                    ),
+                )
+            elif _is_broad(node.type) and _is_inert(node.body):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule=self.rule_id,
+                    message=(
+                        "broad except with an inert body silently swallows "
+                        "the fault — record it (quarantine/report/log), "
+                        "narrow the exception type, or suppress with an "
+                        "audit comment"
+                    ),
+                )

@@ -27,7 +27,9 @@ import argparse
 import sys
 from pathlib import Path
 
+from .core.pipeline import SAFE
 from .core.transform import FeatureTransformer
+from .exceptions import ReproError
 from .experiments.runner import METHOD_ORDER, make_method
 from .metrics import roc_auc_score
 from .models import PAPER_CLASSIFIERS, make_classifier
@@ -48,7 +50,12 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         n_iterations=args.iterations,
         max_output_features=args.max_features,
     )
-    transformer = method.fit(train, valid)
+    if isinstance(method, SAFE):
+        transformer = method.fit(
+            train, valid, checkpoint_dir=args.checkpoint_dir
+        )
+    else:
+        transformer = method.fit(train, valid)
     transformer.save(args.plan)
     print(f"fitted {args.method}: {transformer.n_output_features} features "
           f"-> {args.plan}")
@@ -63,7 +70,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     if data.names != transformer.original_names:
         # Column order may differ between exports; realign by name.
         data = data.select(list(transformer.original_names))
-    out = transformer.transform(data)
+    out = transformer.transform(data, errors=args.errors)
     save_csv(out, args.output, label_column=args.label_column)
     print(f"transformed {out.n_rows} rows x {out.n_cols} features -> {args.output}")
     return 0
@@ -135,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--max-features", type=int, default=None)
     fit.add_argument("--label-column", default="label")
     fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--checkpoint-dir", type=Path, default=None,
+                     help="persist per-iteration checkpoints here (SAFE only); "
+                          "a restarted fit pointed at the same directory "
+                          "resumes from the last completed iteration")
     fit.add_argument("--show", type=int, default=10,
                      help="number of feature formulas to print")
     fit.set_defaults(func=_cmd_fit)
@@ -144,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument("--input", required=True, type=Path)
     transform.add_argument("--output", required=True, type=Path)
     transform.add_argument("--label-column", default="label")
+    transform.add_argument("--errors", default="raise",
+                           choices=["raise", "null"],
+                           help="'null' serves degraded: a failing expression "
+                                "yields a NaN column instead of aborting")
     transform.set_defaults(func=_cmd_transform)
 
     evaluate = sub.add_parser("evaluate", help="AUC of original vs plan features")
@@ -190,6 +205,13 @@ def main(argv: "list[str] | None" = None) -> int:
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): exit quietly.
         return 0
+    except ReproError as exc:
+        # Expected, user-actionable failures (bad file, schema mismatch,
+        # invalid configuration): one line on stderr, exit 2 — distinct
+        # from exit 1, which subcommands use for "ran fine, found
+        # problems" (lint findings, rejected plans).
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

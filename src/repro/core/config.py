@@ -58,6 +58,13 @@ class SAFEConfig:
         the combination-ranking stage (§IV-E.2's "calculated in
         parallel" requirement; ranking chunks over combinations). ``1``
         (default) is fully serial; ``-1`` uses every core.
+    on_operator_error:
+        ``"quarantine"`` (default) removes an expression whose operator
+        raises — or whose generated column has no finite value — from
+        the iteration, records it on the
+        :class:`~repro.runtime.RuntimeReport`, and continues the fit;
+        ``"raise"`` restores strict fail-fast semantics (the fault
+        aborts the fit).
     random_state:
         Seed for all internal randomness.
     """
@@ -78,6 +85,7 @@ class SAFEConfig:
     ranking_max_depth: int = 4
     keep_originals: bool = True
     n_jobs: int = 1
+    on_operator_error: str = "quarantine"
     random_state: "int | None" = 0
 
     def __post_init__(self) -> None:
@@ -101,5 +109,9 @@ class SAFEConfig:
             raise ConfigurationError("internal GBM tree counts must be >= 1")
         if self.n_jobs != -1 and self.n_jobs < 1:
             raise ConfigurationError("n_jobs must be >= 1 or -1 for all cores")
+        if self.on_operator_error not in ("quarantine", "raise"):
+            raise ConfigurationError(
+                "on_operator_error must be 'quarantine' or 'raise'"
+            )
         # Fail fast on unknown operator names.
         resolve_operators(self.operators)

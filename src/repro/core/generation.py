@@ -28,6 +28,8 @@ from ..boosting.tree import TreePath
 from ..operators.base import Operator, resolve_operators
 from ..operators.engine import EvalCache, batch_populate_cache
 from ..operators.expressions import Applied, Expression
+from ..runtime.failpoints import failpoint
+from ..runtime.report import QuarantineRecord
 
 
 @dataclass(frozen=True)
@@ -160,6 +162,7 @@ def generate_features(
     existing_keys: "set[str]",
     cache: "EvalCache | None" = None,
     n_jobs: int = 1,
+    quarantine: "list[QuarantineRecord] | None" = None,
 ) -> list[Expression]:
     """Apply operators to ranked combinations (line 6).
 
@@ -186,6 +189,16 @@ def generate_features(
     the supplied ``cache`` is then repopulated in the parent with one
     batched kernel pass over the merged result, so downstream forest
     evaluation still reuses vectorized columns.
+
+    ``quarantine``: pass a list to enable expression quarantine — an
+    operator that raises, or whose column comes back with *no* finite
+    value, is dropped from the output (one
+    :class:`~repro.runtime.QuarantineRecord` appended per casualty) and
+    generation continues, instead of the fault aborting the whole fit.
+    With ``quarantine=None`` (the default, and the baselines' path)
+    operator faults propagate exactly as before. On a fault-free run
+    both modes return identical expressions with identical cached
+    columns.
     """
     if n_jobs != 1 and len(ranked) > 1:
         from ..parallel import parallel_generate_features, resolve_n_jobs
@@ -193,7 +206,7 @@ def generate_features(
         if resolve_n_jobs(n_jobs) > 1:
             out = parallel_generate_features(
                 ranked, operator_names, base_expressions, X_original,
-                existing_keys, n_jobs=n_jobs,
+                existing_keys, n_jobs=n_jobs, quarantine=quarantine,
             )
             if cache is not None:
                 batch_populate_cache(cache, out)
@@ -222,6 +235,15 @@ def generate_features(
                 seen.add(key)
                 plan.append((op, children))
 
+    if quarantine is not None:
+        return _generate_with_quarantine(plan, cache, quarantine)
+
+    # Chaos hook: in strict mode (quarantine=None) a planned expression's
+    # fault aborts the fit. Fires once per planned expression so nth:K
+    # targets the same expression in either mode.
+    for _ in plan:
+        failpoint("generation.operator")
+
     # Pass 2: vectorized kernels — every stateless operator is applied
     # once to the stacked (n, m) block of all its arrangements, columns
     # stored back into the cache.
@@ -238,6 +260,63 @@ def generate_features(
             state = op.fit(*(cache.column(c) for c in children))
             exprs[i] = Applied(op.name, children, state)
     return [e for e in exprs if e is not None]
+
+
+def _generate_with_quarantine(
+    plan: "list[tuple[Operator, tuple[Expression, ...]]]",
+    cache: EvalCache,
+    quarantine: "list[QuarantineRecord]",
+) -> list[Expression]:
+    """Fault-isolating variant of generation passes 2 and 3.
+
+    Stateless batchable operators still take the one-kernel-per-operator
+    fast path; if a batched call blows up, the whole group silently drops
+    to the per-expression loop below where the *individual* failing
+    expressions are identified and quarantined (and the healthy ones
+    still produced). Every planned expression is then materialized once
+    through the cache — the same columns the batch pass stored, so a
+    fault-free run is bit-identical to the non-quarantine path — and
+    screened: a raise or an all-non-finite column removes the expression
+    from this iteration instead of aborting the fit. The
+    ``generation.operator`` failpoint fires once per planned expression.
+    """
+    stateless = [
+        Applied(op.name, children, None)
+        for op, children in plan
+        if not op.is_stateful
+    ]
+    try:
+        batch_populate_cache(cache, stateless)
+    except Exception:  # repro: ignore[except-swallow] failures re-surface per-expression below
+        pass
+
+    out: "list[Expression]" = []
+    for op, children in plan:
+        key = op.format(*(c.key for c in children))
+        try:
+            failpoint("generation.operator")
+            if op.is_stateful:
+                state = op.fit(*(cache.column(c) for c in children))
+                expr: Expression = Applied(op.name, children, state)
+            else:
+                expr = Applied(op.name, children, None)
+            column = cache.column(expr)
+        except Exception as exc:
+            quarantine.append(
+                QuarantineRecord(key=key, operator=op.name, reason=repr(exc))
+            )
+            continue
+        if column.size and not np.isfinite(column).any():
+            quarantine.append(
+                QuarantineRecord(
+                    key=key,
+                    operator=op.name,
+                    reason="column is entirely non-finite",
+                )
+            )
+            continue
+        out.append(expr)
+    return out
 
 
 def search_space_size(n_features: int, operator_counts: "dict[int, int]") -> float:

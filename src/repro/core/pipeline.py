@@ -26,6 +26,13 @@ import numpy as np
 from ..exceptions import DataError
 from ..operators.engine import EvalCache, evaluate_forest
 from ..operators.expressions import Expression, Var
+from ..runtime.checkpoint import (
+    CheckpointManager,
+    config_fingerprint,
+    schema_fingerprint,
+)
+from ..runtime.failpoints import failpoint
+from ..runtime.report import QuarantineRecord, RuntimeReport
 from ..tabular.dataset import Dataset
 from ..tabular.preprocess import clean_matrix
 from ..utils import Timer
@@ -43,15 +50,48 @@ from .transform import FeatureTransformer
 
 @dataclass(frozen=True)
 class IterationTrace:
-    """Diagnostics recorded for one Algorithm 1 iteration."""
+    """Diagnostics recorded for one Algorithm 1 iteration.
+
+    ``selection`` is ``None`` on traces restored from a checkpoint (only
+    the scalar counters are persisted); live iterations always carry the
+    full :class:`SelectionReport`.
+    """
 
     iteration: int
     n_paths: int
     n_combinations: int
     n_generated: int
     n_candidates: int
-    selection: SelectionReport
+    selection: "SelectionReport | None"
     elapsed_seconds: float
+    n_quarantined: int = 0
+
+
+def _trace_scalars(trace: IterationTrace) -> dict:
+    """The checkpoint-persisted (JSON-scalar) subset of one trace."""
+    return {
+        "iteration": trace.iteration,
+        "n_paths": trace.n_paths,
+        "n_combinations": trace.n_combinations,
+        "n_generated": trace.n_generated,
+        "n_candidates": trace.n_candidates,
+        "elapsed_seconds": trace.elapsed_seconds,
+        "n_quarantined": trace.n_quarantined,
+    }
+
+
+def _trace_from_scalars(payload: dict) -> IterationTrace:
+    """Rebuild a (selection-less) trace from checkpointed scalars."""
+    return IterationTrace(
+        iteration=int(payload.get("iteration", 0)),
+        n_paths=int(payload.get("n_paths", 0)),
+        n_combinations=int(payload.get("n_combinations", 0)),
+        n_generated=int(payload.get("n_generated", 0)),
+        n_candidates=int(payload.get("n_candidates", 0)),
+        selection=None,
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        n_quarantined=int(payload.get("n_quarantined", 0)),
+    )
 
 
 @dataclass
@@ -68,10 +108,27 @@ class SAFE(AutoFeatureEngineer):
 
     #: Per-iteration diagnostics populated by :meth:`fit`.
     traces_: list = field(default_factory=list, repr=False)
+    #: Fault/degradation bookkeeping of the last :meth:`fit` run.
+    runtime_report_: RuntimeReport = field(default_factory=RuntimeReport, repr=False)
 
     def fit(
-        self, train: Dataset, valid: "Dataset | None" = None
+        self,
+        train: Dataset,
+        valid: "Dataset | None" = None,
+        checkpoint_dir: "str | None" = None,
     ) -> FeatureTransformer:
+        """Run Algorithm 1; see the module docstring for the stages.
+
+        ``checkpoint_dir`` enables fault tolerance across process death:
+        after every completed iteration the survivor expressions and
+        trace scalars are atomically persisted there, and a *restarted*
+        fit pointed at the same directory resumes from the newest valid
+        checkpoint whose config/schema fingerprint matches this fit —
+        producing the same Ψ as an uninterrupted run (iterations are
+        deterministic functions of the restored expressions, the data,
+        and the seed). Corrupt or mismatched checkpoints are skipped
+        (recorded on :attr:`runtime_report_`), never trusted.
+        """
         cfg = self.config
         y = train.require_labels()
         if np.unique(y).size < 2:
@@ -95,7 +152,27 @@ class SAFE(AutoFeatureEngineer):
 
         timer = Timer()
         self.traces_ = []
-        for iteration in range(cfg.n_iterations):
+        runtime_report = RuntimeReport()
+        self.runtime_report_ = runtime_report
+        fingerprint = config_fingerprint(cfg, train.names)
+        start_iteration = 0
+        manager: "CheckpointManager | None" = None
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(checkpoint_dir)
+            state, skipped = manager.latest(expected_config_hash=fingerprint)
+            runtime_report.checkpoints_skipped.extend(skipped)
+            if state is not None:
+                # Resume: the survivors become the working feature set and
+                # their (deterministic) columns are rebuilt through the
+                # caches, exactly as iteration `state.iteration` left them.
+                expressions = list(state.expressions)
+                start_iteration = state.iteration + 1
+                runtime_report.resumed_from_iteration = state.iteration
+                self.traces_ = [_trace_from_scalars(t) for t in state.traces]
+                X_cur = evaluate_forest(expressions, cache=train_cache)
+                if valid_cache is not None:
+                    X_valid_cur = evaluate_forest(expressions, cache=valid_cache)
+        for iteration in range(start_iteration, cfg.n_iterations):
             if (
                 cfg.time_budget_seconds is not None
                 and timer.elapsed() >= cfg.time_budget_seconds
@@ -128,6 +205,9 @@ class SAFE(AutoFeatureEngineer):
                 X_fit, y, combos, gamma=cfg.gamma, n_jobs=cfg.n_jobs
             )
             existing = {e.key for e in expressions}
+            quarantined: "list[QuarantineRecord] | None" = (
+                [] if cfg.on_operator_error == "quarantine" else None
+            )
             new_exprs = generate_features(
                 ranked,
                 cfg.operators,
@@ -136,7 +216,10 @@ class SAFE(AutoFeatureEngineer):
                 existing_keys=existing,
                 cache=train_cache,
                 n_jobs=cfg.n_jobs,
+                quarantine=quarantined,
             )
+            if quarantined:
+                runtime_report.record_quarantine(iteration, quarantined)
             if not new_exprs and iteration > 0:
                 break  # nothing new to add; feature set has stabilized
 
@@ -194,8 +277,20 @@ class SAFE(AutoFeatureEngineer):
                     n_candidates=len(candidates),
                     selection=report,
                     elapsed_seconds=iter_timer.elapsed(),
+                    n_quarantined=len(quarantined) if quarantined else 0,
                 )
             )
+            if manager is not None:
+                manager.save(
+                    iteration,
+                    expressions,
+                    fingerprint,
+                    traces=[_trace_scalars(t) for t in self.traces_],
+                )
+                runtime_report.checkpoints_written += 1
+            # Chaos hook: lets tests kill the fit between iterations (after
+            # the checkpoint landed) and assert a clean resume.
+            failpoint("pipeline.iteration")
 
         return FeatureTransformer(
             expressions=tuple(expressions),
@@ -204,5 +299,7 @@ class SAFE(AutoFeatureEngineer):
                 "method": self.name,
                 "n_iterations_run": len(self.traces_),
                 "operators": list(cfg.operators),
+                "schema_hash": schema_fingerprint(train.names),
+                "config_hash": fingerprint,
             },
         )

@@ -30,6 +30,7 @@ import numpy as np
 from ..boosting.gbm import GradientBoostingClassifier
 from ..exceptions import DataError
 from ..metrics.information import information_values
+from ..runtime.failpoints import failpoint
 from .redundancy import DEFAULT_BLOCK_SIZE, remove_redundant_features_blocked
 
 
@@ -151,6 +152,8 @@ def select_features(
     n_jobs: int = 1,
 ) -> SelectionReport:
     """Run the full three-stage pipeline; returns indices into ``X``."""
+    # Chaos hook: lets tests kill a fit inside the selection stage.
+    failpoint("selection.select")
     kept_iv, ivs = filter_by_information_value(X, y, alpha, iv_bins, n_jobs=n_jobs)
     # The blocked kernel gathers candidate columns straight from X one
     # block at a time, so the IV survivors are never fancy-index copied

@@ -20,13 +20,15 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import DataError, SchemaError
-from ..operators.engine import evaluate_forest
+from ..exceptions import ConfigurationError, DataError, ReproError, SchemaError
+from ..operators.engine import EvalCache, evaluate_forest
 from ..operators.expressions import (
     Expression,
     Var,
     expression_from_dict,
 )
+from ..runtime.checkpoint import schema_fingerprint
+from ..runtime.failpoints import failpoint
 from ..tabular.dataset import Dataset
 
 
@@ -58,6 +60,26 @@ class FeatureTransformer:
                 raise SchemaError(
                     f"expression {expr.key} references missing columns {bad}"
                 )
+        self._verify_schema_hash()
+
+    def _verify_schema_hash(self) -> None:
+        """Check the fit-time schema hash against ``original_names``.
+
+        Plans fitted by :class:`~repro.core.SAFE` carry
+        ``metadata["schema_hash"]``; a mismatch means the plan's column
+        schema was altered after fit (hand-edited JSON, a bad merge) and
+        serving it would silently bind expressions to the wrong columns.
+        Plans without the key (pre-hash saves, hand-built transformers)
+        are accepted unchanged.
+        """
+        stored = None
+        if isinstance(self.metadata, dict):
+            stored = self.metadata.get("schema_hash")
+        if stored is not None and stored != schema_fingerprint(self.original_names):
+            raise SchemaError(
+                "schema hash mismatch: this plan's original_names were "
+                "modified after fit; refusing to serve it"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -79,8 +101,24 @@ class FeatureTransformer:
         return tuple(e for e in self.expressions if not isinstance(e, Var))
 
     # ------------------------------------------------------------------
-    def transform_matrix(self, X: np.ndarray) -> np.ndarray:
-        """Raw-matrix variant of :meth:`transform` (accepts a single row)."""
+    def transform_matrix(
+        self, X: np.ndarray, errors: str = "raise"
+    ) -> np.ndarray:
+        """Raw-matrix variant of :meth:`transform` (accepts a single row).
+
+        ``errors`` selects the serving failure mode:
+
+        * ``"raise"`` (default) — a failing expression propagates, as
+          before (bit-identical fast path through the batched engine);
+        * ``"null"`` — each expression is evaluated in isolation (shared
+          subtrees still cached once) and a failing one yields a NaN
+          column, so one pathological request degrades one feature
+          instead of turning the whole scoring call into a 500.
+        """
+        if errors not in ("raise", "null"):
+            raise ConfigurationError(
+                f"errors must be 'raise' or 'null', got {errors!r}"
+            )
         X = np.asarray(X, dtype=np.float64)
         single = X.ndim == 1
         if single:
@@ -90,21 +128,45 @@ class FeatureTransformer:
                 f"input has {X.shape[1]} columns, transformer expects "
                 f"{len(self.original_names)}"
             )
-        # CSE engine: shared subtrees across the plan's expressions are
-        # evaluated once per call (bit-identical to the scalar reference).
-        out = evaluate_forest(list(self.expressions), X)
+        self._verify_schema_hash()
+        if errors == "raise":
+            # Chaos hook: fail the whole call, as an unhandled operator
+            # fault would.
+            failpoint("transform.evaluate")
+            # CSE engine: shared subtrees across the plan's expressions
+            # are evaluated once per call (bit-identical to the scalar
+            # reference).
+            out = evaluate_forest(list(self.expressions), X)
+            return out[0] if single else out
+        cache = EvalCache(X)
+        out = np.empty(
+            (X.shape[0], len(self.expressions)), dtype=np.float64, order="F"
+        )
+        for j, expr in enumerate(self.expressions):
+            try:
+                # Chaos hook: fires once per expression under errors="null".
+                failpoint("transform.evaluate")
+                out[:, j] = cache.column(expr)
+            except Exception:  # repro: ignore[except-swallow] degraded serving: the NaN column is the record
+                out[:, j] = np.nan
         return out[0] if single else out
 
-    def transform(self, data: "Dataset | np.ndarray") -> "Dataset | np.ndarray":
-        """Apply Ψ; Dataset in → Dataset out (labels preserved)."""
+    def transform(
+        self, data: "Dataset | np.ndarray", errors: str = "raise"
+    ) -> "Dataset | np.ndarray":
+        """Apply Ψ; Dataset in → Dataset out (labels preserved).
+
+        ``errors="null"`` serves degraded instead of failing: expressions
+        that raise produce NaN columns (see :meth:`transform_matrix`).
+        """
         if isinstance(data, Dataset):
             if data.names != self.original_names:
                 raise SchemaError(
                     "dataset columns do not match the transformer's schema"
                 )
-            block = self.transform_matrix(data.X)
+            block = self.transform_matrix(data.X, errors=errors)
             return Dataset(X=block, names=self._output_names(), y=data.y)
-        return self.transform_matrix(data)
+        return self.transform_matrix(data, errors=errors)
 
     def _output_names(self) -> tuple[str, ...]:
         """Unique output column names (formulas, deduped if ever needed).
@@ -159,7 +221,32 @@ class FeatureTransformer:
 
     @classmethod
     def load(cls, path: "str | Path") -> "FeatureTransformer":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load a plan, wrapping file/format faults into :class:`ReproError`.
+
+        A missing/unreadable file or invalid JSON raises
+        :class:`~repro.exceptions.DataError`; a structurally broken plan
+        (missing keys, wrong shapes) raises
+        :class:`~repro.exceptions.SchemaError`. Both carry the file path,
+        so serving code can log one actionable line instead of a raw
+        ``KeyError`` deep inside deserialization.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise DataError(f"cannot read plan file {path}: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"plan file {path} is not valid JSON: {exc}") from exc
+        try:
+            return cls.from_dict(payload)
+        except ReproError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SchemaError(
+                f"plan file {path} is malformed: {type(exc).__name__}: {exc}"
+            ) from exc
 
     def describe(self) -> str:
         """Multi-line human-readable summary of the plan."""

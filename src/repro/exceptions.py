@@ -30,3 +30,15 @@ class SchemaError(DataError):
 
 class OperatorError(ReproError, ValueError):
     """An operator was applied with the wrong arity or invalid inputs."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A fit checkpoint is missing, corrupt, or from another config."""
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed."""
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """Raised by an activated failpoint (fault injection; never in production)."""

@@ -21,20 +21,130 @@ Design notes:
   so the default configuration has zero overhead;
 * workers receive ``(chunk_of_columns, labels)`` and return plain float
   lists, keeping the picklable surface small.
+
+Fault tolerance: every pool execution goes through :func:`_run_pool`,
+which (a) retries infrastructure failures — ``BrokenProcessPool``,
+pickling errors, per-attempt timeouts — under a
+:class:`~repro.runtime.RetryPolicy`, (b) falls back to in-process
+serial execution with a warning when the retries are exhausted (a
+degraded fit beats a crashed one), and (c) detects environments where a
+``ProcessPoolExecutor`` cannot start at all (sandboxed CI without
+semaphores / ``/dev/shm``) and switches this process to serial with a
+single warning. The ``parallel.pool`` failpoint sits inside each
+attempt so chaos tests can kill the pool deterministically. Because the
+serial fallback runs the exact same chunk payloads in order, results
+are identical to a healthy pool run.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
-from .exceptions import ConfigurationError
+from .exceptions import ConfigurationError, InjectedFault
+from .runtime.failpoints import failpoint
+from .runtime.retry import RetryPolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Default policy for pool attempts; swap via :func:`set_retry_policy`.
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=1.0)
+
+#: Infrastructure failures worth retrying (data errors are not).
+_RETRYABLE = (
+    BrokenProcessPool,
+    FuturesTimeoutError,
+    pickle.PicklingError,
+    InjectedFault,
+)
+
+_retry_policy = DEFAULT_RETRY_POLICY
+
+#: Set once this process has proven unable to start a pool.
+_pool_unavailable = False
+
+
+def set_retry_policy(policy: "RetryPolicy | None") -> RetryPolicy:
+    """Install the pool retry policy (``None`` restores the default)."""
+    global _retry_policy
+    _retry_policy = DEFAULT_RETRY_POLICY if policy is None else policy
+    return _retry_policy
+
+
+def _reset_pool_state() -> None:
+    """Forget a recorded pool-unavailable verdict (test hook)."""
+    global _pool_unavailable
+    _pool_unavailable = False
+
+
+def _serial(worker: Callable[[T], R], payloads: Sequence[T]) -> "list[R]":
+    return [worker(payload) for payload in payloads]
+
+
+def _run_pool(
+    worker: Callable[[T], R],
+    payloads: Sequence[T],
+    max_workers: int,
+    label: str,
+) -> "list[R]":
+    """Execute chunk payloads on a process pool, surviving pool faults.
+
+    Result order always matches ``payloads``. Exceptions raised *by the
+    worker about its data* propagate unchanged on the first attempt —
+    only infrastructure failures (broken pool, pickling, timeout,
+    injected faults) are retried and, on exhaustion, degraded to serial
+    in-process execution with a warning.
+    """
+    global _pool_unavailable
+    if _pool_unavailable:
+        return _serial(worker, payloads)
+    policy = _retry_policy
+    last: "BaseException | None" = None
+    for delay in policy.delays():
+        if delay > 0.0:
+            policy_sleep(delay)
+        try:
+            failpoint("parallel.pool")
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(
+                    pool.map(worker, payloads, timeout=policy.per_attempt_timeout)
+                )
+        except _RETRYABLE as exc:
+            last = exc
+        except (OSError, ImportError, NotImplementedError) as exc:
+            # The executor machinery itself cannot run here (no
+            # semaphores, read-only /dev/shm, sandboxed CI): remember the
+            # verdict and warn exactly once for the whole process.
+            _pool_unavailable = True
+            warnings.warn(
+                "process pools are unavailable in this environment "
+                f"({exc!r}); running all parallel work serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return _serial(worker, payloads)
+    warnings.warn(
+        f"parallel {label} failed after {policy.max_attempts} attempt(s) "
+        f"({last!r}); falling back to serial in-process execution",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return _serial(worker, payloads)
+
+
+def policy_sleep(seconds: float) -> None:
+    """Indirection over ``time.sleep`` so tests can stub backoff waits."""
+    import time
+
+    time.sleep(seconds)
 
 
 def resolve_n_jobs(n_jobs: "int | None") -> int:
@@ -69,8 +179,7 @@ def parallel_map(
     jobs = resolve_n_jobs(n_jobs)
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, items))
+    return _run_pool(fn, items, jobs, "map")
 
 
 def _iv_chunk(payload: "tuple[np.ndarray, np.ndarray, int]") -> list[float]:
@@ -100,8 +209,7 @@ def parallel_information_values(
         return information_values_safe(X, y, n_bins)
     chunks = chunk_indices(X.shape[1], jobs)
     payloads = [(np.ascontiguousarray(X[:, idx]), y, n_bins) for idx in chunks]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results = list(pool.map(_iv_chunk, payloads))
+    results = _run_pool(_iv_chunk, payloads, jobs, "information-value")
     out = np.empty(X.shape[1])
     for idx, values in zip(chunks, results):
         out[idx] = values
@@ -149,22 +257,30 @@ def parallel_score_combinations(
             for combo in block
         ]
         payloads.append((np.ascontiguousarray(X[:, cols]), y, narrowed))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results = list(pool.map(_rank_chunk, payloads))
+    results = _run_pool(_rank_chunk, payloads, jobs, "ranking")
     out = np.empty(len(combos))
     for idx, values in zip(chunks, results):
         out[idx] = values
     return out
 
 
-def _generate_chunk(payload: "tuple[list, tuple, list, np.ndarray, set]") -> list:
-    """Worker: generated expressions for a block of ranked combinations."""
-    ranked, operator_names, base_expressions, X, existing = payload
+def _generate_chunk(
+    payload: "tuple[list, tuple, list, np.ndarray, set, bool]",
+) -> "tuple[list, list]":
+    """Worker: generated expressions (+ quarantine) for ranked combinations."""
+    ranked, operator_names, base_expressions, X, existing, quarantine_on = payload
     from .core.generation import generate_features
 
-    return generate_features(
-        ranked, operator_names, base_expressions, X, existing_keys=existing
+    quarantine: list = [] if quarantine_on else None
+    exprs = generate_features(
+        ranked,
+        operator_names,
+        base_expressions,
+        X,
+        existing_keys=existing,
+        quarantine=quarantine,
     )
+    return exprs, (quarantine or [])
 
 
 def parallel_generate_features(
@@ -174,6 +290,7 @@ def parallel_generate_features(
     X: np.ndarray,
     existing_keys: "set[str]",
     n_jobs: "int | None" = None,
+    quarantine: "list | None" = None,
 ) -> list:
     """Feature generation (Algorithm 1 line 6), chunked over combinations.
 
@@ -182,13 +299,18 @@ def parallel_generate_features(
     trees (with fitted state) travel back over IPC. Because stateful fits
     are deterministic functions of ``X``, merging the chunks in order and
     dropping later duplicates reproduces the serial output exactly.
+    ``quarantine`` (a list, or None to disable) receives
+    :class:`~repro.runtime.QuarantineRecord` entries collected inside the
+    workers, deduplicated by expression key like the expressions
+    themselves.
     """
     jobs = resolve_n_jobs(n_jobs)
     from .core.generation import generate_features
 
     if jobs == 1 or len(ranked) <= 1:
         return generate_features(
-            ranked, operator_names, base_expressions, X, existing_keys
+            ranked, operator_names, base_expressions, X, existing_keys,
+            quarantine=quarantine,
         )
     chunks = chunk_indices(len(ranked), jobs)
     existing = set(existing_keys)
@@ -199,19 +321,27 @@ def parallel_generate_features(
             list(base_expressions),
             X,
             existing,
+            quarantine is not None,
         )
         for idx in chunks
     ]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results = list(pool.map(_generate_chunk, payloads))
+    results = _run_pool(_generate_chunk, payloads, jobs, "generation")
     out: list = []
     seen = set(existing)
-    for block in results:
+    quarantined_keys: set = set()
+    for block, records in results:
         for expr in block:
             if expr.key in seen:
                 continue
             seen.add(expr.key)
             out.append(expr)
+        if quarantine is None:
+            continue
+        for record in records:
+            if record.key in quarantined_keys:
+                continue
+            quarantined_keys.add(record.key)
+            quarantine.append(record)
     return out
 
 
@@ -266,8 +396,7 @@ def parallel_max_abs_correlation(
         )
         for idx in chunks
     ]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results = list(pool.map(_corr_chunk, payloads))
+    results = _run_pool(_corr_chunk, payloads, jobs, "redundancy")
     out = np.empty(Z.shape[1])
     for idx, values in zip(chunks, results):
         out[idx] = values
@@ -297,8 +426,7 @@ def parallel_information_gains(
         return np.asarray(_ig_chunk((X, y, n_bins)))
     chunks = chunk_indices(X.shape[1], jobs)
     payloads = [(np.ascontiguousarray(X[:, idx]), y, n_bins) for idx in chunks]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results = list(pool.map(_ig_chunk, payloads))
+    results = _run_pool(_ig_chunk, payloads, jobs, "information-gain")
     out = np.empty(X.shape[1])
     for idx, values in zip(chunks, results):
         out[idx] = values

@@ -1,0 +1,55 @@
+"""Fault-tolerant runtime for fit and serve.
+
+Four pieces, layered under the SAFE pipeline and the serving path:
+
+* :mod:`~repro.runtime.failpoints` — named, deterministically
+  triggerable fault-injection sites (chaos tests drive every other
+  piece through these);
+* :mod:`~repro.runtime.retry` — :class:`RetryPolicy` (bounded attempts,
+  exponential backoff with seeded jitter, per-attempt timeout) used by
+  the process-pool paths in :mod:`repro.parallel`;
+* :mod:`~repro.runtime.checkpoint` — atomic, checksummed per-iteration
+  fit checkpoints with corrupt-file detection and config/schema
+  fingerprints;
+* :mod:`~repro.runtime.report` — :class:`RuntimeReport` /
+  :class:`QuarantineRecord`, the fit's degraded-mode bookkeeping.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointManager,
+    CheckpointState,
+    config_fingerprint,
+    schema_fingerprint,
+)
+from .failpoints import (
+    ENV_VAR,
+    FAILPOINTS,
+    KNOWN_SITES,
+    Activation,
+    FailpointRegistry,
+    active,
+    failpoint,
+    parse_spec,
+)
+from .report import QuarantineRecord, RuntimeReport
+from .retry import RetryPolicy
+
+__all__ = [
+    "Activation",
+    "CHECKPOINT_FORMAT",
+    "CheckpointManager",
+    "CheckpointState",
+    "ENV_VAR",
+    "FAILPOINTS",
+    "FailpointRegistry",
+    "KNOWN_SITES",
+    "QuarantineRecord",
+    "RetryPolicy",
+    "RuntimeReport",
+    "active",
+    "config_fingerprint",
+    "failpoint",
+    "parse_spec",
+    "schema_fingerprint",
+]

@@ -1,0 +1,200 @@
+"""Checkpoint/resume for ``SAFE.fit``: atomic, checksummed, versioned.
+
+After every completed Algorithm 1 iteration the pipeline can persist the
+survivor expressions (the same JSON rendering
+:meth:`repro.core.FeatureTransformer.save` uses), a fingerprint of the
+config + input schema, and the iteration trace scalars. A restarted fit
+with the same ``checkpoint_dir`` resumes from the newest checkpoint that
+
+* parses as JSON,
+* carries a matching payload checksum (truncated/corrupt files are
+  *skipped with a warning*, never trusted),
+* and matches the running fit's config fingerprint (a checkpoint from a
+  different config or dataset schema must not seed this fit).
+
+Writes are crash-safe: the record goes to a hidden temp file first
+(``fsync``'d) and is atomically renamed into place, so a process killed
+mid-write leaves the previous checkpoint intact. The
+``checkpoint.write`` failpoint sits between the two halves of the temp
+write and the ``checkpoint.read`` failpoint at the top of ``load``, so
+chaos tests can cut a write short or poison reads deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..exceptions import CheckpointError, InjectedFault
+from ..operators.expressions import Expression, expression_from_dict
+from .failpoints import failpoint
+
+#: Format tag embedded in (and required of) every checkpoint record.
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+_FILE_TEMPLATE = "iter_{:05d}.json"
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def schema_fingerprint(names: Sequence[str]) -> str:
+    """Stable hash of an input schema (ordered column names)."""
+    return _sha256(json.dumps(list(names)))
+
+
+def config_fingerprint(config, names: Sequence[str]) -> str:
+    """Stable hash of a fit's config + input schema.
+
+    ``config`` is any dataclass (in practice
+    :class:`~repro.core.SAFEConfig`); non-JSON field values are rendered
+    via ``str`` so custom operator tuples etc. still fingerprint stably.
+    """
+    if dataclasses.is_dataclass(config):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = dict(config)
+    body = {"config": payload, "schema": list(names)}
+    return _sha256(json.dumps(body, sort_keys=True, default=str))
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """One validated checkpoint: where the fit can resume from."""
+
+    iteration: int
+    expressions: tuple[Expression, ...]
+    config_hash: str
+    traces: tuple[dict, ...]
+    path: str
+
+
+class CheckpointManager:
+    """Owns one checkpoint directory: save, validate, pick latest."""
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, iteration: int) -> Path:
+        return self.directory.joinpath(_FILE_TEMPLATE.format(iteration))
+
+    def checkpoint_paths(self) -> "list[Path]":
+        """Checkpoint files, newest iteration first."""
+        return sorted(self.directory.glob("iter_*.json"), reverse=True)
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        iteration: int,
+        expressions: Sequence[Expression],
+        config_hash: str,
+        traces: Sequence[dict] = (),
+    ) -> Path:
+        """Atomically persist the state after ``iteration`` (0-based)."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "iteration": int(iteration),
+            "config_hash": config_hash,
+            "expressions": [e.to_dict() for e in expressions],
+            "traces": [dict(t) for t in traces],
+        }
+        record = {
+            "checksum": _sha256(json.dumps(payload, sort_keys=True)),
+            "payload": payload,
+        }
+        text = json.dumps(record, indent=2)
+        path = self.path_for(iteration)
+        tmp = path.with_name(f".{path.name}.tmp")
+        half = len(text) // 2
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(text[:half])
+                # A fault here models a crash mid-write: only the hidden
+                # .tmp is partial; the previous checkpoint survives.
+                failpoint("checkpoint.write")
+                fh.write(text[half:])
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return path
+
+    # ------------------------------------------------------------------
+    def load(
+        self, path: "str | Path", expected_config_hash: "str | None" = None
+    ) -> CheckpointState:
+        """Parse + validate one checkpoint file; raise CheckpointError."""
+        failpoint("checkpoint.read")
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is not valid JSON (truncated write?): {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "payload" not in record:
+            raise CheckpointError(f"checkpoint {path} has no payload")
+        payload = record["payload"]
+        body = json.dumps(payload, sort_keys=True)
+        if record.get("checksum") != _sha256(body):
+            raise CheckpointError(
+                f"checkpoint {path} failed its checksum (corrupt or tampered)"
+            )
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {path} has format {payload.get('format')!r}, "
+                f"expected {CHECKPOINT_FORMAT!r}"
+            )
+        config_hash = payload.get("config_hash", "")
+        if expected_config_hash is not None and config_hash != expected_config_hash:
+            raise CheckpointError(
+                f"checkpoint {path} was written by a different config/schema "
+                "(fingerprint mismatch)"
+            )
+        try:
+            expressions = tuple(
+                expression_from_dict(e) for e in payload["expressions"]
+            )
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint {path} holds undecodable expressions: {exc!r}"
+            ) from exc
+        if not expressions:
+            raise CheckpointError(f"checkpoint {path} holds no expressions")
+        return CheckpointState(
+            iteration=int(payload["iteration"]),
+            expressions=expressions,
+            config_hash=config_hash,
+            traces=tuple(payload.get("traces", ())),
+            path=str(path),
+        )
+
+    def latest(
+        self, expected_config_hash: "str | None" = None
+    ) -> "tuple[CheckpointState | None, list[str]]":
+        """Newest valid checkpoint plus the skip reasons for invalid ones.
+
+        Corrupt / partial / mismatched files are *skipped* (reason
+        recorded), falling back to the next-newest candidate — a bad
+        final checkpoint must cost one iteration, not the whole run.
+        """
+        skipped: "list[str]" = []
+        for path in self.checkpoint_paths():
+            try:
+                return self.load(path, expected_config_hash), skipped
+            except (CheckpointError, InjectedFault) as exc:
+                skipped.append(str(exc))
+        return None, skipped

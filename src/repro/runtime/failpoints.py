@@ -1,0 +1,248 @@
+"""Deterministic fault-injection points (the chaos-testing substrate).
+
+A *failpoint* is a named site planted in production code that normally
+costs one dict lookup and does nothing. Tests (or an operator debugging
+a deployment) can *activate* a site so that reaching it raises — which
+turns "the worker pool died mid-fit" or "the checkpoint write was cut
+short" from an unreproducible incident into a deterministic test case.
+
+Sites are a closed registry (:data:`KNOWN_SITES`): planting a new
+``failpoint("...")`` call requires adding its name here, so the set of
+injectable faults is auditable in one place and a typo'd activation
+fails fast instead of silently never firing.
+
+Activation modes (all deterministic):
+
+* ``always`` — every hit raises;
+* ``once``   — the first hit raises, later hits pass;
+* ``nth``    — exactly the *n*-th hit of the site raises (1-based);
+* ``prob``   — each hit raises with probability *p* drawn from a
+  *seeded* ``random.Random`` stream, so a given seed yields the same
+  hit pattern on every run.
+
+Activation is per-process: via the API (:func:`activate` /
+:func:`active`, typically from a test) or via the ``REPRO_FAILPOINTS``
+environment variable, e.g.::
+
+    REPRO_FAILPOINTS="parallel.pool=nth:2,transform.evaluate=prob:0.1:42"
+
+The environment is read lazily on the first failpoint evaluation, so
+worker processes spawned with the variable set inherit the activations.
+By default a triggered site raises :class:`~repro.exceptions.InjectedFault`;
+API activations may supply another exception type (e.g.
+``BrokenProcessPool``) to emulate a specific infrastructure failure.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..exceptions import ConfigurationError, InjectedFault
+
+#: Every plantable site. Extend this set when planting a new failpoint.
+KNOWN_SITES = frozenset(
+    {
+        "parallel.pool",
+        "generation.operator",
+        "selection.select",
+        "checkpoint.write",
+        "checkpoint.read",
+        "transform.evaluate",
+        "pipeline.iteration",
+    }
+)
+
+#: Environment variable holding comma-separated ``site=spec`` activations.
+ENV_VAR = "REPRO_FAILPOINTS"
+
+_MODES = ("always", "once", "nth", "prob")
+
+
+@dataclass
+class Activation:
+    """One activated failpoint: trigger mode plus hit bookkeeping."""
+
+    name: str
+    mode: str = "always"
+    nth: "int | None" = None
+    probability: "float | None" = None
+    seed: "int | None" = 0
+    raises: type = InjectedFault
+    hits: int = 0
+    fired: int = 0
+    _rng: "random.Random | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.name not in KNOWN_SITES:
+            raise ConfigurationError(
+                f"unknown failpoint {self.name!r}; known sites: "
+                f"{sorted(KNOWN_SITES)}"
+            )
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"failpoint mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.mode == "nth":
+            if self.nth is None or self.nth < 1:
+                raise ConfigurationError("nth mode needs nth >= 1 (1-based)")
+        if self.mode == "prob":
+            if self.probability is None or not 0.0 <= self.probability <= 1.0:
+                raise ConfigurationError("prob mode needs probability in [0, 1]")
+            self._rng = random.Random(self.seed)
+
+    def should_fire(self, hit: int) -> bool:
+        """Whether the ``hit``-th evaluation (1-based) triggers the fault."""
+        if self.mode == "always":
+            return True
+        if self.mode == "once":
+            return hit == 1
+        if self.mode == "nth":
+            return hit == self.nth
+        return self._rng.random() < self.probability  # type: ignore[union-attr]
+
+
+def parse_spec(name: str, spec: str) -> Activation:
+    """Parse one ``site=spec`` value: ``always`` | ``once`` | ``nth:K`` |
+    ``prob:P[:SEED]``."""
+    parts = spec.split(":")
+    mode = parts[0].strip().lower()
+    if mode in ("always", "once") and len(parts) == 1:
+        return Activation(name, mode=mode)
+    if mode == "nth" and len(parts) == 2:
+        try:
+            return Activation(name, mode="nth", nth=int(parts[1]))
+        except ValueError as exc:
+            raise ConfigurationError(f"bad nth spec {spec!r} for {name!r}") from exc
+    if mode == "prob" and len(parts) in (2, 3):
+        try:
+            probability = float(parts[1])
+            seed = int(parts[2]) if len(parts) == 3 else 0
+        except ValueError as exc:
+            raise ConfigurationError(f"bad prob spec {spec!r} for {name!r}") from exc
+        return Activation(name, mode="prob", probability=probability, seed=seed)
+    raise ConfigurationError(
+        f"cannot parse failpoint spec {name}={spec!r} "
+        "(expected always | once | nth:K | prob:P[:SEED])"
+    )
+
+
+class FailpointRegistry:
+    """Process-wide registry of activated failpoints (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._active: "dict[str, Activation]" = {}
+        self._lock = threading.Lock()
+        self._env_loaded = False
+
+    # -- activation management -----------------------------------------
+    def activate(
+        self,
+        name: str,
+        mode: str = "always",
+        nth: "int | None" = None,
+        probability: "float | None" = None,
+        seed: "int | None" = 0,
+        raises: type = InjectedFault,
+    ) -> Activation:
+        """Arm ``name``; replaces any previous activation of the site."""
+        activation = Activation(
+            name,
+            mode=mode,
+            nth=nth,
+            probability=probability,
+            seed=seed,
+            raises=raises,
+        )
+        with self._lock:
+            self._active[name] = activation
+        return activation
+
+    def deactivate(self, name: str) -> None:
+        with self._lock:
+            self._active.pop(name, None)
+
+    def reset(self) -> None:
+        """Disarm everything (and mark the environment as consumed)."""
+        with self._lock:
+            self._active.clear()
+            self._env_loaded = True
+
+    def load_env(self, text: "str | None" = None) -> None:
+        """Apply ``REPRO_FAILPOINTS``-style activations from ``text`` (or
+        the real environment when ``None``)."""
+        if text is None:
+            text = os.environ.get(ENV_VAR, "")
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            name, sep, spec = entry.partition("=")
+            if not sep:
+                raise ConfigurationError(
+                    f"bad {ENV_VAR} entry {entry!r} (expected site=spec)"
+                )
+            activation = parse_spec(name.strip(), spec.strip())
+            with self._lock:
+                self._active[activation.name] = activation
+        with self._lock:
+            self._env_loaded = True
+
+    def active_sites(self) -> "dict[str, Activation]":
+        with self._lock:
+            return dict(self._active)
+
+    # -- the hot path ---------------------------------------------------
+    def evaluate(self, name: str) -> None:
+        """Called by planted sites; raises when the site is armed and due."""
+        if name not in KNOWN_SITES:
+            raise ConfigurationError(
+                f"failpoint site {name!r} is not registered in KNOWN_SITES"
+            )
+        if not self._env_loaded:
+            self.load_env()
+        activation = self._active.get(name)
+        if activation is None:
+            return
+        with self._lock:
+            activation.hits += 1
+            hit = activation.hits
+            fire = activation.should_fire(hit)
+            if fire:
+                activation.fired += 1
+        if fire:
+            raise activation.raises(
+                f"injected fault at failpoint {name!r} (hit {hit})"
+            )
+
+
+#: The process-wide registry used by every planted site.
+FAILPOINTS = FailpointRegistry()
+
+
+def failpoint(name: str) -> None:
+    """The planted-site entry point: near-free unless ``name`` is armed."""
+    FAILPOINTS.evaluate(name)
+
+
+@contextmanager
+def active(
+    name: str,
+    mode: str = "always",
+    nth: "int | None" = None,
+    probability: "float | None" = None,
+    seed: "int | None" = 0,
+    raises: type = InjectedFault,
+) -> Iterator[Activation]:
+    """Scoped activation for tests: armed inside the block, disarmed after."""
+    activation = FAILPOINTS.activate(
+        name, mode=mode, nth=nth, probability=probability, seed=seed, raises=raises
+    )
+    try:
+        yield activation
+    finally:
+        FAILPOINTS.deactivate(name)

@@ -1,0 +1,61 @@
+"""Runtime health report: what a fit survived, degraded, or skipped.
+
+``SAFE.fit`` exposes one :class:`RuntimeReport` per run (``runtime_report_``)
+so operators can distinguish "clean fit" from "fit that completed by
+quarantining two exploding expressions and resuming from iteration 3" —
+the paper's industrial setting demands the run completes, but completing
+*silently* would hide a degrading deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One expression removed from an iteration instead of killing the fit."""
+
+    key: str
+    operator: str
+    reason: str
+
+
+@dataclass
+class RuntimeReport:
+    """Aggregated fault/degradation bookkeeping for one ``SAFE.fit`` run."""
+
+    #: ``(iteration, record)`` for every quarantined expression.
+    quarantined: "list[tuple[int, QuarantineRecord]]" = field(default_factory=list)
+    #: Iteration a resumed fit restarted *after* (None = fresh fit).
+    resumed_from_iteration: "int | None" = None
+    #: Checkpoints successfully persisted during this run.
+    checkpoints_written: int = 0
+    #: Reasons for every checkpoint file skipped as corrupt/mismatched.
+    checkpoints_skipped: "list[str]" = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record_quarantine(self, iteration: int, records) -> None:
+        for record in records:
+            self.quarantined.append((iteration, record))
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    def summary(self) -> dict:
+        """JSON-able digest (stable keys, no objects)."""
+        return {
+            "quarantined": [
+                {
+                    "iteration": iteration,
+                    "key": record.key,
+                    "operator": record.operator,
+                    "reason": record.reason,
+                }
+                for iteration, record in self.quarantined
+            ],
+            "resumed_from_iteration": self.resumed_from_iteration,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoints_skipped": list(self.checkpoints_skipped),
+        }

@@ -241,6 +241,109 @@ class TestKernelContractRules:
         assert "batchable-parity" in _rule_ids(findings)
 
 
+class TestRobustnessRules:
+    def test_bare_except_fires(self):
+        findings = _lint_src(
+            "def f(x):\n"
+            "    try:\n"
+            "        return x + 1\n"
+            "    except:\n"
+            "        return 0\n"
+        )
+        assert "except-swallow" in _rule_ids(findings)
+
+    def test_broad_except_with_inert_body_fires(self):
+        findings = _lint_src(
+            "def f(x):\n"
+            "    try:\n"
+            "        return x + 1\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert "except-swallow" in _rule_ids(findings)
+
+    def test_broad_except_in_tuple_with_pass_fires(self):
+        findings = _lint_src(
+            "def f(x):\n"
+            "    try:\n"
+            "        return x + 1\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n"
+        )
+        assert "except-swallow" in _rule_ids(findings)
+
+    def test_broad_except_doing_real_work_not_flagged(self):
+        findings = _lint_src(
+            "def f(x, report):\n"
+            "    try:\n"
+            "        return x + 1\n"
+            "    except Exception as exc:\n"
+            "        report.append(repr(exc))\n"
+            "        return 0\n"
+        )
+        assert "except-swallow" not in _rule_ids(findings)
+
+    def test_narrow_except_with_pass_not_flagged(self):
+        findings = _lint_src(
+            "def f(x):\n"
+            "    try:\n"
+            "        return x + 1\n"
+            "    except ValueError:\n"
+            "        pass\n"
+            "    return 0\n"
+        )
+        assert "except-swallow" not in _rule_ids(findings)
+
+    def test_suppression_silences_except_swallow(self):
+        findings = _lint_src(
+            "def f(x):\n"
+            "    try:\n"
+            "        return x + 1\n"
+            "    except Exception:  # repro: ignore[except-swallow] best effort\n"
+            "        pass\n"
+        )
+        assert "except-swallow" not in _rule_ids(findings)
+
+
+class TestRuleRegistryCompleteness:
+    """Every LintRule subclass shipped in a rules_* module is registered.
+
+    A rule that exists but is missing from ``default_rules`` silently
+    never runs — neither in the CLI nor in the tier-1 gate above.
+    """
+
+    def test_every_shipped_rule_is_in_default_rules(self):
+        import importlib
+        import pkgutil
+
+        from repro import analysis
+        from repro.analysis.linter import LintRule, default_rules
+
+        registered = {type(rule) for rule in default_rules()}
+        missing = []
+        for info in pkgutil.iter_modules(analysis.__path__):
+            if not info.name.startswith("rules_"):
+                continue
+            mod = importlib.import_module(f"repro.analysis.{info.name}")
+            for name, obj in sorted(vars(mod).items()):
+                if (
+                    inspect.isclass(obj)
+                    and issubclass(obj, LintRule)
+                    and obj is not LintRule
+                    and obj.__module__ == mod.__name__
+                    and obj.rule_id
+                ):
+                    if obj not in registered:
+                        missing.append(f"{mod.__name__}.{name}")
+        assert missing == [], f"rules not registered in default_rules(): {missing}"
+
+    def test_rule_ids_are_unique(self):
+        from repro.analysis.linter import default_rules
+
+        ids = [rule.rule_id for rule in default_rules()]
+        assert len(ids) == len(set(ids))
+
+
 class TestSuppressions:
     def test_inline_suppression_silences_the_rule(self):
         findings = _lint_src(

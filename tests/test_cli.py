@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core import FeatureTransformer
 from repro.datasets import load_benchmark
 from repro.tabular import load_csv, save_csv
 
@@ -165,3 +166,81 @@ class TestValidatePlanCommand:
         report = json.loads(capsys.readouterr().out)
         assert rc == 0
         assert report["ok"] is True
+
+
+class TestErrorExitCodes:
+    """Satellite: ReproError subclasses exit 2 with one stderr line."""
+
+    def test_missing_plan_file_exits_2(self, tmp_path, capsys):
+        rc = main(["inspect", "--plan", str(tmp_path / "missing.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: DataError:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_plan_json_exits_2(self, tmp_path, capsys):
+        plan = tmp_path / "broken.json"
+        plan.write_text("{not json")
+        rc = main(["transform", "--plan", str(plan),
+                   "--input", str(tmp_path / "in.csv"),
+                   "--output", str(tmp_path / "out.csv")])
+        assert rc == 2
+        assert "error: DataError:" in capsys.readouterr().err
+
+    def test_malformed_plan_payload_exits_2(self, tmp_path, capsys):
+        plan = tmp_path / "partial.json"
+        plan.write_text(json.dumps({"original_names": ["a"]}))
+        rc = main(["inspect", "--plan", str(plan)])
+        assert rc == 2
+        assert "error: SchemaError:" in capsys.readouterr().err
+
+    def test_finding_exits_stay_at_1(self, tmp_path, capsys):
+        # Exit 1 still means "ran fine, rejected the input", not a fault.
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text("def f(a, b):\n    return a / b\n")
+        rc = main(["lint", "--src", str(src)])
+        assert rc == 1
+
+
+class TestCheckpointFlag:
+    def test_fit_writes_and_resumes_from_checkpoints(self, csv_dataset, capsys):
+        train_path, __, tmp = csv_dataset
+        plan = tmp / "plan.json"
+        ckpt = tmp / "ckpt"
+        rc = main(["fit", "--train", str(train_path), "--plan", str(plan),
+                   "--gamma", "10", "--show", "0",
+                   "--checkpoint-dir", str(ckpt)])
+        assert rc == 0
+        checkpoints = sorted(ckpt.glob("iter_*.json"))
+        assert checkpoints, "fit left no checkpoint files"
+        first = FeatureTransformer.load(plan)
+
+        # A re-run against the same directory resumes (and, with every
+        # iteration already checkpointed, reproduces the same plan).
+        rc = main(["fit", "--train", str(train_path), "--plan", str(plan),
+                   "--gamma", "10", "--show", "0",
+                   "--checkpoint-dir", str(ckpt)])
+        assert rc == 0
+        assert FeatureTransformer.load(plan).feature_keys == first.feature_keys
+
+
+class TestTransformErrorsFlag:
+    def test_errors_null_accepted(self, csv_dataset):
+        train_path, test_path, tmp = csv_dataset
+        plan = tmp / "plan.json"
+        assert main(["fit", "--train", str(train_path), "--plan", str(plan),
+                     "--gamma", "10", "--show", "0"]) == 0
+        out_csv = tmp / "out.csv"
+        rc = main(["transform", "--plan", str(plan),
+                   "--input", str(test_path), "--output", str(out_csv),
+                   "--errors", "null"])
+        assert rc == 0
+        assert out_csv.exists()
+
+    def test_unknown_errors_value_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["transform", "--plan", "p.json", "--input", "a.csv",
+                 "--output", "b.csv", "--errors", "ignore"]
+            )

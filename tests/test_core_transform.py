@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -146,3 +148,131 @@ class TestPersistence:
         text = psi.describe()
         assert "(amount + count)" in text
         assert "3 features" in text
+
+
+class TestLoadErrorWrapping:
+    """Satellite: file/format faults surface as typed errors with the path."""
+
+    def test_missing_file_is_a_data_error_with_path(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(DataError, match="nope.json"):
+            FeatureTransformer.load(missing)
+
+    def test_invalid_json_is_a_data_error_with_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"original_names": ["a"], "expressions": [')
+        with pytest.raises(DataError, match="broken.json"):
+            FeatureTransformer.load(path)
+
+    def test_missing_keys_are_a_schema_error_with_path(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"original_names": ["a"]}')
+        with pytest.raises(SchemaError, match="partial.json"):
+            FeatureTransformer.load(path)
+
+    def test_wrong_shapes_are_a_schema_error(self, tmp_path):
+        path = tmp_path / "shapes.json"
+        path.write_text(
+            '{"original_names": ["a"], "expressions": [{"type": "var"}]}'
+        )
+        with pytest.raises(SchemaError, match="shapes.json"):
+            FeatureTransformer.load(path)
+
+    def test_repro_errors_from_construction_pass_through(self, tmp_path, psi):
+        # An expression referencing a missing column is already a typed
+        # SchemaError; the wrapper must not re-wrap or swallow it.
+        payload = psi.to_dict()
+        payload["original_names"] = payload["original_names"][:1]
+        path = tmp_path / "narrow.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaError):
+            FeatureTransformer.load(path)
+
+
+class TestSchemaHash:
+    """metadata["schema_hash"] pins a plan to its fit-time column schema."""
+
+    def _hashed(self):
+        from repro.runtime.checkpoint import schema_fingerprint
+
+        names = ("amount", "count")
+        return FeatureTransformer(
+            expressions=(Var(0), Applied("add", (Var(0), Var(1)))),
+            original_names=names,
+            metadata={"schema_hash": schema_fingerprint(names)},
+        )
+
+    def test_matching_hash_round_trips(self, tmp_path):
+        psi = self._hashed()
+        path = tmp_path / "hashed.json"
+        psi.save(path)
+        back = FeatureTransformer.load(path)
+        assert back.metadata["schema_hash"] == psi.metadata["schema_hash"]
+
+    def test_tampered_names_are_rejected_on_load(self, tmp_path):
+        psi = self._hashed()
+        path = tmp_path / "tampered.json"
+        psi.save(path)
+        payload = json.loads(path.read_text())
+        payload["original_names"] = ["amount", "renamed"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="schema hash"):
+            FeatureTransformer.load(path)
+
+    def test_plans_without_hash_still_load(self, psi, tmp_path):
+        path = tmp_path / "legacy.json"
+        psi.save(path)
+        assert FeatureTransformer.load(path).n_output_features == 3
+
+
+class TestDegradedServing:
+    """transform(..., errors="null"): failing expressions become NaN columns."""
+
+    def test_invalid_errors_value_rejected(self, psi, rng):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            psi.transform_matrix(rng.normal(size=(4, 3)), errors="ignore")
+
+    def test_null_matches_raise_when_nothing_fails(self, psi, rng):
+        X = rng.normal(size=(16, 3))
+        assert np.array_equal(
+            psi.transform_matrix(X, errors="null"),
+            psi.transform_matrix(X, errors="raise"),
+        )
+
+    def test_single_row_under_errors_null(self, psi):
+        from repro.runtime.failpoints import FAILPOINTS, active
+
+        FAILPOINTS.reset()
+        with active("transform.evaluate", mode="nth", nth=3):
+            row = psi.transform(np.array([1.0, 2.0, 0.5]), errors="null")
+        FAILPOINTS.reset()
+        assert row.shape == (3,)
+        assert row[1] == 3.0  # healthy expressions still served
+        assert np.isnan(row[2])  # the faulted one degrades to NaN
+
+    def test_non_finite_inputs_are_served_not_crashed(self, psi):
+        X = np.array(
+            [[np.inf, 2.0, -1.0], [np.nan, 0.0, 0.0], [1.0, -np.inf, 4.0]]
+        )
+        out = psi.transform_matrix(X, errors="null")
+        assert out.shape == (3, 3)
+        # add propagates the non-finite values instead of raising.
+        assert np.isinf(out[0, 1]) and np.isnan(out[1, 1])
+
+    def test_dataset_transform_threads_errors_through(self, psi, rng):
+        from repro.runtime.failpoints import FAILPOINTS, active
+
+        ds = Dataset(
+            X=rng.normal(size=(6, 3)),
+            names=("amount", "count", "age"),
+            y=np.zeros(6),
+        )
+        FAILPOINTS.reset()
+        with active("transform.evaluate", mode="nth", nth=1):
+            out = psi.transform(ds, errors="null")
+        FAILPOINTS.reset()
+        assert isinstance(out, Dataset)
+        assert np.all(np.isnan(out.X[:, 0]))
+        assert np.array_equal(out.X[:, 1], ds.X[:, 0] + ds.X[:, 1])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -128,3 +130,75 @@ class TestParallelIG:
         parallel = parallel_information_gains(X, y, 10, n_jobs=2)
         assert np.allclose(serial, parallel)
         assert np.argmax(serial) == 1
+
+
+def raise_value_error(x: float) -> float:  # module-level: picklable
+    raise ValueError(f"bad item {x}")
+
+
+class TestPoolFaultTolerance:
+    """_run_pool: retries, serial fallback, and pool-less environments."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_runtime(self):
+        from repro.parallel import _reset_pool_state, set_retry_policy
+        from repro.runtime.failpoints import FAILPOINTS
+
+        FAILPOINTS.reset()
+        set_retry_policy(None)
+        _reset_pool_state()
+        yield
+        FAILPOINTS.reset()
+        set_retry_policy(None)
+        _reset_pool_state()
+
+    def test_transient_fault_is_retried_without_warning(self, recwarn):
+        from repro.parallel import set_retry_policy
+        from repro.runtime.failpoints import active
+        from repro.runtime.retry import RetryPolicy
+
+        set_retry_policy(RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0))
+        with active("parallel.pool", mode="once"):
+            out = parallel_map(square, [1.0, 2.0, 3.0], n_jobs=2)
+        assert out == [1.0, 4.0, 9.0]
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+    def test_exhausted_retries_fall_back_to_serial_with_warning(self):
+        from repro.parallel import set_retry_policy
+        from repro.runtime.failpoints import active
+        from repro.runtime.retry import RetryPolicy
+
+        set_retry_policy(RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0))
+        with active("parallel.pool", mode="always"):
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                out = parallel_map(square, [1.0, 2.0, 3.0], n_jobs=2)
+        assert out == [1.0, 4.0, 9.0]
+
+    def test_pool_less_environment_degrades_once(self, monkeypatch, rng):
+        import repro.parallel as par
+
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no semaphores here")
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", NoPool)
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            out = parallel_map(square, [1.0, 2.0], n_jobs=2)
+        assert out == [1.0, 4.0]
+        # The verdict is remembered: later calls go straight to serial
+        # without warning again.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            X = rng.normal(size=(60, 4))
+            y = (X[:, 0] > 0).astype(float)
+            serial = parallel_information_values(X, y, 5, n_jobs=1)
+            degraded = parallel_information_values(X, y, 5, n_jobs=2)
+        assert np.allclose(serial, degraded)
+
+    def test_worker_data_errors_propagate_unretried(self):
+        from repro.parallel import set_retry_policy
+        from repro.runtime.retry import RetryPolicy
+
+        set_retry_policy(RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0))
+        with pytest.raises(ValueError, match="bad item"):
+            parallel_map(raise_value_error, [1.0, 2.0], n_jobs=2)

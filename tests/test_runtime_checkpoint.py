@@ -1,0 +1,158 @@
+"""Checkpoint persistence: fingerprints, atomic writes, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SAFEConfig
+from repro.exceptions import CheckpointError, InjectedFault
+from repro.operators.expressions import Applied, Var
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointManager,
+    config_fingerprint,
+    schema_fingerprint,
+)
+from repro.runtime.failpoints import FAILPOINTS, active
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+NAMES = ("a", "b", "c")
+EXPRS = [Var(0), Var(2), Applied("add", (Var(0), Var(1)), None)]
+
+
+class TestFingerprints:
+    def test_schema_fingerprint_is_stable(self):
+        assert schema_fingerprint(NAMES) == schema_fingerprint(list(NAMES))
+
+    def test_schema_fingerprint_is_order_sensitive(self):
+        assert schema_fingerprint(("a", "b")) != schema_fingerprint(("b", "a"))
+
+    def test_config_fingerprint_tracks_config_changes(self):
+        a = config_fingerprint(SAFEConfig(), NAMES)
+        b = config_fingerprint(SAFEConfig(gamma=7), NAMES)
+        assert a != b
+
+    def test_config_fingerprint_tracks_schema_changes(self):
+        cfg = SAFEConfig()
+        assert config_fingerprint(cfg, NAMES) != config_fingerprint(cfg, ("x",))
+
+    def test_config_fingerprint_is_reproducible(self):
+        assert config_fingerprint(SAFEConfig(), NAMES) == config_fingerprint(
+            SAFEConfig(), NAMES
+        )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        traces = [{"iteration": 0, "n_generated": 4}]
+        path = manager.save(0, EXPRS, "cfg-hash", traces=traces)
+        assert path.exists()
+        state = manager.load(path)
+        assert state.iteration == 0
+        assert state.config_hash == "cfg-hash"
+        assert [e.key for e in state.expressions] == [e.key for e in EXPRS]
+        assert state.traces == ({"iteration": 0, "n_generated": 4},)
+
+    def test_expected_config_hash_gates_the_load(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(0, EXPRS, "cfg-hash")
+        manager.load(path, expected_config_hash="cfg-hash")
+        with pytest.raises(CheckpointError):
+            manager.load(path, expected_config_hash="other-hash")
+
+    def test_missing_file_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(CheckpointError):
+            manager.load(tmp_path / "iter_00099.json")
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, EXPRS, "cfg-hash")
+        assert not list(tmp_path.glob(".*tmp"))
+
+
+class TestCrashSafety:
+    def test_interrupted_write_preserves_previous_checkpoint(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, EXPRS, "cfg-hash")
+        with active("checkpoint.write"):
+            with pytest.raises(InjectedFault):
+                manager.save(1, EXPRS, "cfg-hash")
+        # The interrupted iteration-1 file must not exist, its temp must
+        # be gone, and the iteration-0 checkpoint must still load.
+        assert not manager.path_for(1).exists()
+        assert not list(tmp_path.glob(".*tmp"))
+        state, skipped = manager.latest(expected_config_hash="cfg-hash")
+        assert state is not None and state.iteration == 0
+        assert skipped == []
+
+    def test_read_failpoint_is_recorded_as_a_skip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, EXPRS, "cfg-hash")
+        with active("checkpoint.read"):
+            state, skipped = manager.latest()
+        assert state is None and len(skipped) == 1
+
+
+class TestLatest:
+    def test_empty_directory(self, tmp_path):
+        state, skipped = CheckpointManager(tmp_path).latest()
+        assert state is None and skipped == []
+
+    def test_picks_newest_iteration(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, EXPRS[:1], "cfg-hash")
+        manager.save(1, EXPRS, "cfg-hash")
+        state, _ = manager.latest()
+        assert state.iteration == 1 and len(state.expressions) == len(EXPRS)
+
+    def test_truncated_newest_falls_back_to_previous(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, EXPRS, "cfg-hash")
+        path = manager.save(1, EXPRS, "cfg-hash")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a torn write
+        state, skipped = manager.latest(expected_config_hash="cfg-hash")
+        assert state is not None and state.iteration == 0
+        assert len(skipped) == 1 and "JSON" in skipped[0]
+
+    def test_checksum_tampering_is_detected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(0, EXPRS, "cfg-hash")
+        record = json.loads(path.read_text())
+        record["payload"]["iteration"] = 99
+        path.write_text(json.dumps(record))
+        state, skipped = manager.latest()
+        assert state is None
+        assert len(skipped) == 1 and "checksum" in skipped[0]
+
+    def test_unknown_format_is_skipped(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(0, EXPRS, "cfg-hash")
+        record = json.loads(path.read_text())
+        record["payload"]["format"] = "repro-checkpoint-v999"
+        body = json.dumps(record["payload"], sort_keys=True)
+        import hashlib
+
+        record["checksum"] = hashlib.sha256(body.encode()).hexdigest()
+        path.write_text(json.dumps(record))
+        state, skipped = manager.latest()
+        assert state is None
+        assert CHECKPOINT_FORMAT in skipped[0]
+
+    def test_mismatched_config_hash_is_skipped(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, EXPRS, "old-config")
+        state, skipped = manager.latest(expected_config_hash="new-config")
+        assert state is None
+        assert len(skipped) == 1 and "fingerprint" in skipped[0]

@@ -1,0 +1,174 @@
+"""The fault-injection substrate: registry, modes, env specs, plant audit."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exceptions import ConfigurationError, InjectedFault
+from repro.runtime.failpoints import (
+    ENV_VAR,
+    FAILPOINTS,
+    KNOWN_SITES,
+    Activation,
+    active,
+    failpoint,
+    parse_spec,
+)
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+class TestRegistry:
+    def test_disarmed_site_is_a_noop(self):
+        failpoint("parallel.pool")  # must not raise
+
+    def test_unknown_site_rejected_on_activation(self):
+        with pytest.raises(ConfigurationError):
+            FAILPOINTS.activate("no.such.site")
+
+    def test_unknown_site_rejected_at_the_planted_call(self):
+        with pytest.raises(ConfigurationError):
+            failpoint("no.such.site")
+
+    def test_activate_and_deactivate(self):
+        FAILPOINTS.activate("checkpoint.read")
+        with pytest.raises(InjectedFault):
+            failpoint("checkpoint.read")
+        FAILPOINTS.deactivate("checkpoint.read")
+        failpoint("checkpoint.read")
+
+    def test_context_manager_disarms_on_exit(self):
+        with active("transform.evaluate"):
+            with pytest.raises(InjectedFault):
+                failpoint("transform.evaluate")
+        failpoint("transform.evaluate")
+        assert "transform.evaluate" not in FAILPOINTS.active_sites()
+
+    def test_custom_exception_type(self):
+        with active("parallel.pool", raises=OSError):
+            with pytest.raises(OSError):
+                failpoint("parallel.pool")
+
+    def test_reset_disarms_everything(self):
+        FAILPOINTS.activate("parallel.pool")
+        FAILPOINTS.activate("checkpoint.write")
+        FAILPOINTS.reset()
+        assert FAILPOINTS.active_sites() == {}
+
+
+class TestModes:
+    def test_always_fires_every_hit(self):
+        with active("generation.operator", mode="always") as act:
+            for _ in range(3):
+                with pytest.raises(InjectedFault):
+                    failpoint("generation.operator")
+        assert act.hits == 3 and act.fired == 3
+
+    def test_once_fires_only_the_first_hit(self):
+        with active("generation.operator", mode="once") as act:
+            with pytest.raises(InjectedFault):
+                failpoint("generation.operator")
+            failpoint("generation.operator")
+            failpoint("generation.operator")
+        assert act.fired == 1
+
+    def test_nth_fires_exactly_the_nth_hit(self):
+        with active("generation.operator", mode="nth", nth=3) as act:
+            failpoint("generation.operator")
+            failpoint("generation.operator")
+            with pytest.raises(InjectedFault):
+                failpoint("generation.operator")
+            failpoint("generation.operator")
+        assert act.fired == 1 and act.hits == 4
+
+    def test_prob_is_deterministic_given_seed(self):
+        def pattern(seed):
+            fired = []
+            with active(
+                "generation.operator", mode="prob", probability=0.5, seed=seed
+            ):
+                for _ in range(20):
+                    try:
+                        failpoint("generation.operator")
+                        fired.append(False)
+                    except InjectedFault:
+                        fired.append(True)
+            return fired
+
+        assert pattern(42) == pattern(42)
+        assert any(pattern(42)) and not all(pattern(42))
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Activation("parallel.pool", mode="sometimes")
+        with pytest.raises(ConfigurationError):
+            Activation("parallel.pool", mode="nth", nth=0)
+        with pytest.raises(ConfigurationError):
+            Activation("parallel.pool", mode="prob", probability=1.5)
+
+
+class TestSpecParsing:
+    def test_always_and_once(self):
+        assert parse_spec("parallel.pool", "always").mode == "always"
+        assert parse_spec("parallel.pool", "once").mode == "once"
+
+    def test_nth(self):
+        act = parse_spec("parallel.pool", "nth:4")
+        assert act.mode == "nth" and act.nth == 4
+
+    def test_prob_with_and_without_seed(self):
+        act = parse_spec("parallel.pool", "prob:0.25")
+        assert act.mode == "prob" and act.probability == 0.25 and act.seed == 0
+        act = parse_spec("parallel.pool", "prob:0.25:7")
+        assert act.seed == 7
+
+    @pytest.mark.parametrize(
+        "spec", ["", "nth", "nth:x", "prob", "prob:x", "maybe", "always:2"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_spec("parallel.pool", spec)
+
+
+class TestEnvActivation:
+    def test_load_env_arms_sites(self):
+        FAILPOINTS.load_env("checkpoint.read=once, transform.evaluate=nth:2")
+        sites = FAILPOINTS.active_sites()
+        assert sites["checkpoint.read"].mode == "once"
+        assert sites["transform.evaluate"].nth == 2
+
+    def test_env_is_read_lazily_on_first_evaluation(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "checkpoint.read=always")
+        FAILPOINTS._env_loaded = False
+        with pytest.raises(InjectedFault):
+            failpoint("checkpoint.read")
+
+    def test_bad_env_entry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FAILPOINTS.load_env("checkpoint.read")
+        with pytest.raises(ConfigurationError):
+            FAILPOINTS.load_env("no.such.site=always")
+
+
+class TestPlantedSiteAudit:
+    """KNOWN_SITES is honest: every name is planted, every plant is known."""
+
+    def test_every_known_site_is_planted_and_vice_versa(self):
+        pattern = re.compile(r"""failpoint\(\s*["']([^"']+)["']\s*\)""")
+        planted = set()
+        for path in SRC_ROOT.rglob("*.py"):
+            if "__pycache__" in path.parts or path.name == "failpoints.py":
+                continue  # the registry's own docstring shows the syntax
+            planted.update(pattern.findall(path.read_text(encoding="utf-8")))
+        assert planted == set(KNOWN_SITES)

@@ -1,0 +1,119 @@
+"""RetryPolicy: validation, deterministic schedules, call semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, RetryExhaustedError
+from repro.runtime.retry import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"max_delay": -0.1},
+            {"backoff": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+            {"per_attempt_timeout": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestDelays:
+    def test_first_attempt_has_no_delay(self):
+        assert next(iter(RetryPolicy().delays())) == 0.0
+
+    def test_one_delay_per_attempt(self):
+        assert len(list(RetryPolicy(max_attempts=5).delays())) == 5
+
+    def test_geometric_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, backoff=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.0, 0.1, 0.2, 0.4]
+
+    def test_max_delay_clamps_before_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, backoff=10.0, max_delay=2.0, jitter=0.25
+        )
+        for delay in policy.delays():
+            assert delay <= 2.0 * 1.25 + 1e-12
+
+    def test_schedule_is_deterministic_given_seed(self):
+        policy = RetryPolicy(max_attempts=5, seed=7)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_different_seeds_give_different_jitter(self):
+        a = list(RetryPolicy(max_attempts=6, seed=1).delays())
+        b = list(RetryPolicy(max_attempts=6, seed=2).delays())
+        assert a != b
+
+
+class TestCall:
+    def test_success_on_first_attempt(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=3)
+        result = policy.call(lambda: calls.append(1) or "ok", sleep=lambda s: None)
+        assert result == "ok" and len(calls) == 1
+
+    def test_retries_then_succeeds(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError("transient")
+            return "recovered"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        slept = []
+        assert policy.call(flaky, sleep=slept.append) == "recovered"
+        assert attempts["n"] == 3
+        assert slept == [0.01, 0.02]
+
+    def test_exhaustion_raises_with_cause(self):
+        def always_fails():
+            raise OSError("down")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(always_fails, sleep=lambda s: None)
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert "2 attempt(s)" in str(excinfo.value)
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        attempts = {"n": 0}
+
+        def data_error():
+            attempts["n"] += 1
+            raise ValueError("bad data")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        with pytest.raises(ValueError):
+            policy.call(data_error, retry_on=(OSError,), sleep=lambda s: None)
+        assert attempts["n"] == 1
+
+    def test_single_attempt_policy_never_retries(self):
+        attempts = {"n": 0}
+
+        def fails():
+            attempts["n"] += 1
+            raise OSError("boom")
+
+        with pytest.raises(RetryExhaustedError):
+            RetryPolicy(max_attempts=1).call(fails, sleep=lambda s: None)
+        assert attempts["n"] == 1
+
+    def test_arguments_are_forwarded(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert policy.call(lambda a, b=0: a + b, 2, b=3, sleep=lambda s: None) == 5
