@@ -52,6 +52,7 @@ from .exceptions import (
 from .metrics import roc_auc_score
 from .models import available_classifiers, make_classifier
 from .operators import Operator, register_operator
+from .serving import ServingReport, ServingResponse, ServingSession
 from .tabular import Dataset
 
 __version__ = "1.0.0"
@@ -75,6 +76,9 @@ __all__ = [
     "SAFE",
     "SAFEConfig",
     "SchemaError",
+    "ServingReport",
+    "ServingResponse",
+    "ServingSession",
     "TFC",
     "available_classifiers",
     "load_benchmark",

@@ -100,7 +100,7 @@ def default_rules() -> "list[LintRule]":
     )
     from .rules_kernels import BatchableParityRule, KernelContractRule
     from .rules_parallel import ParallelCallableRule, ParallelChunkStateRule
-    from .rules_robustness import ExceptSwallowRule
+    from .rules_robustness import ExceptSwallowRule, WallClockDeadlineRule
 
     return [
         FloatEqualityRule(),
@@ -112,6 +112,7 @@ def default_rules() -> "list[LintRule]":
         ParallelCallableRule(),
         ParallelChunkStateRule(),
         ExceptSwallowRule(),
+        WallClockDeadlineRule(),
         KernelContractRule(),
         BatchableParityRule(),
     ]

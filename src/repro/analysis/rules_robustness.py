@@ -21,11 +21,23 @@ the first symptom is a wrong number three stages later.
   serving) are allowed; genuinely intentional swallows must carry a
   ``# repro: ignore[except-swallow] <why>`` audit comment on the
   ``except`` line.
+
+* ``wallclock-deadline`` — flags ``time.time()`` used where a deadline,
+  timeout, or cooldown is being computed or compared. Wall clock jumps —
+  NTP steps it backwards and slews it — so a deadline measured on it can
+  fire immediately, or never. The serving runtime's deadline budgets and
+  circuit-breaker cooldowns (``repro.serving``) are monotonic-clock by
+  contract; this rule keeps every future timeout on ``time.monotonic()``
+  too. ``time.time()`` for timestamps/logging is fine and not flagged —
+  only call sites whose surrounding statement (or enclosing function
+  name) mentions a deadline-ish identifier (deadline, timeout, expiry,
+  cooldown, budget, ...) are findings.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 
 from .findings import Finding
 from .linter import LintContext, LintRule, SourceModule
@@ -84,5 +96,118 @@ class ExceptSwallowRule(LintRule):
                         "the fault — record it (quarantine/report/log), "
                         "narrow the exception type, or suppress with an "
                         "audit comment"
+                    ),
+                )
+
+
+#: Identifiers that mark a statement as deadline/timeout arithmetic.
+_DEADLINE_NAME_RE = re.compile(
+    r"(?i)deadline|timeout|time_limit|expir|cooldown|budget|due|ttl"
+)
+
+
+def _is_wallclock_call(node: ast.AST, bare_time_imported: bool) -> bool:
+    """Whether ``node`` is a ``time.time()`` (or bare imported ``time()``)
+    call."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return True
+    return (
+        bare_time_imported
+        and isinstance(func, ast.Name)
+        and func.id == "time"
+    )
+
+
+def _expr_children(stmt: ast.stmt):
+    """The statement's *own* expressions (not nested statements) — a
+    compound statement is judged by its header (``while <test>:``), not
+    by identifiers that happen to appear in its body."""
+    for _field, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+
+
+def _identifiers(exprs) -> "set[str]":
+    names: "set[str]" = set()
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.keyword) and node.arg:
+                names.add(node.arg)
+    return names
+
+
+def _statements_with_scope(tree: ast.Module):
+    """Yield ``(stmt, enclosing_function_name)`` pairs, innermost scope."""
+
+    def visit(node: ast.AST, scope: str):
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                child_scope = getattr(child, "name", scope)
+            if isinstance(child, ast.stmt):
+                yield child, child_scope
+            yield from visit(child, child_scope)
+
+    yield from visit(tree, "")
+
+
+class WallClockDeadlineRule(LintRule):
+    """``time.time()`` in deadline/timeout arithmetic must be monotonic."""
+
+    rule_id = "wallclock-deadline"
+
+    def check_module(self, module: SourceModule, ctx: LintContext):
+        if module.tree is None:
+            return
+        bare_time_imported = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "time"
+            and any(alias.name == "time" for alias in node.names)
+            for node in ast.walk(module.tree)
+        )
+        for stmt, scope in _statements_with_scope(module.tree):
+            exprs = list(_expr_children(stmt))
+            calls = [
+                node
+                for expr in exprs
+                for node in ast.walk(expr)
+                if _is_wallclock_call(node, bare_time_imported)
+            ]
+            if not calls:
+                continue
+            names = _identifiers(exprs) - {"time"}
+            deadline_context = _DEADLINE_NAME_RE.search(scope) or any(
+                _DEADLINE_NAME_RE.search(name) for name in names
+            )
+            if not deadline_context:
+                continue
+            for call in calls:
+                yield Finding(
+                    path=module.path,
+                    line=call.lineno,
+                    rule=self.rule_id,
+                    message=(
+                        "wall-clock time.time() used for a deadline/timeout "
+                        "— NTP steps make it jump, firing budgets early or "
+                        "never; use time.monotonic() for elapsed-time "
+                        "arithmetic"
                     ),
                 )

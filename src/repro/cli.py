@@ -6,6 +6,9 @@ mirrors that lifecycle on CSV files:
 
 * ``fit``        — learn Ψ from a labeled training CSV, write a JSON plan
 * ``transform``  — apply a saved plan to a CSV, write the generated CSV
+* ``serve``      — run a CSV of requests through the hardened serving loop
+  (admission + coercion policy, per-request deadlines, circuit breakers,
+  bounded queue with load shedding, optional mid-stream plan hot-swap)
 * ``evaluate``   — compare original vs. plan features for a classifier
 * ``inspect``    — print a saved plan's features (the interpretability view)
 * ``lint``       — static analysis of the numerical kernels (AST lint)
@@ -15,10 +18,17 @@ Usage::
 
     python -m repro fit --train train.csv --plan psi.json --method SAFE
     python -m repro transform --plan psi.json --input new.csv --output out.csv
+    python -m repro serve psi.json --input requests.csv --output scored.csv \\
+        --deadline-ms 50 --max-queue 256 --coerce reorder,cast,missing \\
+        --report serving_report.json
     python -m repro evaluate --train train.csv --test test.csv --plan psi.json
     python -m repro inspect --plan psi.json
     python -m repro lint --json
     python -m repro validate-plan --plan psi.json
+
+``serve`` exits 0 when every request was served clean, 1 when any
+response was degraded/rejected/shed (the report names why), and 2 on
+operational errors (missing plan, schema-hash mismatch, ...).
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from .exceptions import ReproError
 from .experiments.runner import METHOD_ORDER, make_method
 from .metrics import roc_auc_score
 from .models import PAPER_CLASSIFIERS, make_classifier
+from .tabular.dataset import Dataset
 from .tabular.io import load_csv, save_csv
 
 
@@ -74,6 +85,74 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     save_csv(out, args.output, label_column=args.label_column)
     print(f"transformed {out.n_rows} rows x {out.n_cols} features -> {args.output}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from .serving import CoercionPolicy, ServingSession
+
+    session = ServingSession(
+        args.plan,
+        deadline_ms=args.deadline_ms,
+        max_queue=args.max_queue,
+        policy=CoercionPolicy.from_spec(args.coerce),
+        breaker_threshold=args.breaker_threshold,
+    )
+    data = load_csv(args.input, label_column=args.label_column)
+    # Requests go through admission as named records, so a reordered or
+    # drifted export degrades per the coercion policy instead of binding
+    # columns positionally.
+    requests = [dict(zip(data.names, row)) for row in data.X]
+
+    swap_at = len(requests) // 2 if args.swap_plan else len(requests)
+    responses = session.serve(requests[:swap_at])
+    if args.swap_plan:
+        try:
+            session.swap_plan(args.swap_plan)
+            print(f"hot-swapped plan -> {args.swap_plan}")
+        except ReproError as exc:
+            print(f"hot-swap rolled back: {exc}", file=sys.stderr)
+        responses += session.serve(requests[swap_at:])
+
+    plan = session.plan
+    k = plan.n_output_features
+    out = np.full((len(responses), k), np.nan)
+    for i, response in enumerate(responses):
+        if response.ok:
+            out[i] = response.values
+    if args.output:
+        save_csv(
+            Dataset(X=out, names=plan._output_names()),
+            args.output,
+            label_column=args.label_column,
+        )
+
+    counts: "dict[str, int]" = {}
+    for response in responses:
+        counts[response.status] = counts.get(response.status, 0) + 1
+    summary = session.report.summary()
+    if args.report:
+        Path(args.report).write_text(json.dumps(summary, indent=2))
+    print(
+        f"served {len(responses)} requests: "
+        + ", ".join(f"{counts.get(s, 0)} {s}" for s in
+                    ("ok", "degraded", "rejected", "shed"))
+        + (f" -> {args.output}" if args.output else "")
+    )
+    health = session.health()
+    print(
+        f"health: {health['status']} "
+        f"(open breakers: {len(health['open_breakers'])}, "
+        f"deadline hits: {summary['deadline_hits']}, "
+        f"coerced: {summary['admitted_coerced']}, "
+        f"swaps: {summary['swaps_completed']} ok / "
+        f"{summary['swaps_rolled_back']} rolled back)"
+    )
+    clean = all(response.status == "ok" for response in responses)
+    return 0 if clean else 1
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -160,6 +239,39 @@ def build_parser() -> argparse.ArgumentParser:
                            help="'null' serves degraded: a failing expression "
                                 "yields a NaN column instead of aborting")
     transform.set_defaults(func=_cmd_transform)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a CSV of requests through the hardened serving loop "
+             "(exit 1 when any response degraded)",
+    )
+    serve.add_argument("plan", type=Path,
+                       help="the fitted plan JSON to serve")
+    serve.add_argument("--input", required=True, type=Path,
+                       help="CSV of requests (one row per request)")
+    serve.add_argument("--output", type=Path, default=None,
+                       help="CSV of served feature rows (NaN row for "
+                            "rejected/shed requests)")
+    serve.add_argument("--label-column", default="label")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request evaluation budget in milliseconds "
+                            "(monotonic clock; default unbounded)")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="request queue bound; overflow sheds the oldest "
+                            "request with a flagged response")
+    serve.add_argument("--coerce", default="reorder,cast",
+                       help="admission coercion policy: none | all | comma "
+                            "list of reorder,cast,missing,extra")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive operator failures that trip an "
+                            "expression's circuit breaker open")
+    serve.add_argument("--swap-plan", type=Path, default=None,
+                       help="hot-swap to this plan halfway through the "
+                            "input (fingerprint-verified, self-tested, "
+                            "rolled back on failure)")
+    serve.add_argument("--report", type=Path, default=None,
+                       help="write the ServingReport summary JSON here")
+    serve.set_defaults(func=_cmd_serve)
 
     evaluate = sub.add_parser("evaluate", help="AUC of original vs plan features")
     evaluate.add_argument("--train", required=True, type=Path)

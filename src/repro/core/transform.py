@@ -20,7 +20,13 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, DataError, ReproError, SchemaError
+from ..exceptions import (
+    ConfigurationError,
+    DataError,
+    PlanVersionError,
+    ReproError,
+    SchemaError,
+)
 from ..operators.engine import EvalCache, evaluate_forest
 from ..operators.expressions import (
     Expression,
@@ -30,6 +36,33 @@ from ..operators.expressions import (
 from ..runtime.checkpoint import schema_fingerprint
 from ..runtime.failpoints import failpoint
 from ..tabular.dataset import Dataset
+
+#: Plan-file format version this library writes and the newest it reads.
+#: Bump when ``to_dict`` gains fields whose *absence* on read would change
+#: serving behavior; readers reject anything newer (see
+#: :meth:`FeatureTransformer.from_dict`).
+PLAN_FORMAT_VERSION = 1
+
+
+def _check_format_version(payload: dict, source: str = "plan") -> None:
+    """Reject payloads written by a newer library than this one.
+
+    Plans saved before versioning carry no ``format_version`` key and are
+    read as version 1; anything above :data:`PLAN_FORMAT_VERSION` raises
+    :class:`~repro.exceptions.PlanVersionError` — a newer writer may have
+    recorded semantics this reader would silently drop.
+    """
+    version = payload.get("format_version", 1)
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise SchemaError(
+            f"{source} has a non-integer format_version: {version!r}"
+        )
+    if version > PLAN_FORMAT_VERSION:
+        raise PlanVersionError(
+            f"{source} has format_version {version}, but this library "
+            f"supports at most {PLAN_FORMAT_VERSION}; upgrade the library "
+            "to serve this plan"
+        )
 
 
 @dataclass(frozen=True)
@@ -201,6 +234,7 @@ class FeatureTransformer:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         return {
+            "format_version": PLAN_FORMAT_VERSION,
             "original_names": list(self.original_names),
             "expressions": [e.to_dict() for e in self.expressions],
             "metadata": self.metadata,
@@ -208,6 +242,7 @@ class FeatureTransformer:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FeatureTransformer":
+        _check_format_version(payload)
         return cls(
             expressions=tuple(
                 expression_from_dict(e) for e in payload["expressions"]
@@ -241,6 +276,8 @@ class FeatureTransformer:
             raise DataError(f"plan file {path} is not valid JSON: {exc}") from exc
         try:
             return cls.from_dict(payload)
+        except PlanVersionError as exc:
+            raise PlanVersionError(f"plan file {path}: {exc}") from exc
         except ReproError:
             raise
         except (KeyError, TypeError, ValueError, AttributeError) as exc:

@@ -32,12 +32,49 @@ class OperatorError(ReproError, ValueError):
     """An operator was applied with the wrong arity or invalid inputs."""
 
 
+class PlanVersionError(SchemaError):
+    """A saved plan's format version is newer than this library supports.
+
+    Forward compatibility is refused loudly: a plan written by a newer
+    library may carry fields this version would silently drop, so serving
+    it risks a quietly different Ψ. Upgrade the library instead.
+    """
+
+
+class AdmissionError(SchemaError):
+    """A serving request was rejected at admission (schema drift beyond
+    what the active coercion policy allows)."""
+
+
+class PlanSwapError(ReproError, RuntimeError):
+    """A serving hot-swap was refused or rolled back (incompatible
+    fingerprints, or the candidate plan failed its self-test)."""
+
+
+class DeadlineExceeded(ReproError, RuntimeError):
+    """A serving request ran past its deadline budget.
+
+    The serving loop itself never raises this at callers — it degrades
+    the response and records the hit — but internal steps use it to
+    unwind, and strict wrappers may surface it.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A fit checkpoint is missing, corrupt, or from another config."""
 
 
 class RetryExhaustedError(ReproError, RuntimeError):
     """Every attempt allowed by a :class:`RetryPolicy` failed."""
+
+
+class FailpointSpecError(ConfigurationError):
+    """A ``REPRO_FAILPOINTS``-style activation spec could not be parsed.
+
+    Always names the offending ``site=spec`` entry verbatim, so a typo'd
+    chaos configuration fails loudly at the first failpoint evaluation
+    instead of silently arming nothing.
+    """
 
 
 class InjectedFault(ReproError, RuntimeError):

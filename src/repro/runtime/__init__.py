@@ -32,11 +32,13 @@ from .failpoints import (
     failpoint,
     parse_spec,
 )
+from ..exceptions import FailpointSpecError
 from .report import QuarantineRecord, RuntimeReport
 from .retry import RetryPolicy
 
 __all__ = [
     "Activation",
+    "FailpointSpecError",
     "CHECKPOINT_FORMAT",
     "CheckpointManager",
     "CheckpointState",

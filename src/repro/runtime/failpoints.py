@@ -42,7 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..exceptions import ConfigurationError, InjectedFault
+from ..exceptions import ConfigurationError, FailpointSpecError, InjectedFault
 
 #: Every plantable site. Extend this set when planting a new failpoint.
 KNOWN_SITES = frozenset(
@@ -54,6 +54,13 @@ KNOWN_SITES = frozenset(
         "checkpoint.read",
         "transform.evaluate",
         "pipeline.iteration",
+        # Serving-loop sites (see repro.serving): admission, one per
+        # expression-evaluation step, a deadline-burning slow operator,
+        # and a hot-swap candidate that fails its self-test.
+        "serve.admit",
+        "serve.operator",
+        "serve.slow_operator",
+        "serve.bad_swap_plan",
     }
 )
 
@@ -108,27 +115,48 @@ class Activation:
 
 def parse_spec(name: str, spec: str) -> Activation:
     """Parse one ``site=spec`` value: ``always`` | ``once`` | ``nth:K`` |
-    ``prob:P[:SEED]``."""
+    ``prob:P[:SEED]``.
+
+    Every failure — unknown site, unknown mode, malformed numbers, out of
+    range parameters — raises :class:`~repro.exceptions.FailpointSpecError`
+    naming the full offending ``site=spec`` entry, so a chaos config typo
+    is one actionable line instead of a context-free ``ValueError`` (or,
+    worse, a spec that silently never fires).
+    """
+
+    def bad(why: str, cause: "Exception | None" = None) -> FailpointSpecError:
+        err = FailpointSpecError(
+            f"bad failpoint spec {name}={spec!r}: {why} "
+            "(expected always | once | nth:K | prob:P[:SEED])"
+        )
+        err.__cause__ = cause
+        return err
+
     parts = spec.split(":")
     mode = parts[0].strip().lower()
-    if mode in ("always", "once") and len(parts) == 1:
-        return Activation(name, mode=mode)
-    if mode == "nth" and len(parts) == 2:
-        try:
-            return Activation(name, mode="nth", nth=int(parts[1]))
-        except ValueError as exc:
-            raise ConfigurationError(f"bad nth spec {spec!r} for {name!r}") from exc
-    if mode == "prob" and len(parts) in (2, 3):
-        try:
-            probability = float(parts[1])
-            seed = int(parts[2]) if len(parts) == 3 else 0
-        except ValueError as exc:
-            raise ConfigurationError(f"bad prob spec {spec!r} for {name!r}") from exc
-        return Activation(name, mode="prob", probability=probability, seed=seed)
-    raise ConfigurationError(
-        f"cannot parse failpoint spec {name}={spec!r} "
-        "(expected always | once | nth:K | prob:P[:SEED])"
-    )
+    try:
+        if mode in ("always", "once") and len(parts) == 1:
+            return Activation(name, mode=mode)
+        if mode == "nth" and len(parts) == 2:
+            try:
+                nth = int(parts[1])
+            except ValueError as exc:
+                raise bad(f"{parts[1]!r} is not an integer", exc) from exc
+            return Activation(name, mode="nth", nth=nth)
+        if mode == "prob" and len(parts) in (2, 3):
+            try:
+                probability = float(parts[1])
+                seed = int(parts[2]) if len(parts) == 3 else 0
+            except ValueError as exc:
+                raise bad("probability/seed must be numeric", exc) from exc
+            return Activation(name, mode="prob", probability=probability, seed=seed)
+    except FailpointSpecError:
+        raise
+    except ConfigurationError as exc:
+        # Activation.__post_init__ rejected the site name or a parameter
+        # range; re-raise naming the entry the bad value came from.
+        raise bad(str(exc), exc) from exc
+    raise bad(f"unknown or malformed mode {spec!r}")
 
 
 class FailpointRegistry:
@@ -174,22 +202,30 @@ class FailpointRegistry:
 
     def load_env(self, text: "str | None" = None) -> None:
         """Apply ``REPRO_FAILPOINTS``-style activations from ``text`` (or
-        the real environment when ``None``)."""
+        the real environment when ``None``).
+
+        Parsing is all-or-nothing: every entry is validated *before* any
+        activation is installed, so a malformed spec cannot leave the
+        earlier entries half-armed — the registry is exactly as it was,
+        and the raised :class:`~repro.exceptions.FailpointSpecError`
+        names the offending entry.
+        """
         if text is None:
             text = os.environ.get(ENV_VAR, "")
+        parsed: "list[Activation]" = []
         for entry in text.split(","):
             entry = entry.strip()
             if not entry:
                 continue
             name, sep, spec = entry.partition("=")
             if not sep:
-                raise ConfigurationError(
+                raise FailpointSpecError(
                     f"bad {ENV_VAR} entry {entry!r} (expected site=spec)"
                 )
-            activation = parse_spec(name.strip(), spec.strip())
-            with self._lock:
-                self._active[activation.name] = activation
+            parsed.append(parse_spec(name.strip(), spec.strip()))
         with self._lock:
+            for activation in parsed:
+                self._active[activation.name] = activation
             self._env_loaded = True
 
     def active_sites(self) -> "dict[str, Activation]":

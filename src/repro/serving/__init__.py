@@ -1,0 +1,40 @@
+"""Hardened serving runtime for fitted plans.
+
+The serve-side counterpart of :mod:`repro.runtime` (which hardens fit):
+everything between "a request arrived" and "a feature row left" lives
+here, so that when the compiled serving engine lands it drops into an
+already-resilient request path.
+
+* :mod:`~repro.serving.validator` — admission control: every request is
+  classified ``exact`` / ``coerced`` / ``rejected`` against the plan's
+  fit-time schema under a :class:`CoercionPolicy`;
+* :mod:`~repro.serving.breaker` — per-expression circuit breakers
+  (closed → open → half-open) over the ``errors="null"`` degradation
+  path;
+* :mod:`~repro.serving.queue` — bounded request queue with explicit
+  shed-oldest overload behavior;
+* :mod:`~repro.serving.session` — :class:`ServingSession`: the
+  deadline-bounded serve loop, health view, and fingerprint-verified
+  atomic plan hot-swap with self-test and rollback;
+* :mod:`~repro.serving.report` — :class:`ServingReport`, the ledger
+  every degradation is recorded on.
+
+Exposed on the CLI as ``python -m repro serve``.
+"""
+
+from .breaker import CircuitBreaker
+from .queue import BoundedRequestQueue
+from .report import ServingReport
+from .session import ServingResponse, ServingSession
+from .validator import Admission, CoercionPolicy, RequestValidator
+
+__all__ = [
+    "Admission",
+    "BoundedRequestQueue",
+    "CircuitBreaker",
+    "CoercionPolicy",
+    "RequestValidator",
+    "ServingReport",
+    "ServingResponse",
+    "ServingSession",
+]

@@ -1,0 +1,111 @@
+"""Per-expression circuit breaker: closed → open → half-open → closed.
+
+One pathological expression — an operator whose fitted state went bad, a
+domain function that explodes on a new value range — must not cost every
+future request the work of failing it again. The serving loop already
+turns a failing expression into a NaN column (PR 7's ``errors="null"``
+semantics); the breaker adds *memory* on top: after
+``failure_threshold`` consecutive failures the expression is served as
+NaN without being evaluated at all (state ``open``), and after
+``cooldown`` seconds one probe evaluation is allowed through (state
+``half_open``) — success closes the breaker, failure re-opens it for
+another cooldown.
+
+Time is supplied by the caller as a **monotonic** timestamp
+(``time.monotonic()``), never wall-clock: a ``time.time()`` clock jumps
+under NTP corrections and would re-open or freeze breakers spuriously
+(the ``wallclock-deadline`` lint rule enforces this repo-wide).
+
+The breaker is deliberately not thread-safe: a
+:class:`~repro.serving.ServingSession` drives each breaker from its
+single serve loop, and ``allow``/``record_*`` pairs resolve before the
+next request is admitted.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-memory for one expression key.
+
+    Parameters
+    ----------
+    key:
+        The expression key this breaker guards (diagnostic only).
+    failure_threshold:
+        Consecutive failures that trip ``closed`` → ``open``.
+    cooldown:
+        Seconds an ``open`` breaker waits before allowing a half-open
+        probe, measured on the caller-supplied monotonic clock.
+    """
+
+    def __init__(
+        self, key: str, failure_threshold: int = 3, cooldown: float = 1.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ConfigurationError(f"cooldown must be >= 0, got {cooldown}")
+        self.key = key
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        #: Times this breaker transitioned into ``open``.
+        self.trips = 0
+        self._opened_at: "float | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker({self.key!r}, state={self.state!r}, "
+            f"failures={self.consecutive_failures}, trips={self.trips})"
+        )
+
+    # ------------------------------------------------------------------
+    def allow(self, now: float) -> bool:
+        """Whether the expression may be evaluated at monotonic time ``now``.
+
+        An ``open`` breaker whose cooldown has elapsed transitions to
+        ``half_open`` and admits this one call as the probe; while the
+        probe is outstanding further calls are refused.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return False  # half-open: the probe is already in flight
+
+    def record_success(self) -> None:
+        """The evaluation succeeded: reset to ``closed``."""
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self, now: float) -> bool:
+        """The evaluation failed; returns True when this call *tripped*
+        the breaker into ``open`` (a failed half-open probe re-trips)."""
+        self.consecutive_failures += 1
+        should_open = (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if should_open and self.state != OPEN:
+            self.state = OPEN
+            self._opened_at = now
+            self.trips += 1
+            return True
+        if should_open:
+            self._opened_at = now  # already open: extend the cooldown
+        return False

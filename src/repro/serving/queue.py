@@ -1,0 +1,50 @@
+"""Bounded request queue with explicit shed-oldest overload policy.
+
+Under overload a serving process has exactly three options: queue without
+bound (and die by memory), block the producer (and spread the stall
+upstream), or shed load *visibly*. This queue sheds: when a new request
+arrives at a full queue, the **oldest** queued request is dropped and
+returned to the caller so it can be answered with a flagged ``shed``
+response and counted on the :class:`~repro.serving.ServingReport`.
+Shed-oldest (rather than rejecting the newcomer) keeps the queue biased
+toward fresh requests — under real-time scoring an old request's caller
+has usually timed out already, so evaluating it would waste the budget
+the new request still has.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..exceptions import ConfigurationError
+
+
+class BoundedRequestQueue:
+    """FIFO of at most ``max_depth`` items; overflow sheds the oldest."""
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._items: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def offer(self, item):
+        """Enqueue ``item``; returns the shed (oldest) item, or None."""
+        shed = None
+        if len(self._items) >= self.max_depth:
+            shed = self._items.popleft()
+        self._items.append(item)
+        return shed
+
+    def pop(self):
+        """Dequeue the oldest surviving item, or None when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()

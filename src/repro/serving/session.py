@@ -1,0 +1,398 @@
+"""The hardened serving loop: admission → deadline-bounded evaluation →
+flagged degradation, plus atomic hot-swap of the served plan.
+
+:class:`ServingSession` is the request path the paper's real-time
+scoring requirement lands on. It wraps a fitted
+:class:`~repro.core.FeatureTransformer` with the serve-side resilience
+the raw ``transform`` call lacks:
+
+* every request passes **admission** (:mod:`repro.serving.validator`):
+  exact requests take the bit-identical fast path, coercible drift is
+  repaired and recorded, rejected drift gets a typed refusal — never
+  silent positional garbage;
+* evaluation is **step-wise per expression** with the request's
+  monotonic-clock deadline checked between steps — a slow operator costs
+  the columns after it (served NaN, flagged), not the whole process;
+* each expression sits behind a **circuit breaker**
+  (:mod:`repro.serving.breaker`): consecutive operator failures trip it
+  open and the expression is served NaN without evaluation until a
+  cooldown probe succeeds, so one pathological expression cannot tax
+  every request while the rest of Ψ stays live;
+* overload is **shed, not absorbed**: requests flow through a bounded
+  queue whose overflow drops the oldest request with a flagged ``shed``
+  response (:mod:`repro.serving.queue`);
+* the plan is **hot-swappable**: :meth:`swap_plan` verifies the
+  candidate's fingerprints against the live schema, self-tests it on a
+  probe row, and installs it atomically under a lock — any failure rolls
+  back to the prior plan and is recorded.
+
+Fault-free invariant (enforced by the chaos suite): with no failpoints
+armed, no deadline, and admission-exact input, a session's output is
+bit-identical to ``FeatureTransformer.transform`` on the same rows.
+
+All timing uses ``time.monotonic()`` — wall clock (``time.time``) jumps
+under NTP corrections, which would fire deadlines spuriously; the
+``wallclock-deadline`` lint rule enforces this repo-wide.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.transform import FeatureTransformer
+from ..exceptions import (
+    ConfigurationError,
+    InjectedFault,
+    PlanSwapError,
+    ReproError,
+)
+from ..operators.engine import EvalCache
+from ..runtime.failpoints import failpoint
+from .breaker import CLOSED, CircuitBreaker
+from .queue import BoundedRequestQueue
+from .report import ServingReport
+from .validator import COERCED, EXACT, REJECTED, CoercionPolicy, RequestValidator
+
+#: Response statuses.
+OK = "ok"
+DEGRADED = "degraded"
+REJECTED_STATUS = "rejected"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class ServingResponse:
+    """One answered request: values plus every degradation flag."""
+
+    request_id: int
+    #: ``ok`` | ``degraded`` | ``rejected`` | ``shed``.
+    status: str
+    #: ``(k,)`` for single-record requests, ``(n, k)`` for batches;
+    #: None for rejected/shed requests.
+    values: "np.ndarray | None" = None
+    #: Admission category (``exact``/``coerced``; None when never admitted).
+    admission: "str | None" = None
+    #: Repairs applied at admission.
+    coercions: "tuple[str, ...]" = ()
+    #: Expression keys served as NaN (operator fault or open breaker).
+    nulled: "tuple[str, ...]" = ()
+    #: Whether the deadline budget expired mid-evaluation.
+    deadline_hit: bool = False
+    #: Refusal message for ``rejected``/``shed`` responses.
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the response carries servable values."""
+        return self.status in (OK, DEGRADED)
+
+
+@dataclass(frozen=True)
+class _QueuedRequest:
+    request_id: int
+    payload: object
+
+
+class ServingSession:
+    """Serve one plan with admission, deadlines, breakers, and hot-swap.
+
+    Parameters
+    ----------
+    plan:
+        The fitted plan, or a path to a saved plan JSON.
+    deadline_ms:
+        Per-request evaluation budget in milliseconds (None = unbounded),
+        measured on the monotonic clock and checked between
+        expression-evaluation steps.
+    max_queue:
+        Bound of the request queue; overflow sheds the oldest request.
+    policy:
+        Admission :class:`CoercionPolicy` (default: reorder + cast
+        allowed, missing/extra columns rejected).
+    breaker_threshold / breaker_cooldown:
+        Consecutive failures that trip an expression's breaker, and the
+        seconds an open breaker waits before a half-open probe.
+    clock / sleep:
+        Injectable monotonic clock and sleeper, for deterministic tests.
+
+    The serve loop (``serve``/``serve_one``) is single-consumer;
+    :meth:`swap_plan` and :meth:`health` may be called concurrently from
+    other threads — plan installation happens under the session lock.
+    """
+
+    def __init__(
+        self,
+        plan: "FeatureTransformer | str | Path",
+        *,
+        deadline_ms: "float | None" = None,
+        max_queue: int = 1024,
+        policy: "CoercionPolicy | None" = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        if not isinstance(plan, FeatureTransformer):
+            plan = FeatureTransformer.load(plan)
+        self.deadline_ms = deadline_ms
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.RLock()
+        self._policy = policy if policy is not None else CoercionPolicy()
+        self.report = ServingReport()
+        self._queue = BoundedRequestQueue(max_queue)
+        self._ids = itertools.count()
+        self._probe_row: "np.ndarray | None" = None
+        self._install(plan)
+
+    # ------------------------------------------------------------------
+    def _install(self, plan: FeatureTransformer) -> None:
+        """Bind plan + validator + fresh breakers (callers hold the lock
+        or are the constructor)."""
+        with self._lock:
+            self._plan = plan
+            self._validator = RequestValidator.for_plan(plan, policy=self._policy)
+            self._breakers = {
+                expr.key: CircuitBreaker(
+                    expr.key,
+                    failure_threshold=self.breaker_threshold,
+                    cooldown=self.breaker_cooldown,
+                )
+                for expr in plan.expressions
+            }
+
+    @property
+    def plan(self) -> FeatureTransformer:
+        with self._lock:
+            return self._plan
+
+    @property
+    def validator(self) -> RequestValidator:
+        with self._lock:
+            return self._validator
+
+    def health(self) -> dict:
+        """Liveness/readiness view (JSON-able, stable keys)."""
+        with self._lock:
+            plan = self._plan
+            open_breakers = sorted(
+                key for key, b in self._breakers.items() if b.state != CLOSED
+            )
+        meta = plan.metadata if isinstance(plan.metadata, dict) else {}
+        return {
+            "ready": True,
+            "status": DEGRADED if open_breakers else OK,
+            "queue_depth": self._queue.depth,
+            "open_breakers": open_breakers,
+            "n_features": plan.n_output_features,
+            "schema_hash": meta.get("schema_hash"),
+            "config_hash": meta.get("config_hash"),
+            "requests_total": self.report.requests_total,
+        }
+
+    # ------------------------------------------------------------------
+    # The serve loop
+    # ------------------------------------------------------------------
+    def serve(self, payloads) -> "list[ServingResponse]":
+        """Run an iterable of requests through the bounded queue.
+
+        Responses come back in request order; shed requests are answered
+        with flagged ``shed`` responses rather than silently dropped.
+        """
+        responses: "dict[int, ServingResponse]" = {}
+        for payload in payloads:
+            rid = next(self._ids)
+            shed = self._queue.offer(_QueuedRequest(rid, payload))
+            if shed is not None:
+                self.report.shed += 1
+                responses[shed.request_id] = ServingResponse(
+                    shed.request_id,
+                    SHED,
+                    error="shed under overload (bounded queue, shed-oldest)",
+                )
+        while True:
+            item = self._queue.pop()
+            if item is None:
+                break
+            responses[item.request_id] = self._process(
+                item.request_id, item.payload
+            )
+        return [responses[rid] for rid in sorted(responses)]
+
+    def serve_one(self, payload) -> ServingResponse:
+        """Serve a single request (record dict, 1-D row, batch, Dataset)."""
+        return self.serve([payload])[0]
+
+    # ------------------------------------------------------------------
+    def _process(self, rid: int, payload) -> ServingResponse:
+        with self._lock:
+            plan = self._plan
+            validator = self._validator
+            breakers = self._breakers
+        self.report.requests_total += 1
+
+        admission = validator.admit(payload)
+        if admission.category == REJECTED:
+            self.report.rejected += 1
+            return ServingResponse(
+                rid, REJECTED_STATUS, error=str(admission.error)
+            )
+        if admission.category == EXACT:
+            self.report.admitted_exact += 1
+        else:
+            self.report.admitted_coerced += 1
+            self.report.record_coercions(admission.coercions)
+
+        X = admission.X
+        self._probe_row = X[:1].copy()  # last admitted row = hot-swap probe
+        deadline = None
+        if self.deadline_ms is not None:
+            deadline = self._clock() + self.deadline_ms / 1000.0
+
+        expressions = plan.expressions
+        out = np.empty(
+            (X.shape[0], len(expressions)), dtype=np.float64, order="F"
+        )
+        cache = EvalCache(X)
+        nulled: "list[str]" = []
+        deadline_hit = False
+        for j, expr in enumerate(expressions):
+            now = self._clock()
+            if deadline is not None and now >= deadline:
+                # Budget exhausted: the remaining columns are served NaN
+                # and the whole tail is flagged, in one recorded hit.
+                out[:, j:] = np.nan
+                nulled.extend(e.key for e in expressions[j:])
+                deadline_hit = True
+                self.report.deadline_hits += 1
+                break
+            breaker = breakers.get(expr.key)
+            if breaker is not None and not breaker.allow(now):
+                out[:, j] = np.nan
+                nulled.append(expr.key)
+                self.report.breaker_short_circuits += 1
+                continue
+            try:
+                try:
+                    # Chaos hook: an armed slow operator burns the whole
+                    # remaining deadline budget, then evaluates normally —
+                    # the *next* step's deadline check degrades the tail.
+                    failpoint("serve.slow_operator")
+                except InjectedFault:
+                    self._stall_past(deadline)
+                # Chaos hook: a hard operator fault at this step.
+                failpoint("serve.operator")
+                column = np.asarray(cache.column(expr), dtype=np.float64)
+            except Exception:
+                # Degraded serving: the NaN column, the breaker failure,
+                # and the report entry *are* the record of this fault.
+                out[:, j] = np.nan
+                nulled.append(expr.key)
+                self.report.nulled_columns += 1
+                if breaker is not None and breaker.record_failure(self._clock()):
+                    self.report.record_trip(expr.key)
+            else:
+                out[:, j] = column
+                if breaker is not None:
+                    breaker.record_success()
+
+        status = DEGRADED if (nulled or deadline_hit) else OK
+        values = out[0] if admission.single else out
+        return ServingResponse(
+            rid,
+            status,
+            values=values,
+            admission=admission.category,
+            coercions=admission.coercions,
+            nulled=tuple(nulled),
+            deadline_hit=deadline_hit,
+        )
+
+    def _stall_past(self, deadline: "float | None") -> None:
+        """Burn the remaining deadline budget (the simulated slow operator).
+
+        With no deadline configured there is no budget to burn — the
+        session has chosen unbounded latency, so a slow operator is not a
+        fault and the stall is a no-op.
+        """
+        if deadline is None:
+            return
+        while self._clock() < deadline:
+            self._sleep(max(deadline - self._clock(), 0.0) + 1e-4)
+
+    # ------------------------------------------------------------------
+    # Hot-swap
+    # ------------------------------------------------------------------
+    def swap_plan(
+        self, candidate: "FeatureTransformer | str | Path"
+    ) -> FeatureTransformer:
+        """Atomically replace the served plan, or roll back and raise.
+
+        Protocol (all under the session lock, so requests see either the
+        old plan or the fully installed new one):
+
+        1. **Load** — a path is loaded through
+           :meth:`FeatureTransformer.load`, so corruption and
+           forward-version faults surface as typed errors;
+        2. **Fingerprint gate** — the candidate must expect exactly the
+           live input schema (``original_names`` / ``schema_hash``);
+           serving traffic does not change shape because the plan did;
+        3. **Self-test** — the candidate transforms a probe row (the last
+           admitted row, or zeros before any traffic) with
+           ``errors="raise"``; any fault vetoes the swap;
+        4. **Install or roll back** — only a candidate that passed all
+           gates is installed (with fresh breakers); every failure leaves
+           the prior plan serving, records the reason on the report, and
+           raises :class:`~repro.exceptions.PlanSwapError`.
+        """
+        with self._lock:
+            current = self._plan
+            if not isinstance(candidate, FeatureTransformer):
+                try:
+                    candidate = FeatureTransformer.load(candidate)
+                except ReproError as exc:
+                    reason = f"load failed: {type(exc).__name__}: {exc}"
+                    self.report.record_swap_failure(reason)
+                    raise PlanSwapError(
+                        f"hot-swap refused ({reason}); keeping the current plan"
+                    ) from exc
+            if candidate.original_names != current.original_names:
+                reason = (
+                    "schema fingerprint mismatch: candidate expects "
+                    f"{len(candidate.original_names)} columns "
+                    f"{candidate.original_names[:3]}..., live schema has "
+                    f"{len(current.original_names)}"
+                )
+                self.report.record_swap_failure(reason)
+                raise PlanSwapError(
+                    f"hot-swap refused ({reason}); keeping the current plan"
+                )
+            probe = self._probe_row
+            if probe is None:
+                probe = np.zeros((1, len(current.original_names)))
+            try:
+                # Chaos hook: a candidate that loads cleanly but cannot
+                # actually serve must be caught here, not by live traffic.
+                failpoint("serve.bad_swap_plan")
+                candidate.transform_matrix(probe, errors="raise")
+            except Exception as exc:
+                reason = f"self-test failed: {type(exc).__name__}: {exc}"
+                self.report.record_swap_failure(reason)
+                raise PlanSwapError(
+                    f"hot-swap rolled back ({reason}); keeping the current plan"
+                ) from exc
+            self._install(candidate)
+            self.report.swaps_completed += 1
+            return candidate

@@ -1,0 +1,298 @@
+"""Admission control: classify incoming requests against the plan schema.
+
+Production traffic drifts: an upstream team renames a column, reorders a
+CSV export, starts sending strings, or drops a field. The worst outcome
+is *silent garbage* — positionally binding drifted columns to the plan's
+expressions and serving confidently wrong features. Admission makes the
+outcome explicit instead. Every request is classified as
+
+* ``exact``    — matches the fit-time schema as-is (the bit-identical
+  fast path);
+* ``coerced``  — repairable under the active :class:`CoercionPolicy`
+  (columns reordered by name, values cast to float, missing columns
+  filled with NaN, extra columns dropped), with each repair recorded;
+* ``rejected`` — drift the policy does not cover; the request is refused
+  with a typed :class:`~repro.exceptions.AdmissionError` naming exactly
+  what drifted, and counted.
+
+The validator is built from a plan's ``original_names`` +
+``schema_hash`` metadata (see :meth:`RequestValidator.for_plan`), so the
+contract it enforces is the one the plan was fitted under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.transform import FeatureTransformer
+from ..exceptions import AdmissionError, ConfigurationError
+from ..runtime.checkpoint import schema_fingerprint
+from ..runtime.failpoints import failpoint
+from ..tabular.dataset import Dataset
+
+#: Admission categories.
+EXACT = "exact"
+COERCED = "coerced"
+REJECTED = "rejected"
+
+_POLICY_TOKENS = ("reorder", "cast", "missing", "extra")
+
+
+@dataclass(frozen=True)
+class CoercionPolicy:
+    """Which schema repairs admission may apply silently (but recorded).
+
+    ``missing`` and ``extra`` are tri-state by string so the config reads
+    like the behavior: ``missing="nan"`` fills absent columns with NaN,
+    ``missing="reject"`` refuses them; ``extra="drop"`` ignores unknown
+    columns, ``extra="reject"`` refuses them.
+    """
+
+    reorder: bool = True
+    cast: bool = True
+    missing: str = "reject"
+    extra: str = "reject"
+
+    def __post_init__(self) -> None:
+        if self.missing not in ("nan", "reject"):
+            raise ConfigurationError(
+                f"missing policy must be 'nan' or 'reject', got {self.missing!r}"
+            )
+        if self.extra not in ("drop", "reject"):
+            raise ConfigurationError(
+                f"extra policy must be 'drop' or 'reject', got {self.extra!r}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "CoercionPolicy":
+        """Parse a CLI ``--coerce`` spec.
+
+        ``"none"`` allows nothing, ``"all"`` allows everything, and a
+        comma list of ``reorder``/``cast``/``missing``/``extra`` enables
+        exactly those repairs (``missing`` implies fill-with-NaN,
+        ``extra`` implies drop).
+        """
+        spec = spec.strip().lower()
+        if spec == "none":
+            return cls(reorder=False, cast=False, missing="reject", extra="reject")
+        if spec == "all":
+            return cls(reorder=True, cast=True, missing="nan", extra="drop")
+        enabled = set()
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if token not in _POLICY_TOKENS:
+                raise ConfigurationError(
+                    f"unknown coercion {token!r}; expected none, all, or a "
+                    f"comma list of {_POLICY_TOKENS}"
+                )
+            enabled.add(token)
+        return cls(
+            reorder="reorder" in enabled,
+            cast="cast" in enabled,
+            missing="nan" if "missing" in enabled else "reject",
+            extra="drop" if "extra" in enabled else "reject",
+        )
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One classified request: category, repaired matrix, and notes."""
+
+    category: str
+    #: Float64 ``(n, width)`` matrix in plan column order (None if rejected).
+    X: "np.ndarray | None"
+    #: Whether the request was a single record (1-D / mapping).
+    single: bool = False
+    #: Human-readable repairs applied (``"reordered"``, ``"missing:age"``...).
+    coercions: "tuple[str, ...]" = ()
+    #: The typed refusal, for ``rejected`` admissions.
+    error: "AdmissionError | None" = None
+
+
+class RequestValidator:
+    """Classifies requests against one fitted schema; counts by category."""
+
+    def __init__(
+        self,
+        names: "tuple[str, ...]",
+        schema_hash: "str | None" = None,
+        policy: "CoercionPolicy | None" = None,
+    ) -> None:
+        self.names = tuple(names)
+        self.policy = policy if policy is not None else CoercionPolicy()
+        expected = schema_fingerprint(self.names)
+        if schema_hash is not None and schema_hash != expected:
+            raise AdmissionError(
+                "schema_hash does not match the plan's original_names; "
+                "refusing to build an admission contract from a tampered plan"
+            )
+        self.schema_hash = expected
+        self.counters = {EXACT: 0, COERCED: 0, REJECTED: 0}
+        self._index = {name: i for i, name in enumerate(self.names)}
+
+    @classmethod
+    def for_plan(
+        cls, plan: FeatureTransformer, policy: "CoercionPolicy | None" = None
+    ) -> "RequestValidator":
+        stored = None
+        if isinstance(plan.metadata, dict):
+            stored = plan.metadata.get("schema_hash")
+        return cls(plan.original_names, schema_hash=stored, policy=policy)
+
+    # ------------------------------------------------------------------
+    def admit(self, request) -> Admission:
+        """Classify one request; never raises for drifted *data* (the
+        refusal rides on the returned :class:`Admission`)."""
+        try:
+            # Chaos hook: an injected admission fault must surface as a
+            # counted rejection, not a crashed serve loop.
+            failpoint("serve.admit")
+            admission = self._classify(request)
+        except AdmissionError as exc:
+            admission = Admission(REJECTED, None, error=exc)
+        except Exception as exc:
+            admission = Admission(
+                REJECTED,
+                None,
+                error=AdmissionError(
+                    f"admission failed: {type(exc).__name__}: {exc}"
+                ),
+            )
+        self.counters[admission.category] += 1
+        return admission
+
+    # ------------------------------------------------------------------
+    def _classify(self, request) -> Admission:
+        if isinstance(request, Dataset):
+            return self._classify_named(request.names, request.X, single=False)
+        if isinstance(request, Mapping):
+            names = tuple(str(k) for k in request.keys())
+            row = [request[k] for k in request.keys()]
+            try:
+                # All-numeric records keep a numeric dtype (the exact
+                # path); mixed/typed payloads fall back to object and go
+                # through the cast policy.
+                values = np.asarray(row)
+            except Exception:
+                values = np.asarray(row, dtype=object)
+            if values.dtype.kind not in "bifu":
+                values = np.asarray(row, dtype=object)
+            return self._classify_named(
+                names, values.reshape(1, -1), single=True
+            )
+        return self._classify_positional(request)
+
+    def _classify_positional(self, request) -> Admission:
+        arr = np.asarray(request)
+        single = arr.ndim == 1
+        if single:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2:
+            raise AdmissionError(
+                f"request must be a record or a 2-D batch, got ndim={arr.ndim}"
+            )
+        if arr.shape[1] != len(self.names):
+            raise AdmissionError(
+                f"request has {arr.shape[1]} columns, plan expects "
+                f"{len(self.names)}; positional input cannot be realigned — "
+                "send named columns to allow coercion"
+            )
+        numeric = arr.dtype == bool or np.issubdtype(arr.dtype, np.number)
+        X, cast_note = self._cast(arr, numeric_is_exact=numeric)
+        notes = (cast_note,) if cast_note else ()
+        category = COERCED if notes else EXACT
+        return Admission(category, X, single=single, coercions=notes)
+
+    def _classify_named(
+        self, names: "tuple[str, ...]", matrix: np.ndarray, single: bool
+    ) -> Admission:
+        matrix = np.asarray(matrix)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+            single = True
+        if matrix.shape[1] != len(names):
+            raise AdmissionError(
+                f"request carries {len(names)} names for {matrix.shape[1]} columns"
+            )
+        if len(set(names)) != len(names):
+            raise AdmissionError("request has duplicate column names")
+
+        notes: "list[str]" = []
+        if names != self.names:
+            known = set(self.names)
+            extra = [n for n in names if n not in known]
+            missing = [n for n in self.names if n not in set(names)]
+            if extra:
+                if self.policy.extra != "drop":
+                    raise AdmissionError(
+                        f"unknown columns {extra[:5]} (policy forbids "
+                        "dropping extra columns)"
+                    )
+                notes.extend(f"extra:{n}" for n in extra)
+            if missing:
+                if self.policy.missing != "nan":
+                    raise AdmissionError(
+                        f"missing columns {missing[:5]} (policy forbids "
+                        "filling missing columns with NaN)"
+                    )
+                notes.extend(f"missing:{n}" for n in missing)
+            present = [n for n in names if n in known]
+            schema_order = [n for n in self.names if n in set(present)]
+            if present != schema_order:
+                if not self.policy.reorder:
+                    raise AdmissionError(
+                        "columns are out of schema order (policy forbids "
+                        "reordering by name)"
+                    )
+                notes.append("reordered")
+
+            src = {n: j for j, n in enumerate(names)}
+            out = np.empty((matrix.shape[0], len(self.names)), dtype=object)
+            out[:] = np.nan
+            for i, name in enumerate(self.names):
+                j = src.get(name)
+                if j is not None:
+                    out[:, i] = matrix[:, j]
+            matrix = out
+
+        numeric = matrix.dtype == bool or np.issubdtype(matrix.dtype, np.number)
+        X, cast_note = self._cast(matrix, numeric_is_exact=numeric)
+        if cast_note:
+            notes.append(cast_note)
+        category = COERCED if notes else EXACT
+        return Admission(category, X, single=single, coercions=tuple(notes))
+
+    def _cast(
+        self, matrix: np.ndarray, numeric_is_exact: bool
+    ) -> "tuple[np.ndarray, str | None]":
+        """Cast to float64; a non-numeric source dtype needs ``cast``."""
+        if numeric_is_exact:
+            return np.asarray(matrix, dtype=np.float64), None
+        if not self.policy.cast:
+            raise AdmissionError(
+                f"values have dtype {matrix.dtype} (policy forbids casting "
+                "non-numeric values)"
+            )
+        try:
+            cast = np.asarray(
+                [
+                    [
+                        np.nan
+                        if value is None
+                        else float(value)
+                        for value in row
+                    ]
+                    for row in matrix
+                ],
+                dtype=np.float64,
+            )
+        except (TypeError, ValueError) as exc:
+            raise AdmissionError(
+                f"uncastable value in request: {exc}"
+            ) from exc
+        return cast, "cast"

@@ -305,6 +305,62 @@ class TestRobustnessRules:
         assert "except-swallow" not in _rule_ids(findings)
 
 
+class TestWallClockDeadlineRule:
+    def test_wallclock_deadline_arithmetic_fires(self):
+        findings = _lint_src(
+            "import time\n"
+            "def serve(budget):\n"
+            "    deadline = time.time() + budget\n"
+            "    return deadline\n"
+        )
+        assert "wallclock-deadline" in _rule_ids(findings)
+
+    def test_wallclock_timeout_compare_fires(self):
+        findings = _lint_src(
+            "import time\n"
+            "def poll(timeout_at):\n"
+            "    while time.time() < timeout_at:\n"
+            "        pass\n"
+        )
+        assert "wallclock-deadline" in _rule_ids(findings)
+
+    def test_bare_time_import_fires_in_deadline_scope(self):
+        findings = _lint_src(
+            "from time import time\n"
+            "def check_deadline(limit):\n"
+            "    return time() > limit\n"
+        )
+        assert "wallclock-deadline" in _rule_ids(findings)
+
+    def test_benign_timestamp_not_flagged(self):
+        # wall-clock is fine for logging/telemetry timestamps
+        findings = _lint_src(
+            "import time\n"
+            "def stamp(record):\n"
+            "    record.created_at = time.time()\n"
+            "    return record\n"
+        )
+        assert "wallclock-deadline" not in _rule_ids(findings)
+
+    def test_monotonic_deadline_not_flagged(self):
+        findings = _lint_src(
+            "import time\n"
+            "def serve(budget):\n"
+            "    deadline = time.monotonic() + budget\n"
+            "    return deadline\n"
+        )
+        assert "wallclock-deadline" not in _rule_ids(findings)
+
+    def test_suppression_silences_wallclock_deadline(self):
+        findings = _lint_src(
+            "import time\n"
+            "def serve(budget):\n"
+            "    deadline = time.time() + budget  # repro: ignore[wallclock-deadline] epoch contract\n"
+            "    return deadline\n"
+        )
+        assert "wallclock-deadline" not in _rule_ids(findings)
+
+
 class TestRuleRegistryCompleteness:
     """Every LintRule subclass shipped in a rules_* module is registered.
 

@@ -244,3 +244,107 @@ class TestTransformErrorsFlag:
                 ["transform", "--plan", "p.json", "--input", "a.csv",
                  "--output", "b.csv", "--errors", "ignore"]
             )
+
+
+class TestServeCommand:
+    def _fit(self, csv_dataset):
+        train_path, test_path, tmp = csv_dataset
+        plan = tmp / "plan.json"
+        assert main(["fit", "--train", str(train_path), "--plan", str(plan),
+                     "--gamma", "10", "--show", "0"]) == 0
+        return plan, test_path, tmp
+
+    def test_serve_clean_traffic_exits_0(self, csv_dataset, capsys):
+        plan, test_path, tmp = self._fit(csv_dataset)
+        out_csv = tmp / "served.csv"
+        report = tmp / "report.json"
+        rc = main(["serve", str(plan), "--input", str(test_path),
+                   "--output", str(out_csv), "--report", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "health: ok" in out
+
+        n_rows = load_csv(test_path).n_rows
+        assert load_csv(out_csv, label_column=None).n_rows == n_rows
+        summary = json.loads(report.read_text())
+        assert summary["requests_total"] == n_rows
+        assert summary["rejected"] == 0
+
+    def test_serve_matches_transform_output(self, csv_dataset, tmp_path):
+        plan, test_path, tmp = self._fit(csv_dataset)
+        served_csv = tmp / "served.csv"
+        transformed_csv = tmp / "transformed.csv"
+        assert main(["serve", str(plan), "--input", str(test_path),
+                     "--output", str(served_csv)]) == 0
+        assert main(["transform", "--plan", str(plan), "--input",
+                     str(test_path), "--output", str(transformed_csv)]) == 0
+        served = load_csv(served_csv, label_column=None)
+        # transform keeps the label column in its output; serve does not
+        transformed = load_csv(transformed_csv)
+        np.testing.assert_array_equal(served.X, transformed.X)
+
+    def test_drifted_input_rejected_exits_1(self, csv_dataset, capsys):
+        plan, test_path, tmp = self._fit(csv_dataset)
+        # upstream drops a feature column: under the default policy every
+        # request is refused, loudly
+        from repro.tabular import Dataset
+
+        data = load_csv(test_path)
+        drifted = tmp / "drifted.csv"
+        save_csv(
+            Dataset(X=data.X[:, 1:], names=data.names[1:], y=data.y),
+            drifted,
+        )
+        rc = main(["serve", str(plan), "--input", str(drifted)])
+        assert rc == 1
+        assert "rejected" in capsys.readouterr().out
+
+    def test_drifted_input_coerced_under_policy(self, csv_dataset, capsys):
+        plan, test_path, tmp = self._fit(csv_dataset)
+        from repro.tabular import Dataset
+
+        data = load_csv(test_path)
+        drifted = tmp / "drifted.csv"
+        save_csv(
+            Dataset(X=data.X[:, 1:], names=data.names[1:], y=data.y),
+            drifted,
+        )
+        rc = main(["serve", str(plan), "--input", str(drifted),
+                   "--coerce", "all"])
+        assert rc == 0
+        assert "coerced" in capsys.readouterr().out
+
+    def test_corrupt_swap_plan_rolls_back(self, csv_dataset, capsys):
+        plan, test_path, tmp = self._fit(csv_dataset)
+        bad = tmp / "bad_plan.json"
+        bad.write_text("{not json")
+        rc = main(["serve", str(plan), "--input", str(test_path),
+                   "--swap-plan", str(bad)])
+        assert rc == 0  # traffic itself stays clean on the rolled-back plan
+        captured = capsys.readouterr()
+        assert "hot-swap rolled back" in captured.err
+        assert "1 rolled back" in captured.out
+
+    def test_good_swap_plan_switches(self, csv_dataset, capsys):
+        plan, test_path, tmp = self._fit(csv_dataset)
+        candidate = tmp / "candidate.json"
+        candidate.write_text(Path(plan).read_text())
+        rc = main(["serve", str(plan), "--input", str(test_path),
+                   "--swap-plan", str(candidate)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "hot-swapped plan" in captured.out
+        assert "1 ok" in captured.out
+
+    def test_missing_plan_exits_2(self, tmp_path, csv_dataset, capsys):
+        __, test_path, __tmp = csv_dataset
+        rc = main(["serve", str(tmp_path / "missing.json"),
+                   "--input", str(test_path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_coerce_spec_exits_2(self, csv_dataset, capsys):
+        plan, test_path, __ = self._fit(csv_dataset)
+        rc = main(["serve", str(plan), "--input", str(test_path),
+                   "--coerce", "telepathy"])
+        assert rc == 2

@@ -276,3 +276,53 @@ class TestDegradedServing:
         assert isinstance(out, Dataset)
         assert np.all(np.isnan(out.X[:, 0]))
         assert np.array_equal(out.X[:, 1], ds.X[:, 0] + ds.X[:, 1])
+
+
+class TestFormatVersion:
+    """Forward compatibility: refuse plans written by a newer library."""
+
+    def test_save_writes_the_current_format_version(self, psi, tmp_path):
+        from repro.core.transform import PLAN_FORMAT_VERSION
+
+        path = tmp_path / "plan.json"
+        psi.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == PLAN_FORMAT_VERSION
+
+    def test_newer_format_version_rejected_with_typed_error(self, psi, tmp_path):
+        from repro.exceptions import PlanVersionError
+
+        path = tmp_path / "plan.json"
+        psi.save(path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PlanVersionError) as excinfo:
+            FeatureTransformer.load(path)
+        message = str(excinfo.value)
+        assert "99" in message and str(path) in message
+
+    def test_plan_version_error_is_a_schema_error(self):
+        from repro.exceptions import PlanVersionError
+
+        assert issubclass(PlanVersionError, SchemaError)
+
+    def test_missing_format_version_accepted_as_v1(self, psi, tmp_path):
+        # plans written before versioning existed keep loading
+        path = tmp_path / "plan.json"
+        psi.save(path)
+        payload = json.loads(path.read_text())
+        del payload["format_version"]
+        path.write_text(json.dumps(payload))
+        back = FeatureTransformer.load(path)
+        assert back.feature_keys == psi.feature_keys
+
+    def test_non_integer_format_version_rejected(self, psi, tmp_path):
+        path = tmp_path / "plan.json"
+        psi.save(path)
+        payload = json.loads(path.read_text())
+        for bad in ("two", True, 1.5):
+            payload["format_version"] = bad
+            path.write_text(json.dumps(payload))
+            with pytest.raises(SchemaError):
+                FeatureTransformer.load(path)

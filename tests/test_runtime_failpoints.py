@@ -172,3 +172,45 @@ class TestPlantedSiteAudit:
                 continue  # the registry's own docstring shows the syntax
             planted.update(pattern.findall(path.read_text(encoding="utf-8")))
         assert planted == set(KNOWN_SITES)
+
+
+class TestSpecErrors:
+    """Malformed specs fail loudly, with the offending entry named."""
+
+    @pytest.mark.parametrize(
+        "spec", ["", "nth", "nth:x", "nth:0", "prob:2.0", "maybe", "always:2"]
+    )
+    def test_typed_error_names_the_offending_spec(self, spec):
+        from repro.exceptions import FailpointSpecError
+
+        with pytest.raises(FailpointSpecError) as excinfo:
+            parse_spec("parallel.pool", spec)
+        message = str(excinfo.value)
+        assert "parallel.pool" in message
+        assert repr(spec) in message
+
+    def test_spec_error_is_a_configuration_error(self):
+        from repro.exceptions import FailpointSpecError
+
+        # callers catching ConfigurationError keep working
+        assert issubclass(FailpointSpecError, ConfigurationError)
+
+    def test_env_entry_without_equals_names_the_entry(self):
+        from repro.exceptions import FailpointSpecError
+
+        with pytest.raises(FailpointSpecError, match="checkpoint.read"):
+            FAILPOINTS.load_env("checkpoint.read")
+
+    def test_load_env_is_atomic_on_bad_entry(self):
+        """A bad entry arms *nothing* — no partially-applied fault plans."""
+        from repro.exceptions import FailpointSpecError
+
+        with pytest.raises(FailpointSpecError):
+            FAILPOINTS.load_env("checkpoint.read=once, transform.evaluate=nth:x")
+        assert FAILPOINTS.active_sites() == {}
+        failpoint("checkpoint.read")  # must not raise
+
+    def test_load_env_atomic_on_unknown_site_too(self):
+        with pytest.raises(ConfigurationError):
+            FAILPOINTS.load_env("checkpoint.read=once, no.such.site=always")
+        assert FAILPOINTS.active_sites() == {}

@@ -1,0 +1,88 @@
+"""Circuit breaker state machine: closed → open → half-open → closed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make(threshold=3, cooldown=10.0) -> CircuitBreaker:
+    return CircuitBreaker("x0", failure_threshold=threshold, cooldown=cooldown)
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            make(threshold=0)
+
+    def test_cooldown_must_be_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            make(cooldown=-1.0)
+
+
+class TestTrip:
+    def test_stays_closed_below_threshold(self):
+        breaker = make(threshold=3)
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(1.0)
+        assert breaker.state == CLOSED
+        assert breaker.allow(2.0)
+
+    def test_trips_open_at_threshold(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.record_failure(2.0)  # the trip is reported once
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make(threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(1.0)
+        assert breaker.state == CLOSED  # never two *consecutive* failures
+
+    def test_open_refuses_before_cooldown(self):
+        breaker = make(threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(5.0)
+        assert not breaker.allow(9.999)
+
+
+class TestHalfOpen:
+    def test_cooldown_elapsed_admits_one_probe(self):
+        breaker = make(threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(10.1)  # probe outstanding: refuse
+
+    def test_probe_success_closes(self):
+        breaker = make(threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(11.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow(11.1)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker = make(threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(11.0)
+        assert breaker.record_failure(11.0)  # re-trip
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow(20.0)   # cooldown restarted at t=11
+        assert breaker.allow(21.0)
+
+
+class TestZeroCooldown:
+    def test_zero_cooldown_probes_immediately(self):
+        breaker = make(threshold=1, cooldown=0.0)
+        breaker.record_failure(5.0)
+        assert breaker.allow(5.0)
+        assert breaker.state == HALF_OPEN

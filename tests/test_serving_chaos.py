@@ -1,0 +1,301 @@
+"""Serving chaos suite: the serve loop never crashes, every degradation
+is flagged, and the fault-free path is bit-identical to plain transform.
+
+This is the acceptance gate for the hardened serving runtime. Each
+scenario arms a serving failpoint (slow operator past deadline, hard
+operator faults until breakers trip, a hot-swap candidate that fails its
+self-test, queue overflow) and asserts the session answers *every*
+request with a flagged response while the :class:`ServingReport` records
+the degradation — then, with nothing armed, that a session's output is
+bit-for-bit the output of ``FeatureTransformer.transform``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FeatureTransformer
+from repro.exceptions import PlanSwapError
+from repro.operators import Applied, Var, fit_applied
+from repro.runtime.checkpoint import schema_fingerprint
+from repro.runtime.failpoints import FAILPOINTS, active
+from repro.serving import CoercionPolicy, ServingSession
+from repro.serving.session import DEGRADED, OK, SHED
+from repro.tabular import Dataset
+
+
+class ManualClock:
+    def __init__(self, step: float = 0.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.t
+        self.t += self.step
+        return value
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+NAMES = ("amount", "count", "age", "debt")
+
+
+@pytest.fixture
+def fitted_plan(rng) -> FeatureTransformer:
+    """A plan with stateless *and* fitted-state expressions, like a real Ψ."""
+    X = rng.normal(size=(100, 4))
+    return FeatureTransformer(
+        expressions=(
+            Var(0),
+            Applied("add", (Var(0), Var(1))),
+            fit_applied("zscore", (Var(2),), X),
+            Applied("div", (Var(3), Var(1))),
+            fit_applied("minmax", (Var(3),), X),
+        ),
+        original_names=NAMES,
+        metadata={"schema_hash": schema_fingerprint(NAMES), "config_hash": "cfg"},
+    )
+
+
+class TestFaultFreeBitIdentity:
+    """Acceptance: no faults armed → ServingSession ≡ transform."""
+
+    def test_batch_and_single_row_parity(self, fitted_plan, rng):
+        X = rng.normal(size=(64, 4))
+        session = ServingSession(fitted_plan)
+        batch = session.serve_one(X)
+        assert batch.status == OK
+        np.testing.assert_array_equal(
+            batch.values, fitted_plan.transform_matrix(X)
+        )
+        row = session.serve_one(X[0])
+        np.testing.assert_array_equal(
+            row.values, fitted_plan.transform_matrix(X[0])
+        )
+
+    def test_dataset_parity_with_pathological_values(self, fitted_plan):
+        X = np.array(
+            [
+                [np.nan, 0.0, 1e300, -1e300],
+                [np.inf, -np.inf, 0.0, 0.0],
+                [1.0, 2.0, 3.0, 4.0],
+            ]
+        )
+        session = ServingSession(fitted_plan)
+        response = session.serve_one(Dataset(X=X, names=NAMES))
+        assert response.ok
+        np.testing.assert_array_equal(
+            response.values, fitted_plan.transform_matrix(X)
+        )
+
+    def test_many_requests_stay_clean(self, fitted_plan, rng):
+        session = ServingSession(fitted_plan, deadline_ms=10_000, max_queue=64)
+        rows = [rng.normal(size=4) for _ in range(20)]
+        responses = session.serve(rows)
+        assert all(r.status == OK for r in responses)
+        for row, response in zip(rows, responses):
+            np.testing.assert_array_equal(
+                response.values, fitted_plan.transform_matrix(row)
+            )
+        assert session.report.degraded_responses == 0
+
+
+class TestSlowOperatorPastDeadline:
+    def test_slow_operator_degrades_tail_never_crashes(self, fitted_plan, rng):
+        # Real monotonic clock, tiny budget: the armed slow operator
+        # burns it at step 3; steps 1-2 already served stay intact.
+        session = ServingSession(fitted_plan, deadline_ms=50.0)
+        X = rng.normal(size=4)
+        with active("serve.slow_operator", mode="nth", nth=3):
+            response = session.serve_one(X)
+        assert response.status == DEGRADED
+        assert response.deadline_hit
+        clean = fitted_plan.transform_matrix(X)
+        np.testing.assert_array_equal(response.values[:3], clean[:3])
+        assert np.all(np.isnan(response.values[3:]))
+        assert session.report.deadline_hits == 1
+
+        # next request (nothing armed) is served clean and identical
+        follow_up = session.serve_one(X)
+        assert follow_up.status == OK
+        np.testing.assert_array_equal(follow_up.values, clean)
+
+    def test_slow_operator_without_deadline_is_harmless(self, fitted_plan, rng):
+        session = ServingSession(fitted_plan)  # unbounded budget by choice
+        with active("serve.slow_operator", mode="nth", nth=1):
+            response = session.serve_one(rng.normal(size=4))
+        assert response.status == OK
+
+
+class TestTrippedExpression:
+    def test_breaker_serves_nan_while_rest_of_psi_stays_live(
+        self, fitted_plan, rng
+    ):
+        clock = ManualClock()
+        session = ServingSession(
+            fitted_plan, breaker_threshold=2, breaker_cooldown=30.0, clock=clock
+        )
+        X = rng.normal(size=4)
+        clean = fitted_plan.transform_matrix(X)
+        bad_key = fitted_plan.expressions[2].key
+
+        # two consecutive faults at expression 3 trip its breaker
+        for _ in range(2):
+            with active("serve.operator", mode="nth", nth=3):
+                response = session.serve_one(X)
+            assert response.status == DEGRADED
+            assert response.nulled == (bad_key,)
+        assert session.report.breaker_trips == 1
+        assert session.report.tripped_expressions == [bad_key]
+
+        # while open: short-circuited to NaN, everything else identical
+        response = session.serve_one(X)
+        assert response.status == DEGRADED
+        assert np.isnan(response.values[2])
+        np.testing.assert_array_equal(
+            response.values[[0, 1, 3, 4]], clean[[0, 1, 3, 4]]
+        )
+        assert session.report.breaker_short_circuits == 1
+
+        # cooldown elapsed: probe succeeds, full Ψ is back, bit-identical
+        clock.t = 100.0
+        recovered = session.serve_one(X)
+        assert recovered.status == OK
+        np.testing.assert_array_equal(recovered.values, clean)
+
+
+class TestCorruptHotSwap:
+    def test_bad_swap_rolls_back_and_serving_continues(
+        self, fitted_plan, rng, tmp_path
+    ):
+        session = ServingSession(fitted_plan)
+        X = rng.normal(size=(8, 4))
+        clean = fitted_plan.transform_matrix(X)
+
+        # corrupt file, truncated JSON, wrong schema, failed self-test —
+        # all refused, all recorded, session serves the old plan throughout
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text('{"original_names": ["a"]')
+        with pytest.raises(PlanSwapError):
+            session.swap_plan(corrupt)
+
+        wrong_schema = FeatureTransformer(
+            expressions=(Var(0),), original_names=("x", "y")
+        )
+        with pytest.raises(PlanSwapError):
+            session.swap_plan(wrong_schema)
+
+        with active("serve.bad_swap_plan"):
+            with pytest.raises(PlanSwapError):
+                session.swap_plan(fitted_plan)
+
+        assert session.report.swaps_rolled_back == 3
+        assert len(session.report.swap_failures) == 3
+        response = session.serve_one(X)
+        assert response.status == OK
+        np.testing.assert_array_equal(response.values, clean)
+
+    def test_forward_version_plan_is_refused_at_swap(
+        self, fitted_plan, tmp_path
+    ):
+        import json
+
+        payload = fitted_plan.to_dict()
+        payload["format_version"] = 99
+        future = tmp_path / "future.json"
+        future.write_text(json.dumps(payload))
+        session = ServingSession(fitted_plan)
+        with pytest.raises(PlanSwapError, match="format_version"):
+            session.swap_plan(future)
+        assert session.report.swaps_rolled_back == 1
+
+
+class TestQueueOverflowChaos:
+    def test_burst_sheds_oldest_and_answers_everyone(self, fitted_plan, rng):
+        session = ServingSession(fitted_plan, max_queue=4)
+        rows = [rng.normal(size=4) for _ in range(12)]
+        responses = session.serve(rows)
+        assert len(responses) == 12
+        assert [r.status for r in responses[:8]] == [SHED] * 8
+        assert all(r.status == OK for r in responses[8:])
+        assert session.report.shed == 8
+        # shed responses are flagged, not silent
+        assert all("overload" in r.error for r in responses[:8])
+
+
+class TestEverythingAtOnce:
+    def test_full_chaos_never_crashes_and_all_flags_recorded(
+        self, fitted_plan, rng
+    ):
+        """All failure modes in one session; every request gets an answer."""
+        session = ServingSession(
+            fitted_plan,
+            deadline_ms=50.0,
+            max_queue=8,
+            breaker_threshold=1,
+            policy=CoercionPolicy.from_spec("all"),
+        )
+        rows: "list[object]" = [rng.normal(size=4) for _ in range(6)]
+        rows.insert(2, {"amount": 1.0})            # coerced (missing → NaN)
+        rows.insert(4, np.ones(9))                 # rejected (width drift)
+        with active("serve.operator", mode="prob", probability=0.3, seed=7):
+            responses = session.serve(rows)
+        assert len(responses) == len(rows)
+        assert all(r.status in (OK, DEGRADED, SHED, "rejected") for r in responses)
+        # flags account for every degradation
+        summary = session.report.summary()
+        degraded = [r for r in responses if r.status == DEGRADED]
+        for response in degraded:
+            assert response.nulled or response.deadline_hit
+        assert summary["rejected"] == 1
+        assert summary["nulled_columns"] >= len(
+            [r for r in degraded if r.nulled]
+        ) or summary["breaker_short_circuits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Satellite: property-based chaos on the errors="null" degradation path
+# ----------------------------------------------------------------------
+class TestNullModeProperty:
+    """``transform(errors="null")`` never raises for a fault at any single
+    operator site, and the non-faulted columns are bit-identical."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        faulted=st.integers(min_value=1, max_value=5),
+        data=st.data(),
+    )
+    def test_single_site_fault_nulls_exactly_one_column(self, faulted, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+        X = rng.normal(size=(data.draw(st.integers(1, 12)), 4))
+        plan = FeatureTransformer(
+            expressions=(
+                Var(0),
+                Applied("add", (Var(0), Var(1))),
+                fit_applied("zscore", (Var(2),), X),
+                Applied("div", (Var(3), Var(1))),
+                Applied("mul", (Var(2), Var(3))),
+            ),
+            original_names=NAMES,
+        )
+        clean = plan.transform_matrix(X, errors="null")
+        FAILPOINTS.reset()
+        try:
+            # errors="null" hits transform.evaluate once per expression,
+            # so nth=k faults exactly the k-th column's evaluation.
+            with active("transform.evaluate", mode="nth", nth=faulted):
+                out = plan.transform_matrix(X, errors="null")  # must not raise
+        finally:
+            FAILPOINTS.reset()
+        j = faulted - 1
+        assert np.all(np.isnan(out[:, j]))
+        keep = [c for c in range(clean.shape[1]) if c != j]
+        np.testing.assert_array_equal(out[:, keep], clean[:, keep])

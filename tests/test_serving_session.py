@@ -1,0 +1,296 @@
+"""ServingSession: the serve loop, queue, deadlines, breakers, hot-swap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureTransformer
+from repro.exceptions import ConfigurationError, PlanSwapError
+from repro.operators import Applied, Var
+from repro.runtime.checkpoint import schema_fingerprint
+from repro.runtime.failpoints import FAILPOINTS, active
+from repro.serving import CoercionPolicy, ServingSession
+from repro.serving.session import DEGRADED, OK, REJECTED_STATUS, SHED
+from repro.tabular import Dataset
+
+NAMES = ("amount", "count", "age")
+
+
+class ManualClock:
+    """Monotonic test clock: returns ``t``, optionally stepping per call."""
+
+    def __init__(self, step: float = 0.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.t
+        self.t += self.step
+        return value
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+@pytest.fixture
+def plan() -> FeatureTransformer:
+    return FeatureTransformer(
+        expressions=(
+            Var(0),
+            Applied("add", (Var(0), Var(1))),
+            Applied("mul", (Var(1), Var(2))),
+        ),
+        original_names=NAMES,
+        metadata={"schema_hash": schema_fingerprint(NAMES), "config_hash": "cfg"},
+    )
+
+
+@pytest.fixture
+def other_plan() -> FeatureTransformer:
+    """Same input schema, different Ψ (a legitimate rollout candidate)."""
+    return FeatureTransformer(
+        expressions=(Applied("sub", (Var(2), Var(0))), Var(1)),
+        original_names=NAMES,
+        metadata={"schema_hash": schema_fingerprint(NAMES), "config_hash": "cfg2"},
+    )
+
+
+class TestBasicServing:
+    def test_single_record_ok(self, plan):
+        session = ServingSession(plan)
+        response = session.serve_one({"amount": 1.0, "count": 2.0, "age": 3.0})
+        assert response.status == OK and response.ok
+        np.testing.assert_array_equal(response.values, [1.0, 3.0, 6.0])
+
+    def test_batch_matches_transform_bitwise(self, plan, rng):
+        X = rng.normal(size=(50, 3))
+        session = ServingSession(plan)
+        response = session.serve_one(X)
+        assert response.status == OK
+        expected = plan.transform_matrix(X)
+        np.testing.assert_array_equal(response.values, expected)
+
+    def test_coerced_request_flagged_and_correct(self, plan):
+        session = ServingSession(plan)
+        response = session.serve_one({"age": 3.0, "count": 2.0, "amount": 1.0})
+        assert response.status == OK
+        assert response.admission == "coerced"
+        assert "reordered" in response.coercions
+        np.testing.assert_array_equal(response.values, [1.0, 3.0, 6.0])
+        assert session.report.admitted_coerced == 1
+        assert session.report.coercions.get("reordered") == 1
+
+    def test_rejected_request_flagged(self, plan):
+        session = ServingSession(plan)
+        response = session.serve_one({"amount": 1.0})
+        assert response.status == REJECTED_STATUS
+        assert not response.ok
+        assert response.values is None
+        assert "count" in response.error
+        assert session.report.rejected == 1
+
+    def test_responses_in_request_order(self, plan):
+        session = ServingSession(plan)
+        responses = session.serve(
+            [np.ones(3), {"bad": 1.0}, np.zeros(3)]
+        )
+        assert [r.request_id for r in responses] == [0, 1, 2]
+        assert [r.status for r in responses] == [OK, REJECTED_STATUS, OK]
+
+    def test_dataset_request(self, plan):
+        session = ServingSession(plan)
+        ds = Dataset(X=np.ones((4, 3)), names=NAMES)
+        response = session.serve_one(ds)
+        assert response.status == OK
+        assert response.values.shape == (4, 3)
+
+    def test_invalid_deadline_rejected(self, plan):
+        with pytest.raises(ConfigurationError):
+            ServingSession(plan, deadline_ms=0)
+
+
+class TestDeadlines:
+    def test_deadline_degrades_the_tail_only(self, plan):
+        # Clock: t=0 at deadline computation, then +0.2s per check; a
+        # 500 ms budget admits two steps and degrades the third.
+        session = ServingSession(
+            plan, deadline_ms=500, clock=ManualClock(step=0.2)
+        )
+        response = session.serve_one(np.array([1.0, 2.0, 3.0]))
+        assert response.status == DEGRADED
+        assert response.deadline_hit
+        np.testing.assert_array_equal(response.values[:2], [1.0, 3.0])
+        assert np.isnan(response.values[2])
+        assert response.nulled == (plan.expressions[2].key,)
+        assert session.report.deadline_hits == 1
+
+    def test_no_deadline_never_hits(self, plan):
+        session = ServingSession(plan, clock=ManualClock(step=100.0))
+        response = session.serve_one(np.ones(3))
+        assert response.status == OK and not response.deadline_hit
+
+
+class TestQueueShedding:
+    def test_overflow_sheds_oldest_with_flagged_responses(self, plan):
+        session = ServingSession(plan, max_queue=2)
+        responses = session.serve([np.full(3, float(i)) for i in range(5)])
+        assert len(responses) == 5
+        statuses = [r.status for r in responses]
+        # shed-oldest: the first three requests are dropped, the two
+        # freshest survive.
+        assert statuses == [SHED, SHED, SHED, OK, OK]
+        assert all(r.values is None for r in responses[:3])
+        assert session.report.shed == 3
+        assert session.report.requests_total == 2
+
+    def test_queue_within_bound_serves_everything(self, plan):
+        session = ServingSession(plan, max_queue=16)
+        responses = session.serve([np.ones(3)] * 10)
+        assert all(r.status == OK for r in responses)
+        assert session.report.shed == 0
+
+
+class TestBreakers:
+    def test_consecutive_faults_trip_and_short_circuit(self, plan):
+        clock = ManualClock()
+        session = ServingSession(
+            plan, breaker_threshold=2, breaker_cooldown=60.0, clock=clock
+        )
+        with active("serve.operator"):
+            first = session.serve_one(np.ones(3))
+            second = session.serve_one(np.ones(3))
+        assert first.status == DEGRADED
+        assert np.all(np.isnan(first.values))
+        assert len(first.nulled) == 3
+        # second faulting request tripped every expression's breaker
+        assert session.report.breaker_trips == 3
+        assert session.report.nulled_columns == 6
+
+        # disarmed, but breakers are open: served NaN without evaluation
+        third = session.serve_one(np.ones(3))
+        assert third.status == DEGRADED
+        assert np.all(np.isnan(third.values))
+        assert session.report.breaker_short_circuits == 3
+        assert session.health()["status"] == DEGRADED
+        assert len(session.health()["open_breakers"]) == 3
+
+        # cooldown elapsed: the half-open probes succeed and close
+        clock.t = 120.0
+        fourth = session.serve_one(np.ones(3))
+        assert fourth.status == OK
+        np.testing.assert_array_equal(fourth.values, [1.0, 2.0, 1.0])
+        assert session.health()["status"] == OK
+
+    def test_one_bad_expression_keeps_the_rest_live(self, plan):
+        clock = ManualClock()
+        session = ServingSession(
+            plan, breaker_threshold=1, breaker_cooldown=60.0, clock=clock
+        )
+        # nth=2 faults exactly the second expression of the first request
+        with active("serve.operator", mode="nth", nth=2):
+            response = session.serve_one(np.array([1.0, 2.0, 3.0]))
+        assert response.status == DEGRADED
+        assert response.nulled == (plan.expressions[1].key,)
+        np.testing.assert_array_equal(response.values[[0, 2]], [1.0, 6.0])
+
+        # the faulted expression now short-circuits; the others serve
+        response = session.serve_one(np.array([1.0, 2.0, 3.0]))
+        assert response.status == DEGRADED
+        assert np.isnan(response.values[1])
+        np.testing.assert_array_equal(response.values[[0, 2]], [1.0, 6.0])
+
+
+class TestHotSwap:
+    def test_swap_switches_atomically(self, plan, other_plan):
+        session = ServingSession(plan)
+        before = session.serve_one(np.array([1.0, 2.0, 3.0]))
+        installed = session.swap_plan(other_plan)
+        assert installed is other_plan
+        after = session.serve_one(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(before.values, [1.0, 3.0, 6.0])
+        np.testing.assert_array_equal(after.values, [2.0, 2.0])
+        assert session.report.swaps_completed == 1
+        assert session.health()["config_hash"] == "cfg2"
+
+    def test_swap_from_path(self, plan, other_plan, tmp_path):
+        path = tmp_path / "candidate.json"
+        other_plan.save(path)
+        session = ServingSession(plan)
+        session.swap_plan(path)
+        assert session.plan.feature_keys == other_plan.feature_keys
+
+    def test_swap_refuses_schema_mismatch(self, plan):
+        wrong = FeatureTransformer(
+            expressions=(Var(0),), original_names=("a", "b")
+        )
+        session = ServingSession(plan)
+        with pytest.raises(PlanSwapError, match="fingerprint"):
+            session.swap_plan(wrong)
+        assert session.plan is plan
+        assert session.report.swaps_rolled_back == 1
+        assert session.report.swap_failures
+
+    def test_swap_refuses_corrupt_file(self, plan, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        session = ServingSession(plan)
+        with pytest.raises(PlanSwapError, match="load failed"):
+            session.swap_plan(bad)
+        assert session.plan is plan
+        assert session.report.swaps_rolled_back == 1
+
+    def test_failed_selftest_rolls_back(self, plan, other_plan):
+        session = ServingSession(plan)
+        session.serve_one(np.array([1.0, 2.0, 3.0]))  # seeds the probe row
+        with active("serve.bad_swap_plan"):
+            with pytest.raises(PlanSwapError, match="self-test"):
+                session.swap_plan(other_plan)
+        # rollback: the prior plan keeps serving, identically
+        response = session.serve_one(np.array([1.0, 2.0, 3.0]))
+        assert response.status == OK
+        np.testing.assert_array_equal(response.values, [1.0, 3.0, 6.0])
+        assert session.report.swaps_rolled_back == 1
+        assert "self-test failed" in session.report.swap_failures[0]
+
+    def test_swap_resets_breakers(self, plan, other_plan):
+        session = ServingSession(plan, breaker_threshold=1)
+        with active("serve.operator"):
+            session.serve_one(np.ones(3))
+        assert session.health()["status"] == DEGRADED
+        session.swap_plan(other_plan)
+        assert session.health()["status"] == OK
+
+
+class TestHealthAndReport:
+    def test_health_shape(self, plan):
+        session = ServingSession(plan)
+        health = session.health()
+        assert health["ready"] is True
+        assert health["status"] == OK
+        assert health["queue_depth"] == 0
+        assert health["n_features"] == 3
+        assert health["schema_hash"] == schema_fingerprint(NAMES)
+
+    def test_report_summary_is_jsonable(self, plan):
+        import json
+
+        session = ServingSession(plan, max_queue=1)
+        with active("serve.operator", mode="once"):
+            session.serve([np.ones(3), {"bad": 1.0}, np.ones(3)])
+        summary = session.report.summary()
+        json.dumps(summary)  # must not raise
+        assert summary["requests_total"] >= 1
+
+    def test_policy_threads_through(self, plan):
+        session = ServingSession(
+            plan, policy=CoercionPolicy.from_spec("none")
+        )
+        response = session.serve_one(
+            {"age": 3.0, "amount": 1.0, "count": 2.0}
+        )
+        assert response.status == REJECTED_STATUS

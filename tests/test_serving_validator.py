@@ -1,0 +1,212 @@
+"""Admission control: categories, coercion policy, counters, typed refusals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AdmissionError, ConfigurationError
+from repro.runtime.checkpoint import schema_fingerprint
+from repro.runtime.failpoints import FAILPOINTS, active
+from repro.serving.validator import (
+    COERCED,
+    EXACT,
+    REJECTED,
+    Admission,
+    CoercionPolicy,
+    RequestValidator,
+)
+from repro.tabular import Dataset
+
+NAMES = ("amount", "count", "age")
+
+ALL = CoercionPolicy(reorder=True, cast=True, missing="nan", extra="drop")
+NONE = CoercionPolicy(reorder=False, cast=False, missing="reject", extra="reject")
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+def make(policy=None) -> RequestValidator:
+    return RequestValidator(NAMES, policy=policy)
+
+
+class TestPolicy:
+    def test_from_spec_none_and_all(self):
+        assert CoercionPolicy.from_spec("none") == NONE
+        assert CoercionPolicy.from_spec("all") == ALL
+
+    def test_from_spec_comma_list(self):
+        policy = CoercionPolicy.from_spec("reorder,missing")
+        assert policy.reorder and not policy.cast
+        assert policy.missing == "nan" and policy.extra == "reject"
+
+    def test_from_spec_unknown_token_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoercionPolicy.from_spec("reorder,telepathy")
+
+    def test_invalid_policy_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoercionPolicy(missing="zero")
+        with pytest.raises(ConfigurationError):
+            CoercionPolicy(extra="keep")
+
+
+class TestExact:
+    def test_positional_row(self):
+        admission = make().admit(np.array([1.0, 2.0, 3.0]))
+        assert admission.category == EXACT
+        assert admission.single
+        assert admission.X.shape == (1, 3)
+
+    def test_positional_batch(self):
+        admission = make().admit(np.ones((4, 3)))
+        assert admission.category == EXACT and not admission.single
+
+    def test_dataset_in_schema_order(self):
+        ds = Dataset(X=np.ones((2, 3)), names=NAMES)
+        admission = make().admit(ds)
+        assert admission.category == EXACT
+
+    def test_record_in_schema_order(self):
+        admission = make().admit({"amount": 1.0, "count": 2.0, "age": 3.0})
+        assert admission.category == EXACT
+        assert admission.single
+        np.testing.assert_array_equal(admission.X, [[1.0, 2.0, 3.0]])
+
+    def test_int_and_bool_arrays_are_exact(self):
+        assert make().admit(np.array([1, 2, 3])).category == EXACT
+        assert make().admit(np.array([True, False, True])).category == EXACT
+
+
+class TestCoercible:
+    def test_reordered_record(self):
+        admission = make().admit({"age": 3.0, "amount": 1.0, "count": 2.0})
+        assert admission.category == COERCED
+        assert "reordered" in admission.coercions
+        np.testing.assert_array_equal(admission.X, [[1.0, 2.0, 3.0]])
+
+    def test_reordered_dataset(self):
+        ds = Dataset(X=np.array([[3.0, 1.0, 2.0]]), names=("age", "amount", "count"))
+        admission = make().admit(ds)
+        assert admission.category == COERCED
+        np.testing.assert_array_equal(admission.X, [[1.0, 2.0, 3.0]])
+
+    def test_castable_strings(self):
+        admission = make().admit({"amount": "1.5", "count": "2", "age": "3"})
+        assert admission.category == COERCED
+        assert "cast" in admission.coercions
+        np.testing.assert_array_equal(admission.X, [[1.5, 2.0, 3.0]])
+
+    def test_none_value_casts_to_nan(self):
+        admission = make().admit({"amount": None, "count": 2.0, "age": 3.0})
+        assert admission.category == COERCED
+        assert np.isnan(admission.X[0, 0])
+
+    def test_missing_as_nan_under_policy(self):
+        admission = make(ALL).admit({"amount": 1.0, "age": 3.0})
+        assert admission.category == COERCED
+        assert "missing:count" in admission.coercions
+        assert np.isnan(admission.X[0, 1])
+        np.testing.assert_array_equal(admission.X[0, [0, 2]], [1.0, 3.0])
+
+    def test_extra_dropped_under_policy(self):
+        admission = make(ALL).admit(
+            {"amount": 1.0, "count": 2.0, "age": 3.0, "debt": 9.0}
+        )
+        assert admission.category == COERCED
+        assert "extra:debt" in admission.coercions
+        np.testing.assert_array_equal(admission.X, [[1.0, 2.0, 3.0]])
+
+
+class TestRejected:
+    def test_width_mismatch(self):
+        admission = make().admit(np.ones((2, 5)))
+        assert admission.category == REJECTED
+        assert isinstance(admission.error, AdmissionError)
+        assert "5 columns" in str(admission.error)
+
+    def test_missing_rejected_by_default(self):
+        admission = make().admit({"amount": 1.0, "age": 3.0})
+        assert admission.category == REJECTED
+        assert "count" in str(admission.error)
+
+    def test_extra_rejected_by_default(self):
+        admission = make().admit(
+            {"amount": 1.0, "count": 2.0, "age": 3.0, "debt": 9.0}
+        )
+        assert admission.category == REJECTED
+        assert "debt" in str(admission.error)
+
+    def test_renamed_column_is_missing_plus_extra(self):
+        # The canonical upstream drift: a renamed column never binds
+        # positionally — it surfaces as missing+extra, not silent garbage.
+        admission = make().admit({"amount": 1.0, "count": 2.0, "years": 3.0})
+        assert admission.category == REJECTED
+
+    def test_reorder_refused_when_policy_forbids(self):
+        admission = make(NONE).admit({"age": 3.0, "amount": 1.0, "count": 2.0})
+        assert admission.category == REJECTED
+        assert "order" in str(admission.error)
+
+    def test_cast_refused_when_policy_forbids(self):
+        admission = make(NONE).admit({"amount": "1.5", "count": "2", "age": "3"})
+        assert admission.category == REJECTED
+
+    def test_uncastable_value(self):
+        admission = make().admit({"amount": "lots", "count": 2.0, "age": 3.0})
+        assert admission.category == REJECTED
+        assert "uncastable" in str(admission.error)
+
+    def test_duplicate_names(self):
+        with pytest.raises(AdmissionError):
+            make()._classify_named(
+                ("amount", "amount", "age"), np.ones((1, 3)), single=True
+            )
+
+    def test_3d_request(self):
+        admission = make().admit(np.ones((2, 2, 2)))
+        assert admission.category == REJECTED
+
+    def test_admit_never_raises_on_weird_payloads(self):
+        for payload in ("garbage", object(), [[[1]]], {"a": object()}):
+            admission = make().admit(payload)
+            assert admission.category == REJECTED
+            assert admission.error is not None
+
+
+class TestCountersAndFingerprints:
+    def test_counters_track_categories(self):
+        validator = make(ALL)
+        validator.admit(np.ones(3))                      # exact
+        validator.admit({"age": 1.0, "amount": 0.0, "count": 0.0})  # coerced
+        validator.admit(np.ones(7))                      # rejected
+        assert validator.counters == {EXACT: 1, COERCED: 1, REJECTED: 1}
+
+    def test_tampered_schema_hash_refused(self):
+        with pytest.raises(AdmissionError):
+            RequestValidator(NAMES, schema_hash="not-the-real-hash")
+
+    def test_matching_schema_hash_accepted(self):
+        validator = RequestValidator(NAMES, schema_hash=schema_fingerprint(NAMES))
+        assert validator.schema_hash == schema_fingerprint(NAMES)
+
+    def test_admit_failpoint_is_a_counted_rejection(self):
+        validator = make()
+        with active("serve.admit"):
+            admission = validator.admit(np.ones(3))
+        assert admission.category == REJECTED
+        assert validator.counters[REJECTED] == 1
+        # disarmed again: the same request is admitted
+        assert validator.admit(np.ones(3)).category == EXACT
+
+
+class TestAdmissionObject:
+    def test_is_frozen(self):
+        admission = Admission(EXACT, None)
+        with pytest.raises(AttributeError):
+            admission.category = COERCED
