@@ -57,7 +57,14 @@ A single workload can be re-timed and merged into the existing
 ``BENCH_perf.json`` without re-running the others:
 ``PYTHONPATH=src python benchmarks/run_perf.py --stage selection``
 (repeatable; stages: scoring, generation, boosting, end_to_end,
-selection).
+selection, fit_stream).
+
+The ``fit_stream`` stage is the out-of-core acceptance run: a SAFE.fit
+over a 5M-row ``.npy``-memmapped ``ChunkedDataset`` recording rows/sec
+and the tracemalloc peak, gated on that peak staying at least 8x under
+the bytes materializing the matrix would cost, with an exact-sketch
+Ψ-parity sub-record (streaming vs in-memory, bit-identical keys) at
+reduced scale.
 """
 
 from __future__ import annotations
@@ -128,6 +135,12 @@ SEL_N_GROUPS = 150
 SEL_NOISE = 0.35  # within-group |corr| ~ 1/(1+sigma^2) ~ 0.89 > theta
 SEL_THETA = 0.8
 SEL_BLOCK_SIZE = 512
+FS_N_ROWS = 5_000_000
+FS_N_COLS = 8
+FS_CHUNK_ROWS = 8_192
+#: Fixed out-of-core ceiling: one eighth of the materialized matrix.
+FS_PEAK_CEILING_BYTES = FS_N_ROWS * FS_N_COLS * 8 // 8
+FS_PARITY_ROWS = 200_000
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
@@ -651,6 +664,104 @@ def run_end_to_end_fit() -> dict:
     }
 
 
+def _write_fit_stream_workload(dirpath: str, n_rows: int) -> tuple[str, str]:
+    """Materialize the memmap-backed workload on disk, chunk-at-a-time.
+
+    The generating process itself stays out-of-core (1M-row blocks into
+    ``open_memmap``) so the benchmark's measured peak reflects the fit,
+    not a leftover generation buffer.
+    """
+    import os
+
+    xp = os.path.join(dirpath, "X.npy")
+    yp = os.path.join(dirpath, "y.npy")
+    X = np.lib.format.open_memmap(
+        xp, mode="w+", dtype=np.float64, shape=(n_rows, FS_N_COLS)
+    )
+    y = np.lib.format.open_memmap(yp, mode="w+", dtype=np.float64, shape=(n_rows,))
+    rng = np.random.default_rng(SEED + 6)
+    for lo in range(0, n_rows, 1_000_000):
+        hi = min(lo + 1_000_000, n_rows)
+        block = rng.normal(size=(hi - lo, FS_N_COLS))
+        X[lo:hi] = block
+        y[lo:hi] = (
+            block[:, 0] - 0.5 * block[:, 1] + 0.5 * rng.normal(size=hi - lo) > 0
+        ).astype(np.float64)
+    X.flush()
+    y.flush()
+    del X, y
+    return xp, yp
+
+
+def run_fit_stream_benchmark() -> dict:
+    """Out-of-core SAFE.fit on a 5M-row memmapped ChunkedDataset.
+
+    Records rows/sec and the tracemalloc peak of the streaming fit
+    (``sketch="merge"``), the ratio of the materialized-matrix bytes to
+    that peak (the gate requires >= 8x), and an exact-sketch Ψ-parity
+    sub-record at ``FS_PARITY_ROWS`` where the in-memory fit is still
+    cheap enough to run: both paths must keep bit-identical expression
+    keys.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.core import SAFE, SAFEConfig
+    from repro.tabular import Dataset
+    from repro.tabular.io import ChunkedDataset
+
+    names = tuple(f"f{i}" for i in range(FS_N_COLS))
+    with tempfile.TemporaryDirectory() as td:
+        xp, yp = _write_fit_stream_workload(td, FS_N_ROWS)
+        cfg = SAFEConfig(n_iterations=1, sketch="merge", random_state=0)
+        data = ChunkedDataset(names, FS_CHUNK_ROWS, x_path=xp, y_path=yp)
+        tracemalloc.start()
+        try:
+            t0 = time.perf_counter()
+            psi = SAFE(cfg).fit(data)
+            stream_s = time.perf_counter() - t0
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+        # Parity sub-record: exact sketch, streaming vs in-memory, on a
+        # prefix slice small enough to materialize.
+        parity_cfg = SAFEConfig(n_iterations=1, sketch="exact", random_state=0)
+        parity_data = ChunkedDataset(
+            names, FS_CHUNK_ROWS, x_path=xp, y_path=yp, stop=FS_PARITY_ROWS
+        )
+        stream_keys = [
+            e.key for e in SAFE(parity_cfg).fit(parity_data).expressions
+        ]
+        mem_train = Dataset(
+            X=np.asarray(np.load(xp, mmap_mode="r")[:FS_PARITY_ROWS]),
+            y=np.asarray(np.load(yp, mmap_mode="r")[:FS_PARITY_ROWS]),
+            names=names,
+        )
+        mem_keys = [e.key for e in SAFE(parity_cfg).fit(mem_train).expressions]
+
+    matrix_bytes = FS_N_ROWS * FS_N_COLS * 8
+    return {
+        "n_rows": FS_N_ROWS,
+        "n_cols": FS_N_COLS,
+        "chunk_rows": FS_CHUNK_ROWS,
+        "sketch": "merge",
+        "seconds": stream_s,
+        "rows_per_second": FS_N_ROWS / stream_s,
+        "tracemalloc_peak_bytes": int(peak),
+        "peak_ceiling_bytes": FS_PEAK_CEILING_BYTES,
+        "matrix_bytes": matrix_bytes,
+        "matrix_to_peak_ratio": matrix_bytes / peak,
+        "n_output_features": len(psi.expressions),
+        "parity": {
+            "n_rows": FS_PARITY_ROWS,
+            "sketch": "exact",
+            "n_kept": len(stream_keys),
+            "psi_identical": stream_keys == mem_keys,
+        },
+    }
+
+
 def best_of(fn, repeats: int = 3) -> tuple[float, object]:
     best = float("inf")
     result = None
@@ -747,6 +858,7 @@ STAGE_RUNNERS = {
     "boosting": lambda: {"boosting": run_boosting_benchmark()},
     "end_to_end": lambda: {"end_to_end_fit": run_end_to_end_fit()},
     "selection": lambda: {"selection": run_selection_benchmark()},
+    "fit_stream": lambda: {"fit_stream": run_fit_stream_benchmark()},
 }
 ALL_STAGES = tuple(STAGE_RUNNERS)
 
@@ -786,6 +898,15 @@ def _print_stage_summaries(report: dict) -> None:
         )
     if "end_to_end_fit" in report:
         print(f"end-to-end fit: {report['end_to_end_fit']['seconds']:.3f}s")
+    if "fit_stream" in report:
+        r = report["fit_stream"]
+        print(
+            f"fit_stream: {r['n_rows']:,} rows in {r['seconds']:.1f}s "
+            f"({r['rows_per_second']:,.0f} rows/s)  "
+            f"peak {r['tracemalloc_peak_bytes'] / 1e6:.1f}MB "
+            f"({r['matrix_to_peak_ratio']:.1f}x under the matrix)  "
+            f"psi identical: {r['parity']['psi_identical']}"
+        )
     if "combined_speedup" in report:
         print(
             f"combined: {report['combined_speedup']:.2f}x   "
@@ -842,6 +963,13 @@ STAGE_GATES = {
         r["selection"]["speedup"] >= 4.0 and r["selection"]["kept_identical"]
     ),
     "end_to_end": lambda r: r["end_to_end_fit"]["n_output_features"] >= 1,
+    "fit_stream": lambda r: (
+        r["fit_stream"]["tracemalloc_peak_bytes"]
+        < r["fit_stream"]["peak_ceiling_bytes"]
+        and r["fit_stream"]["matrix_to_peak_ratio"] >= 8.0
+        and r["fit_stream"]["parity"]["psi_identical"]
+        and r["fit_stream"]["n_output_features"] >= 1
+    ),
 }
 
 

@@ -1,0 +1,44 @@
+"""Perf gate for the out-of-core streaming fit (not tier-1).
+
+Run explicitly with ``PYTHONPATH=src python -m pytest -m perf
+benchmarks/test_perf_fit_stream.py``. Asserts the acceptance criteria of
+the sharded-fit PR at full scale: ``SAFE.fit`` on a 5M-row memmapped
+``ChunkedDataset`` completes with a tracemalloc peak bounded by
+O(chunk + kept state) — under the fixed ceiling of one eighth of the
+materialized matrix, i.e. holding the rows in memory would cost >= 8x
+the streaming peak — and the exact-sketch streaming fit keeps a Ψ
+bit-identical to the in-memory fit on the same rows.
+
+The fast tier-1 twin of the memory gate (80k rows, direct in-memory
+comparison) is ``tests/test_core_stream.py::TestMemoryGate``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import run_perf
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_perf.run_fit_stream_benchmark()
+
+
+def test_workload_is_at_acceptance_scale(record):
+    assert record["n_rows"] >= 5_000_000
+    assert record["sketch"] == "merge"
+    assert record["n_output_features"] >= 1
+
+
+def test_peak_memory_is_out_of_core(record):
+    assert record["tracemalloc_peak_bytes"] < record["peak_ceiling_bytes"]
+    assert record["matrix_to_peak_ratio"] >= 8.0
+
+
+def test_exact_sketch_psi_is_bit_identical(record):
+    assert record["parity"]["n_rows"] >= 100_000
+    assert record["parity"]["psi_identical"] is True
+    assert record["parity"]["n_kept"] >= 1

@@ -40,9 +40,12 @@ from .registry import (
     EXEMPT_REGISTRY,
     INPLACE_MUTATORS,
     KERNEL_REGISTRY,
+    MERGEABLE_REGISTRY,
     ORACLE_REGISTRY,
     KernelContract,
+    MergeContract,
     batched_kernel,
+    chunk_mergeable,
     inplace_mutator,
     kernel_exempt,
     kernel_oracle,
@@ -79,9 +82,12 @@ __all__ = [
     "EXEMPT_REGISTRY",
     "INPLACE_MUTATORS",
     "KERNEL_REGISTRY",
+    "MERGEABLE_REGISTRY",
     "ORACLE_REGISTRY",
     "KernelContract",
+    "MergeContract",
     "batched_kernel",
+    "chunk_mergeable",
     "inplace_mutator",
     "kernel_exempt",
     "kernel_oracle",

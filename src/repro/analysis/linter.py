@@ -101,6 +101,7 @@ def default_rules() -> "list[LintRule]":
     from .rules_kernels import BatchableParityRule, KernelContractRule
     from .rules_parallel import ParallelCallableRule, ParallelChunkStateRule
     from .rules_robustness import ExceptSwallowRule, WallClockDeadlineRule
+    from .rules_stream import FullMatrixInChunkLoopRule
 
     return [
         FloatEqualityRule(),
@@ -115,6 +116,7 @@ def default_rules() -> "list[LintRule]":
         WallClockDeadlineRule(),
         KernelContractRule(),
         BatchableParityRule(),
+        FullMatrixInChunkLoopRule(),
     ]
 
 

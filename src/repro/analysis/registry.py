@@ -38,8 +38,41 @@ class KernelContract:
     line: int
 
 
+@dataclass(frozen=True)
+class MergeContract:
+    """Declared contract of one chunk-mergeable (sufficient-statistic) kernel.
+
+    A chunk-mergeable kernel maps a row chunk to a *partial* — a
+    sufficient statistic for its rows — and ``merge`` combines two
+    partials into the partial of the concatenated chunks. ``merge`` must
+    be associative with the empty chunk as identity, so partials can be
+    accumulated over any chunking (or sharding) of the rows.
+
+    ``exact`` declares the equivalence class: ``True`` means
+    ``merge(partial(A), partial(B))`` is **bit-identical** to
+    ``partial(A ∥ B)`` (integer counts, exact min/max); ``False`` means
+    the guarantee is ≤1e-9 relative (floating-point sums, whose value
+    depends on association order).
+    """
+
+    #: Qualified name (``module.qualname``) of the partial kernel.
+    name: str
+    #: Bare function name, used for test-suite cross-checks.
+    func_name: str
+    #: The merge callable: ``merge(partial_a, partial_b) -> partial``.
+    merge: "object"
+    #: Bit-identical merge (integer/exact statistics) vs ≤1e-9 (float sums).
+    exact: bool
+    #: Source location for lint findings.
+    path: str
+    line: int
+
+
 #: All registered batched kernels, keyed by qualified name.
 KERNEL_REGISTRY: "dict[str, KernelContract]" = {}
+
+#: All registered chunk-mergeable kernels, keyed by qualified name.
+MERGEABLE_REGISTRY: "dict[str, MergeContract]" = {}
 
 #: Scalar reference implementations (the audited semantics).
 ORACLE_REGISTRY: "dict[str, KernelContract]" = {}
@@ -85,6 +118,39 @@ def batched_kernel(oracle: "str | None" = None):
         )
         KERNEL_REGISTRY[contract.name] = contract
         fn.__kernel_contract__ = contract
+        return fn
+
+    return decorate
+
+
+def chunk_mergeable(merge, exact: bool):
+    """Declare a function as a chunk-mergeable sufficient-statistic kernel.
+
+    ``merge`` is the associative combiner of two partials; ``exact``
+    declares whether merging is bit-identical to a single-pass partial
+    (integer counts) or ≤1e-9 (float sums). The merge-property test
+    (``tests/test_stream_merge.py``) iterates :data:`MERGEABLE_REGISTRY`
+    and checks ``merge(partial(A), partial(B)) == partial(A ∥ B)`` at the
+    declared strength for every registered kernel, and the
+    ``full-matrix-in-chunk-loop`` lint rule forbids whole-array
+    (non-mergeable) reductions inside decorated functions. The function
+    itself is returned unchanged; composes with :func:`batched_kernel`.
+    """
+    if not callable(merge):
+        raise TypeError("chunk_mergeable requires a callable merge")
+
+    def decorate(fn):
+        path, line = _location(fn)
+        contract = MergeContract(
+            name=_qualname(fn),
+            func_name=fn.__name__,
+            merge=merge,
+            exact=bool(exact),
+            path=path,
+            line=line,
+        )
+        MERGEABLE_REGISTRY[contract.name] = contract
+        fn.__chunk_mergeable__ = contract
         return fn
 
     return decorate

@@ -1,0 +1,179 @@
+"""Streaming-contract lint rule: keep chunk code O(chunk), mergeable.
+
+The out-of-core fit (:mod:`repro.core.stream`) only holds its memory
+bound if two conventions survive maintenance:
+
+* a ``@chunk_mergeable`` kernel is a *sufficient statistic* of its
+  chunk — its partial must merge across any chunking. Order statistics
+  (``sort`` / ``median`` / ``quantile`` / ``percentile`` /
+  ``partition`` families) are not mergeable, so their appearance inside
+  a mergeable kernel body means the declared contract is a lie (the
+  one sanctioned home for rank queries is the bounded
+  :class:`~repro.tabular.binning.QuantileSketch`, whose compression
+  lives *outside* any ``@chunk_mergeable`` body). Axis-collapsing
+  no-argument reductions (``X.sum()``, ``X.mean()``, …) on a chunk
+  parameter and ``param[...].copy()`` chunk duplication are flagged as
+  the softer versions of the same smell: they discard the per-column
+  structure the merge needs, or double the chunk's resident memory;
+* a loop over ``iter_chunks()`` must not quietly re-materialize the
+  matrix it is streaming — ``np.concatenate`` / ``vstack`` / ``hstack``
+  / ``column_stack`` / ``stack`` / ``append`` on chunks inside the loop
+  body turns O(chunk) into O(n) and defeats the whole point.
+
+Both checks are scoped (decorated kernels; ``iter_chunks`` loop
+bodies), so ordinary batch code is never flagged. Genuine exceptions —
+e.g. a deliberate gather in a test helper — carry
+``# repro: ignore[full-matrix-in-chunk-loop]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .linter import LintContext, LintRule, SourceModule
+from .rules_kernels import _decorator_info
+from .scopes import iter_function_defs
+
+#: Order-statistic calls: fundamentally non-mergeable rank queries.
+ORDER_STAT_CALLS = frozenset(
+    {
+        "sort",
+        "argsort",
+        "partition",
+        "argpartition",
+        "median",
+        "quantile",
+        "percentile",
+        "nanmedian",
+        "nanquantile",
+        "nanpercentile",
+    }
+)
+
+#: No-argument reductions that collapse every axis of their receiver.
+AXIS_COLLAPSING_METHODS = frozenset({"sum", "mean", "std", "var"})
+
+#: Array-concatenating calls that rebuild a full matrix chunk by chunk.
+CONCATENATING_CALLS = frozenset(
+    {"concatenate", "vstack", "hstack", "column_stack", "stack", "append"}
+)
+
+
+def _param_names(fn) -> "set[str]":
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _is_iter_chunks_loop(node: ast.For) -> bool:
+    """``for ... in <expr>.iter_chunks(...)`` (or bare ``iter_chunks(...)``)."""
+    it = node.iter
+    if not isinstance(it, ast.Call):
+        return False
+    func = it.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    return name == "iter_chunks"
+
+
+class FullMatrixInChunkLoopRule(LintRule):
+    """Flag full-matrix work inside mergeable kernels and chunk loops."""
+
+    rule_id = "full-matrix-in-chunk-loop"
+
+    def check_module(self, module: SourceModule, ctx: LintContext):
+        if module.tree is None:
+            return
+        for fn in iter_function_defs(module.tree):
+            if "chunk_mergeable" in _decorator_info(fn):
+                yield from self._check_kernel(module, fn)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and _is_iter_chunks_loop(node):
+                yield from self._check_chunk_loop(module, node)
+
+    # -- scope A: @chunk_mergeable kernel bodies -----------------------
+    def _check_kernel(self, module: SourceModule, fn):
+        params = _param_names(fn)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name in ORDER_STAT_CALLS:
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule=self.rule_id,
+                    message=(
+                        f"order statistic '{name}' inside @chunk_mergeable "
+                        f"kernel '{fn.name}': rank queries are not mergeable "
+                        "across chunks — route them through a QuantileSketch "
+                        "partial instead"
+                    ),
+                )
+            elif (
+                name in AXIS_COLLAPSING_METHODS
+                and isinstance(func, ast.Attribute)
+                and not node.args
+                and not node.keywords
+                and isinstance(func.value, ast.Name)
+                and func.value.id in params
+            ):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule=self.rule_id,
+                    message=(
+                        f"no-axis '{name}()' on chunk parameter "
+                        f"'{func.value.id}' in @chunk_mergeable kernel "
+                        f"'{fn.name}' collapses the per-column structure the "
+                        "merge contract needs; reduce with an explicit axis"
+                    ),
+                )
+            elif (
+                name == "copy"
+                and isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Subscript)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in params
+            ):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule=self.rule_id,
+                    message=(
+                        f"'{func.value.value.id}[...].copy()' in "
+                        f"@chunk_mergeable kernel '{fn.name}' duplicates chunk "
+                        "memory; slices of the caller's chunk are read-only "
+                        "inputs — compute the partial without a private copy"
+                    ),
+                )
+
+    # -- scope B: for-loops over iter_chunks() -------------------------
+    def _check_chunk_loop(self, module: SourceModule, loop: ast.For):
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name in CONCATENATING_CALLS:
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule=self.rule_id,
+                    message=(
+                        f"'{name}' inside a loop over iter_chunks() "
+                        "re-materializes the streamed matrix (O(n) resident "
+                        "memory); accumulate a mergeable partial instead"
+                    ),
+                )

@@ -6,10 +6,13 @@ from .histogram import (
     SplitCandidate,
     best_split_for_feature,
     feature_histogram,
+    level_histogram_partial,
+    merge_histograms,
     split_gain,
 )
 from .losses import LogisticLoss, SquaredLoss, get_loss
-from .tree import Tree, TreePath
+from .stream import fit_gbm_streaming
+from .tree import Tree, TreePath, level_split_search
 
 __all__ = [
     "GradientBoostingClassifier",
@@ -22,6 +25,10 @@ __all__ = [
     "TreePath",
     "best_split_for_feature",
     "feature_histogram",
+    "fit_gbm_streaming",
     "get_loss",
+    "level_histogram_partial",
+    "level_split_search",
+    "merge_histograms",
     "split_gain",
 ]

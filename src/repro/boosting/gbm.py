@@ -65,6 +65,10 @@ class GradientBoostingClassifier:
     gamma: float = 0.0
     subsample: float = 1.0
     colsample: float = 1.0
+    #: Near-tie split determinism; 0 = historical strict argmax. The SAFE
+    #: miners pass ``repro.boosting.tree.GAIN_TIE_RTOL`` so the in-memory
+    #: and streaming growers resolve tied gains identically.
+    tie_rtol: float = 0.0
     max_bins: int = 64
     early_stopping_rounds: "int | None" = None
     random_state: "int | None" = 0
@@ -153,6 +157,7 @@ class GradientBoostingClassifier:
                 reg_lambda=self.reg_lambda,
                 gamma=self.gamma,
                 colsample=self.colsample,
+                tie_rtol=self.tie_rtol,
             ).fit(codes, edges, grad, hess, rng=rng, rows=rows)
             self.trees_.append(tree)
             # Margin update: rows in the fit partition gather their leaf

@@ -28,7 +28,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..analysis.registry import batched_kernel, kernel_exempt, kernel_oracle
+from ..analysis.registry import (
+    batched_kernel,
+    chunk_mergeable,
+    kernel_exempt,
+    kernel_oracle,
+)
 from ..exceptions import DataError
 
 
@@ -54,6 +59,70 @@ def compact_codes(codes: np.ndarray, stride: int) -> np.ndarray:
     if not codes.flags.f_contiguous:
         return np.asfortranarray(codes)
     return codes
+
+
+@kernel_exempt("associative merge helper for histogram partials, not a kernel")
+def merge_histograms(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two histogram partials: elementwise sum.
+
+    Gradient/hessian channels are float sums, so merging re-associates
+    the additions — the result matches a single-pass histogram to ≤1e-9
+    relative, not bit-for-bit. The count channel is exact (integers in
+    float64 well below 2**53).
+    """
+    return a + b
+
+
+@batched_kernel(oracle="feature_histogram")
+@chunk_mergeable(merge=merge_histograms, exact=False)
+def level_histogram_partial(
+    codes: np.ndarray,
+    slots: "np.ndarray | None",
+    w0: np.ndarray,
+    w1: np.ndarray,
+    m: int,
+    stride: int,
+    with_counts: bool = True,
+    rows: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Histogram block of one row chunk: ``(n_channels, m, n_cols, stride)``.
+
+    The sufficient statistic of level-order split search: per (node,
+    column, bin), the chunk's gradient sum, hessian sum and (optionally)
+    row count. ``slots[i]`` is row ``i``'s node offset (``node * stride``);
+    ``None`` means every row belongs to node 0, which keeps the single-node
+    fast path's one up-front ``intp`` conversion. ``rows`` optionally
+    gathers a subset of ``codes``'s rows (then ``slots``/``w0``/``w1``
+    align with ``rows``, not with ``codes``).
+
+    Partials over row chunks merge by :func:`merge_histograms`; the float
+    weight channels re-associate, so streamed histograms match in-memory
+    ones to ≤1e-9 relative (counts are exact).
+    """
+    n_cols = codes.shape[1]
+    n_channels = 3 if with_counts else 2
+    out = np.empty((n_channels, m, n_cols, stride))
+    if m == 0:
+        return out
+    length = m * stride
+    for j in range(n_cols):
+        col = codes[:, j] if rows is None else codes[rows, j]
+        if slots is None:
+            # One up-front intp conversion instead of one per bincount.
+            key = col.astype(np.intp)
+        else:
+            key = col + slots
+        out[0, :, j, :] = np.bincount(
+            key, weights=w0, minlength=length
+        ).reshape(m, stride)
+        out[1, :, j, :] = np.bincount(
+            key, weights=w1, minlength=length
+        ).reshape(m, stride)
+        if with_counts:
+            out[2, :, j, :] = np.bincount(key, minlength=length).reshape(
+                m, stride
+            )
+    return out
 
 
 class NodeHistogramBuilder:
@@ -110,39 +179,25 @@ class NodeHistogramBuilder:
         without transposition.
         """
         m = len(idx_list)
-        stride, n_cols = self.stride, self.n_cols
-        out = np.empty((self.n_channels, m, n_cols, stride))
         if m == 0:
-            return out
+            return np.empty((self.n_channels, 0, self.n_cols, self.stride))
         if m == 1:
             rows = idx_list[0]
             slot = None
         else:
             rows = np.concatenate(idx_list)
             sizes = [idx.size for idx in idx_list]
-            slot = np.repeat(np.arange(m, dtype=np.int64) * stride, sizes)
-        w0r = self.w0[rows]
-        w1r = self.w1[rows]
-        length = m * stride
-        codes = self.codes
-        with_counts = self.n_channels == 3
-        for j in range(n_cols):
-            if slot is None:
-                # One up-front intp conversion instead of one per bincount.
-                key = codes[rows, j].astype(np.intp)
-            else:
-                key = codes[rows, j] + slot
-            out[0, :, j, :] = np.bincount(
-                key, weights=w0r, minlength=length
-            ).reshape(m, stride)
-            out[1, :, j, :] = np.bincount(
-                key, weights=w1r, minlength=length
-            ).reshape(m, stride)
-            if with_counts:
-                out[2, :, j, :] = np.bincount(key, minlength=length).reshape(
-                    m, stride
-                )
-        return out
+            slot = np.repeat(np.arange(m, dtype=np.int64) * self.stride, sizes)
+        return level_histogram_partial(
+            self.codes,
+            slot,
+            self.w0[rows],
+            self.w1[rows],
+            m,
+            self.stride,
+            with_counts=self.n_channels == 3,
+            rows=rows,
+        )
 
 
 class SubtractionScheduler:

@@ -1,0 +1,398 @@
+"""Out-of-core gradient boosting: fit on row chunks at O(chunk + state) memory.
+
+The in-memory :class:`~repro.boosting.gbm.GradientBoostingClassifier`
+holds the full matrix, its binned codes, and per-node row-index arrays.
+None of those fit when the training rows only exist as a chunk stream, so
+the streaming grower restructures the same algorithm around *mergeable
+sufficient statistics* plus a handful of flat memory-mapped scratch
+arrays:
+
+* **edges** come from per-column :class:`~repro.tabular.binning.QuantileSketch`
+  partials (``sketch="exact"`` is bit-identical to the in-memory
+  ``quantile_codes_matrix`` edges; ``sketch="merge"`` is the
+  bounded-memory approximation);
+* **codes** are written once into a Fortran-ordered uint8 memmap, so
+  every later pass is a cheap page-in of O(chunk) bytes — the raw
+  feature chunks are never revisited after the two up-front passes;
+* each level's node histograms accumulate chunk-by-chunk through
+  :func:`~repro.boosting.histogram.level_histogram_partial` /
+  :func:`~repro.boosting.histogram.merge_histograms` — the same kernel
+  the in-memory builder is a one-chunk caller of — and split selection
+  is the shared :func:`~repro.boosting.tree.level_split_search`;
+* per-row state (margin, gradient/hessian, current node id) lives in
+  flat memmaps updated by chunked lookup-table passes; the per-node
+  ``_idx`` arrays of the in-memory grower never exist.
+
+Node numbering replicates the in-memory grower's exactly (children are
+created in level split order; the next level visits the smaller,
+directly-built children first, then the subtraction-derived larger ones
+— decided by exact integer row counts), so fixed-seed workloads yield
+structurally identical trees. Gradient/hessian sums travel through
+histogram bins rather than per-row ``sum()`` calls, so leaf values and
+gains match the in-memory fit to float re-association (≤1e-9 relative),
+not bit-for-bit.
+
+Unsupported in v1 (rejected with ``ConfigurationError``): row/column
+subsampling, early stopping / eval sets, and layouts needing more than
+256 codes per column (the uint8 scratch).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+
+from ..analysis.registry import inplace_mutator
+from ..exceptions import ConfigurationError, DataError
+from ..tabular.binning import (
+    DEFAULT_SKETCH_CAPACITY,
+    codes_from_edges_matrix,
+    streamed_quantile_edges,
+)
+from ..utils import as_label_vector
+from .gbm import GradientBoostingClassifier
+from .histogram import histogram_stride, level_histogram_partial, merge_histograms
+from .losses import get_loss
+from .tree import Tree, level_split_search
+
+#: Row-chunk size of the scratch-memmap passes (codes are uint8, so a
+#: pass holds ~``_SCRATCH_ROWS * n_cols`` bytes of codes plus O(chunk)
+#: float vectors).
+_SCRATCH_ROWS = 1 << 18
+
+
+def _check_streamable(model: GradientBoostingClassifier) -> None:
+    if model.subsample != 1.0 or model.colsample != 1.0:  # repro: ignore[float-eq] config sentinels: 1.0 is stored verbatim, not computed
+        raise ConfigurationError(
+            "streaming fit supports subsample=1.0 and colsample=1.0 only"
+        )
+    if model.early_stopping_rounds is not None:
+        raise ConfigurationError(
+            "streaming fit does not support early stopping / eval sets"
+        )
+
+
+def fit_gbm_streaming(
+    model: GradientBoostingClassifier,
+    chunk_iter,
+    n_rows: int,
+    n_cols: int,
+    *,
+    edges: "list[np.ndarray] | None" = None,
+    sketch: str = "merge",
+    sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    scratch_dir: "str | None" = None,
+) -> GradientBoostingClassifier:
+    """Fit ``model`` from a restartable chunk stream, out of core.
+
+    ``chunk_iter`` is a zero-argument callable returning a fresh iterator
+    of ``(rows, X_chunk, y_chunk)`` triples covering rows ``0..n_rows``
+    in order, with ``rows`` a contiguous ``range``
+    (``ChunkedDataset.iter_chunks`` fits directly). The stream is
+    consumed twice (edges + code writing; once when ``edges`` is given);
+    every later pass runs over the uint8 code memmap instead.
+
+    ``scratch_dir`` hosts the memory-mapped scratch arrays (a private
+    temporary directory, removed afterwards, when ``None``). Scratch disk
+    is ~``n_rows * (n_cols + 29)`` bytes; resident memory stays
+    O(chunk + histogram state) regardless of ``n_rows``.
+    """
+    _check_streamable(model)
+    if n_rows < 1 or n_cols < 1:
+        raise DataError("streaming fit needs n_rows >= 1 and n_cols >= 1")
+    loss = get_loss(model.loss_name)
+    if edges is None:
+        edges, _, _, _ = streamed_quantile_edges(
+            chunk_iter,
+            n_cols,
+            model.max_bins,
+            sketch=sketch,
+            capacity=sketch_capacity,
+        )
+    stride = histogram_stride(edges)
+    if stride > 256:
+        raise ConfigurationError(
+            f"streaming fit needs <= 256 codes per column, got stride {stride}"
+        )
+
+    scratch = scratch_dir or tempfile.mkdtemp(prefix="repro-gbm-stream-")
+    own_scratch = scratch_dir is None
+    try:
+        open_memmap = np.lib.format.open_memmap
+        codes = open_memmap(
+            f"{scratch}/codes.npy",
+            mode="w+",
+            dtype=np.uint8,
+            shape=(n_rows, n_cols),
+            fortran_order=True,
+        )
+        y = open_memmap(f"{scratch}/y.npy", mode="w+", dtype=np.float64, shape=(n_rows,))
+        margin = open_memmap(
+            f"{scratch}/margin.npy", mode="w+", dtype=np.float64, shape=(n_rows,)
+        )
+        grad = open_memmap(
+            f"{scratch}/grad.npy", mode="w+", dtype=np.float64, shape=(n_rows,)
+        )
+        hess = open_memmap(
+            f"{scratch}/hess.npy", mode="w+", dtype=np.float64, shape=(n_rows,)
+        )
+        node_of_row = open_memmap(
+            f"{scratch}/node.npy", mode="w+", dtype=np.int32, shape=(n_rows,)
+        )
+
+        # One pass: bin each chunk against the fitted edges, validate and
+        # stash the labels, and accumulate the exact label sum (sums of
+        # 0/1 floats are exact integers in any association order, so the
+        # streamed base score is bit-identical to the in-memory one).
+        y_total = 0.0
+        seen = 0
+        for rows, X_chunk, y_chunk in chunk_iter():
+            if y_chunk is None:
+                raise DataError("streaming fit needs labeled chunks")
+            if rows.start != seen:
+                raise DataError("chunk stream must cover rows in order")
+            if model.loss_name == "logistic":
+                y_chunk = as_label_vector(y_chunk, len(rows))
+            else:
+                y_chunk = np.asarray(y_chunk, dtype=np.float64).ravel()
+            codes[rows.start : rows.stop] = codes_from_edges_matrix(
+                np.asarray(X_chunk, dtype=np.float64), edges
+            ).astype(np.uint8)
+            y[rows.start : rows.stop] = y_chunk
+            y_total += float(y_chunk.sum())
+            seen = rows.stop
+        if seen != n_rows:
+            raise DataError(f"chunk stream covered {seen} rows, expected {n_rows}")
+
+        model.n_features_ = n_cols
+        # base_score is a function of mean(y) for both losses; feeding the
+        # streamed mean back through the loss reuses its exact clipping.
+        model.base_score_ = loss.base_score(np.asarray([y_total / n_rows]))
+        model.best_iteration_ = None
+        for lo in range(0, n_rows, _SCRATCH_ROWS):
+            margin[lo : lo + _SCRATCH_ROWS] = model.base_score_
+            node_of_row[lo : lo + _SCRATCH_ROWS] = 0
+
+        model.trees_ = []
+        for _ in range(model.n_estimators):
+            for lo in range(0, n_rows, _SCRATCH_ROWS):
+                hi = min(lo + _SCRATCH_ROWS, n_rows)
+                g, h = loss.grad_hess(y[lo:hi], margin[lo:hi])
+                grad[lo:hi] = g
+                hess[lo:hi] = h
+            tree = _grow_tree_streaming(
+                model, codes, grad, hess, node_of_row, edges, stride, n_rows
+            )
+            model.trees_.append(tree)
+            # After growth every row's node id is its leaf: one gather
+            # updates the margin, then the ids reset for the next round.
+            values = tree.value
+            for lo in range(0, n_rows, _SCRATCH_ROWS):
+                hi = min(lo + _SCRATCH_ROWS, n_rows)
+                margin[lo:hi] += model.learning_rate * values[node_of_row[lo:hi]]
+                node_of_row[lo:hi] = 0
+        return model
+    finally:
+        if own_scratch:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+@inplace_mutator
+def _grow_tree_streaming(
+    model: GradientBoostingClassifier,
+    codes: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    node_of_row: np.ndarray,
+    edges: "list[np.ndarray]",
+    stride: int,
+    n_rows: int,
+) -> Tree:
+    """Grow one tree level-order from chunked histogram accumulation.
+
+    In-place contract: ``node_of_row`` is the caller-owned scratch
+    memmap of per-row node assignments; each split level rewrites it
+    chunk-at-a-time (that *is* the partition pass), and the caller
+    resets it between trees.
+
+    Mirrors :meth:`Tree.fit` decision for decision — same boundary masks,
+    same shared :func:`level_split_search`, same child numbering and
+    next-level ordering (smaller children first, by exact row counts) —
+    but child gradient/hessian sums come from the level's merged
+    histogram block instead of per-row ``sum()`` calls.
+    """
+    n_cols = codes.shape[1]
+    lam = model.reg_lambda
+    n_edges = np.array([len(e) for e in edges], dtype=np.int64)
+    boundary_ok = np.arange(stride)[None, :] <= n_edges[:, None]
+    # Counts are always accumulated (child sizes drive numbering parity
+    # and the empty-child guard), but the split search only consults them
+    # under the same condition the in-memory grower does.
+    with_counts_search = model.min_samples_leaf > 0
+    nodes: "list[dict]" = []
+
+    def new_node(depth: int, g_sum: float, h_sum: float, n_samples: int) -> int:
+        nodes.append(
+            {
+                "feature": -1,
+                "threshold": np.nan,
+                "threshold_bin": -1,
+                "left": -1,
+                "right": -1,
+                "value": -g_sum / (h_sum + lam),  # repro: ignore[div-guard] h_sum >= 0 and reg_lambda > 0
+                "gain": 0.0,
+                "n_samples": n_samples,
+                "_depth": depth,
+                "_gsum": g_sum,
+                "_hsum": h_sum,
+            }
+        )
+        return len(nodes) - 1
+
+    def searchable(node_id: int) -> bool:
+        node = nodes[node_id]
+        return not (
+            node["_depth"] >= model.max_depth
+            or node["n_samples"] < 2 * model.min_samples_leaf
+            or node["_hsum"] < 2 * model.min_child_weight
+        )
+
+    g_root = 0.0
+    h_root = 0.0
+    for lo in range(0, n_rows, _SCRATCH_ROWS):
+        hi = min(lo + _SCRATCH_ROWS, n_rows)
+        g_root += float(grad[lo:hi].sum())
+        h_root += float(hess[lo:hi].sum())
+    root = new_node(0, g_root, h_root, n_rows)
+    level: "list[int]" = [root] if searchable(root) else []
+
+    while level:
+        m = len(level)
+        # Slot m is a trash slot absorbing rows whose node is not under
+        # search this level (already-final leaves deeper in the tree).
+        node_lut = np.full(len(nodes), m, dtype=np.int64)
+        for pos, nid in enumerate(level):
+            node_lut[nid] = pos
+        block: "np.ndarray | None" = None
+        for lo in range(0, n_rows, _SCRATCH_ROWS):
+            hi = min(lo + _SCRATCH_ROWS, n_rows)
+            slots = node_lut[node_of_row[lo:hi]] * stride
+            part = level_histogram_partial(
+                codes[lo:hi],
+                slots,
+                grad[lo:hi],
+                hess[lo:hi],
+                m + 1,
+                stride,
+                with_counts=True,
+            )
+            block = part if block is None else merge_histograms(block, part)
+        block = block[:, :m]
+
+        g_sums = np.array([nodes[i]["_gsum"] for i in level])
+        h_sums = np.array([nodes[i]["_hsum"] for i in level])
+        sizes = np.array([float(nodes[i]["n_samples"]) for i in level])
+        best_flat, best_gains = level_split_search(
+            block,
+            g_sums,
+            h_sums,
+            sizes,
+            boundary_ok,
+            model.min_child_weight,
+            model.min_samples_leaf,
+            lam,
+            model.gamma,
+            with_counts_search,
+            tie_rtol=model.tie_rtol,
+        )
+
+        split_parents: "list[int]" = []
+        small_next: "list[int]" = []
+        large_next: "list[int]" = []
+        for pos, nid in enumerate(level):
+            best_gain = float(best_gains[pos])
+            if not np.isfinite(best_gain) or best_gain <= 0:
+                continue
+            node = nodes[nid]
+            j, b = divmod(int(best_flat[pos]), stride)
+            gl = float(block[0, pos, j, : b + 1].sum())
+            hl = float(block[1, pos, j, : b + 1].sum())
+            n_left = int(block[2, pos, j, : b + 1].sum())
+            n_right = node["n_samples"] - n_left
+            if n_left == 0 or n_right == 0:
+                continue
+            col_edges = edges[j]
+            node["feature"] = j
+            node["threshold"] = (
+                float(col_edges[b]) if b < len(col_edges) else np.inf
+            )
+            node["threshold_bin"] = b
+            node["gain"] = best_gain
+            left_id = new_node(node["_depth"] + 1, gl, hl, n_left)
+            right_id = new_node(
+                node["_depth"] + 1, node["_gsum"] - gl, node["_hsum"] - hl, n_right
+            )
+            node["left"] = left_id
+            node["right"] = right_id
+            split_parents.append(nid)
+            # The in-memory grower builds only the smaller child from rows
+            # and derives the larger by subtraction, which puts all the
+            # directly-built children ahead of the derived ones in the
+            # next level's visit order. Row counts are exact integers on
+            # both paths, so this ordering is reproduced deterministically.
+            small, large = (
+                (left_id, right_id) if n_left <= n_right else (right_id, left_id)
+            )
+            if searchable(small):
+                small_next.append(small)
+            if searchable(large):
+                large_next.append(large)
+
+        if split_parents:
+            is_split = np.zeros(len(nodes), dtype=bool)
+            feat_lut = np.zeros(len(nodes), dtype=np.int64)
+            bin_lut = np.zeros(len(nodes), dtype=np.int64)
+            left_lut = np.zeros(len(nodes), dtype=np.int32)
+            right_lut = np.zeros(len(nodes), dtype=np.int32)
+            for nid in split_parents:
+                is_split[nid] = True
+                feat_lut[nid] = nodes[nid]["feature"]
+                bin_lut[nid] = nodes[nid]["threshold_bin"]
+                left_lut[nid] = nodes[nid]["left"]
+                right_lut[nid] = nodes[nid]["right"]
+            for lo in range(0, n_rows, _SCRATCH_ROWS):
+                hi = min(lo + _SCRATCH_ROWS, n_rows)
+                nid_chunk = np.asarray(node_of_row[lo:hi])
+                moving = np.flatnonzero(is_split[nid_chunk])
+                if moving.size == 0:
+                    continue
+                nids = nid_chunk[moving]
+                code_vals = codes[lo:hi][moving, feat_lut[nids]]
+                go_left = code_vals <= bin_lut[nids]
+                nid_chunk = nid_chunk.copy()
+                nid_chunk[moving] = np.where(
+                    go_left, left_lut[nids], right_lut[nids]
+                )
+                node_of_row[lo:hi] = nid_chunk
+        level = small_next + large_next
+
+    tree = Tree(
+        max_depth=model.max_depth,
+        min_samples_leaf=model.min_samples_leaf,
+        min_child_weight=model.min_child_weight,
+        reg_lambda=lam,
+        gamma=model.gamma,
+        colsample=model.colsample,
+    )
+    tree.feature = np.array([n["feature"] for n in nodes], dtype=np.int64)
+    tree.threshold = np.array([n["threshold"] for n in nodes], dtype=np.float64)
+    tree.threshold_bin = np.array([n["threshold_bin"] for n in nodes], dtype=np.int64)
+    tree.left = np.array([n["left"] for n in nodes], dtype=np.int64)
+    tree.right = np.array([n["right"] for n in nodes], dtype=np.int64)
+    tree.value = np.array([n["value"] for n in nodes], dtype=np.float64)
+    tree.gain = np.array([n["gain"] for n in nodes], dtype=np.float64)
+    tree.n_samples = np.array([n["n_samples"] for n in nodes], dtype=np.int64)
+    tree.fit_leaf_ids_ = None
+    return tree

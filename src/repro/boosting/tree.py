@@ -40,6 +40,18 @@ import numpy as np
 from ..exceptions import ConfigurationError, NotFittedError
 from .histogram import NodeHistogramBuilder, SubtractionScheduler, histogram_stride
 
+#: The ``tie_rtol`` the SAFE fit-time miners pass to their forests (the
+#: ranking/mining/importance models built in ``core.generation``,
+#: ``core.selection`` and ``core.stream``). Wide enough to absorb
+#: summation-grouping rounding between the in-memory and streaming
+#: histogram paths (which agree to ~1e-12 relative), narrow enough that
+#: near-coincidental gains from merely *correlated* (not duplicated)
+#: columns — separated by far more than accumulated rounding — keep
+#: resolving by magnitude. Models outside the SAFE fit (downstream
+#: classifiers, the audited references) keep the default ``tie_rtol=0``:
+#: the historical strict argmax, untouched.
+GAIN_TIE_RTOL = 1e-10
+
 
 @dataclass(frozen=True)
 class TreePath:
@@ -62,6 +74,97 @@ class TreePath:
         return len(self.features)
 
 
+def level_split_search(
+    block: np.ndarray,
+    g_sums: np.ndarray,
+    h_sums: np.ndarray,
+    sizes: np.ndarray,
+    boundary_ok: np.ndarray,
+    min_child_weight: float,
+    min_samples_leaf: int,
+    reg_lambda: float,
+    gamma: float,
+    with_counts: bool,
+    col_mask: "np.ndarray | None" = None,
+    tie_rtol: float = 0.0,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Best split per node from one level's histogram block.
+
+    ``block`` is the ``(n_channels, m, n_cols, stride)`` histogram block of
+    ``m`` nodes; ``g_sums``/``h_sums``/``sizes`` their per-node totals. One
+    cumsum scans all candidate boundaries of all (node, feature) pairs; the
+    gain arithmetic cycles the scratch prefix buffers in place
+    (elementwise-identical to the per-node form) and leaves the block
+    intact — it may be the subtraction parent for the next level.
+    ``col_mask`` (``(m, n_cols)`` bool) optionally restricts each node's
+    searchable columns (colsample).
+
+    Returns ``(best_flat, best_gains)``: per node the flat
+    ``j * stride + b`` index of the best boundary and its gain (``-inf``
+    when no boundary is valid). With the default ``tie_rtol=0`` the
+    winner is the bare argmax — the historical behavior every model
+    outside the SAFE fit keeps. With ``tie_rtol > 0`` (the SAFE miners
+    pass :data:`GAIN_TIE_RTOL`), a splittable node's winner is instead
+    the *last* flat index (in (feature, bin) order) whose gain is within
+    ``tie_rtol`` relative of the maximum: SAFE candidate pools routinely
+    contain equal-valued columns under different expressions, whose
+    mathematically tied gains round differently depending on summation
+    grouping, so a strict argmax would let the last ulp pick the winner
+    and the in-memory grower (one bincount per node) and the streaming
+    grower (merged per-chunk bincounts) could legitimately disagree. The
+    tolerance makes the pick a deterministic function of (feature, bin)
+    order whenever the two paths agree to ``tie_rtol``, which the
+    mergeable-kernel contract guarantees; both growers share this exact
+    search, so their merged histogram blocks resolve identically.
+    """
+    m = block.shape[1]
+    prefix = np.cumsum(block, axis=-1)
+    gl, hl = prefix[0], prefix[1]
+    hr = h_sums[:, None, None] - hl
+    valid = (hl >= min_child_weight) & (hr >= min_child_weight) & boundary_ok
+    if with_counts:
+        cl = prefix[2]
+        valid &= cl >= min_samples_leaf
+        valid &= cl <= (sizes - min_samples_leaf)[:, None, None]
+    if col_mask is not None:
+        valid &= col_mask[:, :, None]
+    gr = g_sums[:, None, None] - gl
+    np.add(hl, reg_lambda, out=hl)
+    np.multiply(gl, gl, out=gl)
+    np.divide(gl, hl, out=gl)
+    np.add(hr, reg_lambda, out=hr)
+    np.multiply(gr, gr, out=gr)
+    np.divide(gr, hr, out=gr)
+    gains = np.add(gl, gr, out=gl)
+    np.subtract(
+        gains, (g_sums * g_sums / (h_sums + reg_lambda))[:, None, None], out=gains  # repro: ignore[div-guard] hessian sums >= 0 and reg_lambda > 0
+    )
+    np.multiply(gains, 0.5, out=gains)
+    np.subtract(gains, gamma, out=gains)
+    np.logical_not(valid, out=valid)
+    np.copyto(gains, -np.inf, where=valid)
+    # gains is (m, n_cols, stride) contiguous, so the per-node flat argmax
+    # (and any last-index tie-breaking in (feature, bin) order) costs no
+    # transpose copy.
+    flat_gains = gains.reshape(m, -1)
+    best_flat = np.argmax(flat_gains, axis=1)
+    best_gains = flat_gains[np.arange(m), best_flat]
+    if tie_rtol > 0.0:
+        # Deterministic near-tie break: among boundaries within tie_rtol
+        # relative of the node's max gain, take the highest flat index.
+        # Only positive maxima matter (non-positive ones never split).
+        splittable = best_gains > 0.0
+        if np.any(splittable):
+            thresholds = np.where(splittable, best_gains, np.inf) * (
+                1.0 - tie_rtol
+            )
+            mask = flat_gains >= thresholds[:, None]
+            tied_last = mask.shape[1] - 1 - np.argmax(mask[:, ::-1], axis=1)
+            best_flat = np.where(splittable, tied_last, best_flat)
+            best_gains = flat_gains[np.arange(m), best_flat]
+    return best_flat, best_gains
+
+
 @dataclass
 class Tree:
     """A fitted regression tree in flat-array form.
@@ -78,6 +181,9 @@ class Tree:
     reg_lambda: float = 1.0
     gamma: float = 0.0
     colsample: float = 1.0
+    #: 0 keeps the historical strict argmax; the SAFE miners pass
+    #: :data:`GAIN_TIE_RTOL` (see :func:`level_split_search`).
+    tie_rtol: float = 0.0
 
     feature: np.ndarray = field(default=None, repr=False)
     threshold: np.ndarray = field(default=None, repr=False)
@@ -198,51 +304,32 @@ class Tree:
                 g_sums = np.array([nodes[i]["_gsum"] for i in ids])
                 h_sums = np.array([nodes[i]["_hsum"] for i in ids])
                 sizes = np.array([float(nodes[i]["_idx"].size) for i in ids])
-                # Batched split search over the whole group: one cumsum
-                # scans all candidate boundaries of all (node, feature)
-                # pairs. The gain arithmetic cycles the scratch prefix
-                # buffers in place (elementwise-identical to the per-node
-                # form) and leaves the block intact — it is the
-                # subtraction parent for the next level.
-                prefix = np.cumsum(block, axis=-1)
-                gl, hl = prefix[0], prefix[1]
-                hr = h_sums[:, None, None] - hl
-                valid = (
-                    (hl >= self.min_child_weight)
-                    & (hr >= self.min_child_weight)
-                    & boundary_ok
-                )
-                if with_counts:
-                    cl = prefix[2]
-                    valid &= cl >= self.min_samples_leaf
-                    valid &= cl <= (sizes - self.min_samples_leaf)[:, None, None]
+                # Batched split search over the whole group (see
+                # level_split_search): one cumsum scans all candidate
+                # boundaries of all (node, feature) pairs and the block
+                # stays intact — it is the subtraction parent for the
+                # next level.
                 if n_sub < n_cols and rng is not None:
                     col_mask = np.zeros((m, n_cols), dtype=bool)
                     for pos in range(m):
                         keep_cols = rng.choice(all_cols, size=n_sub, replace=False)
                         col_mask[pos, keep_cols] = True
-                    valid &= col_mask[:, :, None]
-                gr = g_sums[:, None, None] - gl
-                np.add(hl, lam, out=hl)
-                np.multiply(gl, gl, out=gl)
-                np.divide(gl, hl, out=gl)
-                np.add(hr, lam, out=hr)
-                np.multiply(gr, gr, out=gr)
-                np.divide(gr, hr, out=gr)
-                gains = np.add(gl, gr, out=gl)
-                np.subtract(
-                    gains, (g_sums * g_sums / (h_sums + lam))[:, None, None], out=gains  # repro: ignore[div-guard] hessian sums >= 0 and lam > 0
+                else:
+                    col_mask = None
+                best_flat, best_gains = level_split_search(
+                    block,
+                    g_sums,
+                    h_sums,
+                    sizes,
+                    boundary_ok,
+                    self.min_child_weight,
+                    self.min_samples_leaf,
+                    lam,
+                    self.gamma,
+                    with_counts,
+                    col_mask=col_mask,
+                    tie_rtol=self.tie_rtol,
                 )
-                np.multiply(gains, 0.5, out=gains)
-                np.subtract(gains, self.gamma, out=gains)
-                np.logical_not(valid, out=valid)
-                np.copyto(gains, -np.inf, where=valid)
-                # gains is (m, n_cols, stride) contiguous, so the per-node
-                # flat argmax (and its first-index tie-breaking in
-                # (feature, bin) order) costs no transpose copy.
-                flat_gains = gains.reshape(m, -1)
-                best_flat = np.argmax(flat_gains, axis=1)
-                best_gains = flat_gains[np.arange(m), best_flat]
                 for pos, node_id in enumerate(ids):
                     best_gain = float(best_gains[pos])
                     if not np.isfinite(best_gain) or best_gain <= 0:

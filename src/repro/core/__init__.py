@@ -8,6 +8,7 @@ from .generation import (
     fit_mining_model,
     generate_features,
     mined_search_space_size,
+    plan_features,
     rank_combinations,
     search_space_size,
 )
@@ -15,6 +16,7 @@ from .interface import AutoFeatureEngineer
 from .pipeline import SAFE, IterationTrace
 from .redundancy import remove_redundant_features_blocked
 from .scoring import IntervalCodeCache, score_combinations
+from .stream import fit_safe_streaming, forest_chunks
 from .selection import (
     SelectionReport,
     filter_by_information_value,
@@ -37,8 +39,11 @@ __all__ = [
     "combinations_from_paths",
     "filter_by_information_value",
     "fit_mining_model",
+    "fit_safe_streaming",
+    "forest_chunks",
     "generate_features",
     "mined_search_space_size",
+    "plan_features",
     "rank_by_importance",
     "rank_combinations",
     "remove_redundant_features",

@@ -65,6 +65,16 @@ class SAFEConfig:
         :class:`~repro.runtime.RuntimeReport`, and continues the fit;
         ``"raise"`` restores strict fail-fast semantics (the fault
         aborts the fit).
+    sketch:
+        Quantile-edge mode of the out-of-core streaming fit (only
+        consulted when ``fit`` receives a
+        :class:`~repro.tabular.ChunkedDataset`). ``"merge"`` (default)
+        builds equal-frequency edges from bounded-memory mergeable
+        sketches (rank error ≤ 1/capacity per chunk merge, edges within
+        one sample rank of exact); ``"exact"`` streams full sorted
+        columns in batched passes — more memory and passes, but every
+        edge (and hence the kept Ψ) is bit-identical to the in-memory
+        fit, which is what the parity gates run.
     random_state:
         Seed for all internal randomness.
     """
@@ -86,6 +96,7 @@ class SAFEConfig:
     keep_originals: bool = True
     n_jobs: int = 1
     on_operator_error: str = "quarantine"
+    sketch: str = "merge"
     random_state: "int | None" = 0
 
     def __post_init__(self) -> None:
@@ -113,5 +124,7 @@ class SAFEConfig:
             raise ConfigurationError(
                 "on_operator_error must be 'quarantine' or 'raise'"
             )
+        if self.sketch not in ("merge", "exact"):
+            raise ConfigurationError("sketch must be 'merge' or 'exact'")
         # Fail fast on unknown operator names.
         resolve_operators(self.operators)

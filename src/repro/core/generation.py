@@ -24,7 +24,7 @@ from itertools import permutations as iter_permutations
 import numpy as np
 
 from ..boosting.gbm import GradientBoostingClassifier
-from ..boosting.tree import TreePath
+from ..boosting.tree import GAIN_TIE_RTOL, TreePath
 from ..operators.base import Operator, resolve_operators
 from ..operators.engine import EvalCache, batch_populate_cache
 from ..operators.expressions import Applied, Expression
@@ -72,6 +72,7 @@ def fit_mining_model(
         max_depth=max_depth,
         learning_rate=learning_rate,
         random_state=random_state,
+        tie_rtol=GAIN_TIE_RTOL,
     )
     model.fit(X, y, eval_set=eval_set)
     return model
@@ -139,9 +140,23 @@ def rank_combinations(
         from .scoring import score_combinations
 
         ratios = score_combinations(X, y, kept)
+    return rank_from_scores(kept, ratios, gamma)
+
+
+def rank_from_scores(
+    combos: "list[Combination]",
+    ratios: np.ndarray,
+    gamma: int,
+) -> list[RankedCombination]:
+    """Order scored combinations and keep the top γ (Algorithm 2's tail).
+
+    Shared by :func:`rank_combinations` and the streaming fit (whose
+    ratios come from merged chunk partials): descending gain ratio, ties
+    broken by the feature tuple for determinism.
+    """
     scored = [
         RankedCombination(combination=combo, gain_ratio=float(ratio))
-        for combo, ratio in zip(kept, ratios)
+        for combo, ratio in zip(combos, ratios)
     ]
     scored.sort(key=lambda r: (-r.gain_ratio, r.combination.features))
     return scored[:gamma]
@@ -152,6 +167,40 @@ def _arrangements(features: tuple[int, ...], op: Operator) -> "list[tuple[int, .
     if op.commutative or len(features) == 1:
         return [features]
     return [p for p in iter_permutations(features)]
+
+
+def plan_features(
+    ranked: "list[RankedCombination]",
+    operator_names: "tuple[str, ...]",
+    base_expressions: "list[Expression]",
+    existing_keys: "set[str]",
+) -> "list[tuple[Operator, tuple[Expression, ...]]]":
+    """Enumerate the (operator, children) slots generation will fill.
+
+    Pass 1 of :func:`generate_features`, exposed on its own because the
+    streaming fit needs the plan *before* any column exists: slots come
+    out in the exact nested order of the scalar reference (combination →
+    operator → arrangement), deduplicated by canonical key against
+    ``existing_keys`` (which is copied, never mutated) and against
+    earlier slots. Evaluation and quarantine screening happen elsewhere.
+    """
+    operators = resolve_operators(operator_names)
+    by_arity: dict[int, list[Operator]] = {}
+    for op in operators:
+        by_arity.setdefault(op.arity, []).append(op)
+    seen = set(existing_keys)
+    plan: list[tuple[Operator, tuple[Expression, ...]]] = []
+    for item in ranked:
+        combo = item.combination
+        for op in by_arity.get(combo.size, []):
+            for arrangement in _arrangements(combo.features, op):
+                children = tuple(base_expressions[f] for f in arrangement)
+                key = op.format(*(c.key for c in children))
+                if key in seen:
+                    continue
+                seen.add(key)
+                plan.append((op, children))
+    return plan
 
 
 def generate_features(
@@ -212,28 +261,13 @@ def generate_features(
                 batch_populate_cache(cache, out)
             return out
         # n_jobs resolved to one worker: use the serial path (and cache).
-    operators = resolve_operators(operator_names)
-    by_arity: dict[int, list[Operator]] = {}
-    for op in operators:
-        by_arity.setdefault(op.arity, []).append(op)
     if cache is None:
         cache = EvalCache(X_original)
 
     # Pass 1: enumerate output slots in the exact nested order of the
     # scalar reference (combo -> operator -> arrangement), deduping by
     # canonical key before any evaluation happens.
-    seen = set(existing_keys)
-    plan: list[tuple[Operator, tuple[Expression, ...]]] = []
-    for item in ranked:
-        combo = item.combination
-        for op in by_arity.get(combo.size, []):
-            for arrangement in _arrangements(combo.features, op):
-                children = tuple(base_expressions[f] for f in arrangement)
-                key = op.format(*(c.key for c in children))
-                if key in seen:
-                    continue
-                seen.add(key)
-                plan.append((op, children))
+    plan = plan_features(ranked, operator_names, base_expressions, existing_keys)
 
     if quarantine is not None:
         return _generate_with_quarantine(plan, cache, quarantine)

@@ -24,7 +24,14 @@ class AutoFeatureEngineer(ABC):
     def fit(
         self, train: Dataset, valid: "Dataset | None" = None
     ) -> FeatureTransformer:
-        """Learn a feature-generation function Ψ from labeled data."""
+        """Learn a feature-generation function Ψ from labeled data.
+
+        Implementations may additionally accept a
+        :class:`~repro.tabular.ChunkedDataset` as ``train`` to fit out
+        of core from a row stream (SAFE does; see
+        :mod:`repro.core.stream`) — the returned transformer is the same
+        servable Ψ either way.
+        """
 
     def fit_transform(
         self, train: Dataset, valid: "Dataset | None" = None

@@ -34,6 +34,7 @@ from ..runtime.checkpoint import (
 from ..runtime.failpoints import failpoint
 from ..runtime.report import QuarantineRecord, RuntimeReport
 from ..tabular.dataset import Dataset
+from ..tabular.io import ChunkedDataset
 from ..tabular.preprocess import clean_matrix
 from ..utils import Timer
 from .config import SAFEConfig
@@ -113,11 +114,18 @@ class SAFE(AutoFeatureEngineer):
 
     def fit(
         self,
-        train: Dataset,
+        train: "Dataset | ChunkedDataset",
         valid: "Dataset | None" = None,
         checkpoint_dir: "str | None" = None,
     ) -> FeatureTransformer:
         """Run Algorithm 1; see the module docstring for the stages.
+
+        ``train`` may be a :class:`~repro.tabular.ChunkedDataset`, in
+        which case the fit streams the rows chunk-at-a-time at
+        O(chunk + state) memory (see :mod:`repro.core.stream`), with
+        ``config.sketch`` choosing between bounded-memory approximate
+        quantile edges and the bit-identical exact mode. The streaming
+        path requires ``valid=None`` and row-wise stateless operators.
 
         ``checkpoint_dir`` enables fault tolerance across process death:
         after every completed iteration the survivor expressions and
@@ -129,6 +137,12 @@ class SAFE(AutoFeatureEngineer):
         and the seed). Corrupt or mismatched checkpoints are skipped
         (recorded on :attr:`runtime_report_`), never trusted.
         """
+        if isinstance(train, ChunkedDataset):
+            from .stream import fit_safe_streaming
+
+            return fit_safe_streaming(
+                self, train, valid=valid, checkpoint_dir=checkpoint_dir
+            )
         cfg = self.config
         y = train.require_labels()
         if np.unique(y).size < 2:

@@ -48,7 +48,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.registry import batched_kernel, inplace_mutator
+from ..analysis.registry import (
+    batched_kernel,
+    chunk_mergeable,
+    inplace_mutator,
+    kernel_exempt,
+)
 from ..exceptions import DataError
 
 #: Candidates standardized and checked per BLAS block. 512 columns keep
@@ -131,6 +136,132 @@ def max_abs_correlation(
         np.abs(C, out=C)
         np.maximum(out, C.max(axis=1), out=out)
     return out
+
+
+@kernel_exempt("associative merge helper for moment partials, not a kernel")
+def merge_column_moments(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two :func:`column_moments_partial` results.
+
+    Counts and sums add; max/min combine by elementwise max/min (whose
+    NaN propagation matches a single-pass reduction). The float sum
+    re-associates, so merged means match in-memory ones to ≤1e-9
+    relative, not bit-for-bit.
+    """
+    out = np.empty_like(a)
+    out[0] = a[0] + b[0]
+    out[1] = a[1] + b[1]
+    out[2] = np.maximum(a[2], b[2])
+    out[3] = np.minimum(a[3], b[3])
+    return out
+
+
+@batched_kernel(oracle="pearson_matrix")
+@chunk_mergeable(merge=merge_column_moments, exact=False)
+def column_moments_partial(F_chunk: np.ndarray) -> np.ndarray:
+    """Per-column ``(count, sum, max, min)`` of one row chunk: ``(4, k)``.
+
+    First streaming pass of the redundancy stage: merged moments yield
+    each column's mean (``sum / count``) and the constant-detection scale
+    (``max(col_max, -col_min)``, i.e. ``abs(col).max`` — NaN propagating,
+    exactly as :func:`standardize_columns` computes it). Zero-row chunks
+    contribute the reduction identities (0 count/sum, -inf max, +inf min).
+    """
+    F_chunk = np.asarray(F_chunk, dtype=np.float64)
+    if F_chunk.ndim != 2:
+        raise DataError("column_moments_partial expects a matrix")
+    k = F_chunk.shape[1]
+    out = np.empty((4, k))
+    out[0] = F_chunk.shape[0]
+    if F_chunk.shape[0] == 0:
+        out[1] = 0.0
+        out[2] = -np.inf
+        out[3] = np.inf
+        return out
+    out[1] = F_chunk.sum(axis=0)
+    out[2] = F_chunk.max(axis=0)
+    out[3] = F_chunk.min(axis=0)
+    return out
+
+
+@kernel_exempt("associative merge helper for Gram partials, not a kernel")
+def merge_grams(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two :func:`centered_gram_partial` results: elementwise sum.
+
+    Float sums re-associate, so merged Gram panels match single-pass ones
+    to ≤1e-9 relative.
+    """
+    return a + b
+
+
+@batched_kernel(oracle="pearson_matrix")
+@chunk_mergeable(merge=merge_grams, exact=False)
+def centered_gram_partial(F_chunk: np.ndarray, mean: np.ndarray) -> np.ndarray:
+    """Centered Gram panel of one row chunk: ``(B - mean).T @ (B - mean)``.
+
+    Second streaming pass of the redundancy stage, centered around the
+    global per-column means from the merged moments. Merged panels feed
+    :func:`correlations_from_gram`.
+    """
+    F_chunk = np.asarray(F_chunk, dtype=np.float64)
+    if F_chunk.ndim != 2:
+        raise DataError("centered_gram_partial expects a matrix")
+    centered = F_chunk - np.asarray(mean, dtype=np.float64)
+    return centered.T @ centered
+
+
+@batched_kernel(oracle="pearson_matrix")
+def correlations_from_gram(
+    gram: np.ndarray,
+    scale: np.ndarray,
+    n_rows: int,
+) -> np.ndarray:
+    """Finalize a pairwise |column| correlation matrix from a merged Gram.
+
+    Reproduces :func:`repro.metrics.information.pearson_matrix`'s
+    semantics from sufficient statistics: norms come off the Gram
+    diagonal, the constant/noise-floor rejection uses the streamed
+    ``abs(col).max`` scale, constant rows/columns are zeroed *after* the
+    product (so a constant column correlates 0.0 with everything,
+    including NaN partners), the diagonal is forced to 1, and values clip
+    to [-1, 1]. Float sums re-associate, so entries match the in-memory
+    matrix to ≤1e-9 relative.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    norms = np.sqrt(np.maximum(np.diag(gram), 0.0))
+    noise_floor = (
+        np.sqrt(n_rows) * np.finfo(np.float64).eps * (np.asarray(scale) + 1.0) * 16
+    )
+    constant = norms <= noise_floor
+    safe = norms.copy()
+    safe[constant] = 1.0
+    corr = gram / np.outer(safe, safe)
+    corr[constant, :] = 0.0
+    corr[:, constant] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return np.clip(corr, -1.0, 1.0)
+
+
+@kernel_exempt("greedy scan over a finalized correlation matrix, not a kernel")
+def greedy_decorrelate(corr: np.ndarray, ivs: np.ndarray, theta: float) -> np.ndarray:
+    """Algorithm 4 greedy scan over a full correlation matrix.
+
+    Candidates are visited in decreasing-IV order (ties by index); each
+    is kept iff its |corr| with every already-kept candidate is at most
+    ``theta``. NaN correlations fail the comparison (reject), matching
+    the blocked and full-matrix paths. Returns sorted kept indices into
+    ``corr``'s columns.
+    """
+    ivs = np.asarray(ivs, dtype=np.float64).ravel()
+    order = np.lexsort((np.arange(ivs.size), -ivs))
+    kept: list[int] = []
+    for i in order:
+        if kept:
+            vals = np.abs(corr[i, kept])
+            with np.errstate(invalid="ignore"):
+                if not np.all(vals <= theta):
+                    continue
+        kept.append(int(i))
+    return np.sort(np.asarray(kept, dtype=np.int64))
 
 
 def _grown_panel(

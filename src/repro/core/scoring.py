@@ -24,13 +24,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.registry import batched_kernel
+from ..analysis.registry import batched_kernel, chunk_mergeable, kernel_exempt
 from ..exceptions import ConfigurationError
 from ..metrics.batched import (
     _DENSE_CELL_FACTOR,
     _DENSE_CELL_FLOOR,
-    gain_ratio_from_cells,
-    gain_ratio_from_labeled_cells,
+    gain_ratio_from_counts,
 )
 from ..metrics.information import entropy
 
@@ -192,30 +191,58 @@ class IntervalCodeCache:
         return cell, int(stride)
 
 
-@batched_kernel(oracle="information_gain_ratio")
-def score_combinations(X: np.ndarray, y: np.ndarray, combos) -> np.ndarray:
-    """Gain ratio for every combination, through the shared code cache.
+@kernel_exempt("associative merge helper for combination count partials, not a kernel")
+def merge_combination_counts(a: list, b: list) -> list:
+    """Merge two :func:`combination_count_partial` results elementwise.
 
-    Returns one float per element of ``combos`` (0.0 for empty
-    combinations), numerically identical to the scalar
-    ``information_gain_ratio(y, cells_from_split_values(...))`` chain.
-
-    The binary label rides along as the lowest mixed-radix digit, so each
-    combination costs one pre-scaled table take per feature plus a single
-    interleaved ``bincount`` — no per-cell work, no second pass for the
-    label counts.
+    Dense partials add; sparse partials union their labeled-code keys and
+    add counts per key. Both operations are exact integer arithmetic, so
+    merging is associative and bit-identical to a single-pass partial.
     """
-    y = np.asarray(y).ravel()
-    y01 = (y == 1).astype(np.int64)
-    cache = IntervalCodeCache(X, combos, label=y01)
-    n = y.size
-    base = entropy(y)
-    dense_limit = 2 * max(
-        _DENSE_CELL_FACTOR * n, _DENSE_CELL_FLOOR
-    )  # labeled radix = 2 * n_cells
-    out = np.zeros(len(combos))
-    for i, combo in enumerate(combos):
+    merged: list = []
+    for pa, pb in zip(a, b):
+        if pa is None or pb is None:
+            merged.append(pa if pb is None else pb)
+        elif pa[0] == "dense":
+            merged.append(("dense", pa[1] + pb[1]))
+        else:
+            keys = np.unique(np.concatenate([pa[1], pb[1]]))
+            counts = np.zeros(keys.size, dtype=np.int64)
+            counts[np.searchsorted(keys, pa[1])] += pa[2]
+            counts[np.searchsorted(keys, pb[1])] += pb[2]
+            merged.append(("sparse", keys, counts))
+    return merged
+
+
+@batched_kernel(oracle="information_gain_ratio")
+@chunk_mergeable(merge=merge_combination_counts, exact=True)
+def combination_count_partial(
+    X_chunk: np.ndarray,
+    y_chunk: np.ndarray,
+    combos,
+    dense_limit: int,
+) -> list:
+    """Labeled-cell counts of every combination for one row chunk.
+
+    The sufficient statistic of Algorithm 2 ranking: one entry per
+    combination — ``None`` for empty combinations, ``("dense", counts)``
+    (a length-``stride`` labeled-cell bincount) when the labeled radix
+    fits ``dense_limit``, else ``("sparse", keys, counts)`` (the chunk's
+    occupied labeled codes and their counts). Pooled split-value unions
+    are data-independent, so every chunk builds an identical
+    :class:`IntervalCodeCache` layout and partials merge positionally by
+    :func:`merge_combination_counts`, bit-identically.
+
+    ``dense_limit`` must come from the *total* row count (see
+    :func:`score_combinations`) so all chunks pick the same shape.
+    """
+    y_chunk = np.asarray(y_chunk).ravel()
+    y01 = (y_chunk == 1).astype(np.int64)
+    cache = IntervalCodeCache(X_chunk, combos, label=y01)
+    partials: list = []
+    for combo in combos:
         if not combo.features:
+            partials.append(None)
             continue
         labeled: "np.ndarray | None" = None
         stride = 2  # digit 0 is the label, emitted by the first feature
@@ -229,12 +256,67 @@ def score_combinations(X: np.ndarray, y: np.ndarray, combos) -> np.ndarray:
                 labeled += codes
             stride *= n_values + 1
         if 0 < stride <= dense_limit:
-            out[i] = gain_ratio_from_labeled_cells(labeled, stride, n, base)
+            partials.append(("dense", np.bincount(labeled, minlength=stride)))
         else:
-            # Cell radix too large for a dense histogram: hand the plain
-            # cell ids (labeled codes are 2 * cell + y) to the
-            # unique-based path.
-            out[i] = gain_ratio_from_cells(
-                y, labeled >> 1, n_cells=None, base_entropy=base
-            )
+            keys, counts = np.unique(labeled, return_counts=True)
+            partials.append(("sparse", keys.astype(np.int64), counts))
+    return partials
+
+
+@batched_kernel(oracle="information_gain_ratio")
+def gain_ratio_from_combination_counts(
+    partials: list,
+    n_rows: int,
+    base_entropy: float,
+) -> np.ndarray:
+    """Finalize per-combination gain ratios from merged count partials.
+
+    Dense partials reshape straight into the interleaved ``(cell, class)``
+    table; sparse partials regroup their labeled codes (``2 * cell + y``)
+    into the same occupied-cells-ascending table the in-memory
+    unique-based path builds. Counts are exact integers, so the streamed
+    gain ratios are bit-identical to :func:`score_combinations` over the
+    materialized rows.
+    """
+    out = np.zeros(len(partials))
+    for i, part in enumerate(partials):
+        if part is None:
+            continue
+        if part[0] == "dense":
+            both = part[1].reshape(-1, 2)
+        else:
+            keys, counts = part[1], part[2]
+            cells = keys >> 1
+            unique_cells = np.unique(cells)
+            both = np.zeros((unique_cells.size, 2), dtype=np.int64)
+            both[np.searchsorted(unique_cells, cells), keys & 1] += counts
+        out[i] = gain_ratio_from_counts(both, n_rows, base_entropy)
     return out
+
+
+@batched_kernel(oracle="information_gain_ratio")
+def score_combinations(X: np.ndarray, y: np.ndarray, combos) -> np.ndarray:
+    """Gain ratio for every combination, through the shared code cache.
+
+    Returns one float per element of ``combos`` (0.0 for empty
+    combinations), numerically identical to the scalar
+    ``information_gain_ratio(y, cells_from_split_values(...))`` chain.
+
+    The binary label rides along as the lowest mixed-radix digit, so each
+    combination costs one pre-scaled table take per feature plus a single
+    interleaved ``bincount`` — no per-cell work, no second pass for the
+    label counts. This is the one-chunk composition of
+    :func:`combination_count_partial` and
+    :func:`gain_ratio_from_combination_counts`; streaming callers run the
+    same two halves over many chunks.
+    """
+    y = np.asarray(y).ravel()
+    n = y.size
+    base = entropy(y)
+    dense_limit = 2 * max(
+        _DENSE_CELL_FACTOR * n, _DENSE_CELL_FLOOR
+    )  # labeled radix = 2 * n_cells
+    partials = combination_count_partial(
+        np.asarray(X, dtype=np.float64), y, combos, dense_limit
+    )
+    return gain_ratio_from_combination_counts(partials, n, base)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..boosting.gbm import GradientBoostingClassifier
+from ..boosting.tree import GAIN_TIE_RTOL
 from ..exceptions import DataError
 from ..metrics.information import information_values
 from ..runtime.failpoints import failpoint
@@ -129,6 +130,7 @@ def rank_by_importance(
         n_estimators=n_estimators,
         max_depth=max_depth,
         random_state=random_state,
+        tie_rtol=GAIN_TIE_RTOL,
     )
     model.fit(X, y, eval_set=eval_set)
     importance = model.feature_importances_

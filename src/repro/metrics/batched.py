@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.registry import batched_kernel
+from ..analysis.registry import batched_kernel, chunk_mergeable, kernel_exempt
 from ..exceptions import DataError
 from .information import _EPS, _xlogx, entropy
 
@@ -76,6 +76,58 @@ def gain_ratio_from_cells(
     )
 
 
+@kernel_exempt("associative merge helper for integer count partials, not a kernel")
+def merge_counts(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two integer count partials: elementwise sum.
+
+    Integer addition is associative and commutative, so partials built
+    over any chunking (or sharding) of the rows merge to the exact
+    single-pass counts — the streamed statistics are bit-identical.
+    """
+    return a + b
+
+
+@batched_kernel(oracle="information_gain_ratio")
+@chunk_mergeable(merge=merge_counts, exact=True)
+def labeled_cell_counts(labeled: np.ndarray, n_codes: int) -> np.ndarray:
+    """Per-cell ``(negatives, positives)`` counts — the gain-ratio partial.
+
+    ``labeled[i] == 2 * cell[i] + (y[i] == 1)``; one integer ``bincount``
+    yields the interleaved class counts of every cell, reshaped to
+    ``(n_cells, 2)``. This is the sufficient statistic of the Algorithm 2
+    criterion: partials over row chunks merge by :func:`merge_counts`
+    (bit-identically) and :func:`gain_ratio_from_counts` finalizes.
+    """
+    return np.bincount(labeled, minlength=n_codes).reshape(-1, 2)
+
+
+@batched_kernel(oracle="information_gain_ratio")
+def gain_ratio_from_counts(
+    both: np.ndarray,
+    n_rows: int,
+    base_entropy: float,
+) -> float:
+    """Finalize a gain ratio from merged ``(n_cells, 2)`` class counts.
+
+    The pure-arithmetic half of :func:`gain_ratio_from_labeled_cells`:
+    conditional entropy and split information both fall out of the one
+    count table, so the streamed result is bit-identical to the
+    in-memory kernel whenever the counts are (integer merges are exact).
+    """
+    totals = both.sum(axis=1)
+    occupied = totals > 0
+    totals = totals[occupied]
+    pos = both[occupied, 1]
+    w = totals / n_rows  # repro: ignore[div-guard] n_rows >= 1 whenever any cell is occupied
+    split_info = float(-(w * np.log(np.maximum(w, _EPS))).sum())
+    if split_info <= _EPS:
+        return 0.0
+    p1 = pos / totals
+    conditional = float((w * -(_xlogx(p1) + _xlogx(1.0 - p1))).sum())
+    gain = max(0.0, base_entropy - conditional)
+    return float(gain / split_info)
+
+
 @batched_kernel(oracle="information_gain_ratio")
 def gain_ratio_from_labeled_cells(
     labeled: np.ndarray,
@@ -91,21 +143,13 @@ def gain_ratio_from_labeled_cells(
     same pass. This is the innermost kernel of the batched ranking
     engine; callers compose the labeled codes directly (the label is just
     another mixed-radix digit) so no separate ``2 * cells + y`` pass is
-    paid per combination.
+    paid per combination. Internally it is the one-chunk composition of
+    :func:`labeled_cell_counts` and :func:`gain_ratio_from_counts` —
+    streaming callers run the same two halves over many chunks.
     """
-    both = np.bincount(labeled, minlength=n_codes).reshape(-1, 2)
-    totals = both.sum(axis=1)
-    occupied = totals > 0
-    totals = totals[occupied]
-    pos = both[occupied, 1]
-    w = totals / n_rows  # repro: ignore[div-guard] n_rows >= 1 whenever any cell is occupied
-    split_info = float(-(w * np.log(np.maximum(w, _EPS))).sum())
-    if split_info <= _EPS:
-        return 0.0
-    p1 = pos / totals
-    conditional = float((w * -(_xlogx(p1) + _xlogx(1.0 - p1))).sum())
-    gain = max(0.0, base_entropy - conditional)
-    return float(gain / split_info)
+    return gain_ratio_from_counts(
+        labeled_cell_counts(labeled, n_codes), n_rows, base_entropy
+    )
 
 
 @batched_kernel(oracle="information_value")
@@ -171,11 +215,40 @@ def information_values_matrix(
         edges_per_col[j] = edges
         n_edges[j] = edges.size
 
-    # Column-offset codes: column j owns the half-open slot
-    # [j*stride, (j+1)*stride) and the class label rides as the high bit,
-    # so a single flattened integer bincount counts every
-    # (class, column, bin) triple at once.
     stride = int(n_edges.max()) + 2
+    counts = iv_bin_counts(XT, pos_mask, edges_per_col, scorable, stride, finiteT=finiteT)
+    return iv_from_counts(counts[0], counts[1], n_pos, n_neg, scorable)
+
+
+@batched_kernel(oracle="information_value")
+@chunk_mergeable(merge=merge_counts, exact=True)
+def iv_bin_counts(
+    XT: np.ndarray,
+    pos_mask: np.ndarray,
+    edges_per_col: "list[np.ndarray]",
+    scorable: np.ndarray,
+    stride: int,
+    finiteT: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Per-(class, column, bin) counts for a row chunk — the IV partial.
+
+    Column-offset codes: column ``j`` owns the half-open slot
+    ``[j*stride, (j+1)*stride)`` and the class label rides as the high
+    bit, so a single flattened integer bincount counts every
+    (class, column, bin) triple at once. Bin ``edges.size + 1`` of each
+    column holds its non-finite rows (their own WoE bin).
+
+    ``XT`` is the column-major ``(n_cols, chunk_rows)`` chunk and
+    ``pos_mask`` its positive-label mask; ``edges_per_col``/``scorable``/
+    ``stride`` must be identical across chunks (edges come from one
+    up-front pass — the matrix sort in-memory, the quantile sketch when
+    streaming). Returns ``(2, n_cols, stride)`` int64 counts
+    (``[0]`` negatives, ``[1]`` positives) that merge across chunks by
+    :func:`merge_counts`, bit-identically.
+    """
+    n_cols, n_rows = XT.shape
+    if finiteT is None:
+        finiteT = np.isfinite(XT)
     length = n_cols * stride
     label_offset = pos_mask.astype(np.int64) * length
     flat = np.empty((n_cols, n_rows), dtype=np.int64)
@@ -186,17 +259,35 @@ def information_values_matrix(
             continue
         edges = edges_per_col[j]
         np.add(np.searchsorted(edges, XT[j], side="left"), base, out=flat[j])
-        if n_finite[j] < n_rows:
-            flat[j][~finiteT[j]] = base + edges.size + 1
+        col_finite = finiteT[j]
+        if not col_finite.all():
+            flat[j][~col_finite] = base + edges.size + 1
         flat[j] += label_offset
 
-    counts = np.bincount(flat.ravel(), minlength=2 * length)
-    neg_counts = counts[:length].reshape(n_cols, stride).astype(np.float64)
-    pos_counts = counts[length:].reshape(n_cols, stride).astype(np.float64)
+    return np.bincount(flat.ravel(), minlength=2 * length).reshape(2, -1, stride)
+
+
+@batched_kernel(oracle="information_value")
+def iv_from_counts(
+    neg_counts: np.ndarray,
+    pos_counts: np.ndarray,
+    n_pos: int,
+    n_neg: int,
+    scorable: np.ndarray,
+) -> np.ndarray:
+    """Finalize per-column IVs from merged ``(n_cols, stride)`` bin counts.
+
+    The pure-arithmetic half of :func:`information_values_matrix`:
+    epsilon-smoothed WoE over occupied bins, unscorable columns zeroed.
+    Given exact counts (integer merges are), the streamed IVs are
+    bit-identical to the in-memory kernel's.
+    """
+    neg_counts = np.asarray(neg_counts, dtype=np.float64)
+    pos_counts = np.asarray(pos_counts, dtype=np.float64)
     total_counts = neg_counts + pos_counts
 
-    p = np.maximum(pos_counts / n_pos, _EPS)
-    q = np.maximum(neg_counts / n_neg, _EPS)
+    p = np.maximum(pos_counts / n_pos, _EPS)  # repro: ignore[div-guard] callers validate n_pos > 0 (both classes present)
+    q = np.maximum(neg_counts / n_neg, _EPS)  # repro: ignore[div-guard] callers validate n_neg > 0 (both classes present)
     occupied = total_counts > 0
     contributions = np.where(occupied, (p - q) * np.log(p / q), 0.0)
     ivs = contributions.sum(axis=1)

@@ -160,8 +160,23 @@ def entropy(y: "np.ndarray | list") -> float:
     if y.size == 0:
         return 0.0
     _, counts = np.unique(y, return_counts=True)
-    p = counts / y.size
-    return float(-(p * np.log(np.maximum(p, _EPS))).sum())
+    return entropy_from_counts(counts)
+
+
+def entropy_from_counts(counts: "np.ndarray | list") -> float:
+    """Shannon entropy (nats) from per-value counts.
+
+    The finalize half of :func:`entropy`: counts may come from one
+    ``np.unique`` pass or be accumulated over row chunks (integer counts
+    merge exactly, so the streamed result is bit-identical). Zero-count
+    entries contribute ``0 log 0 = 0`` like absent values.
+    """
+    counts = np.asarray(counts)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(-(_xlogx(p)).sum())
 
 
 def _xlogx(p: np.ndarray) -> np.ndarray:

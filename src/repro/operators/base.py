@@ -50,6 +50,15 @@ class Operator(ABC):
     #: the conservative default keeps unaudited extensions on the
     #: always-correct per-expression path in batched generation.
     batchable: bool = False
+    #: Whether output row ``i`` depends only on input row ``i`` — no
+    #: cross-row coupling (elementwise arithmetic, logical connectives,
+    #: conditionals, per-row reductions over the arguments). Row-wise
+    #: *stateless* operators are exactly the set the out-of-core
+    #: streaming fit can evaluate chunk-at-a-time with results identical
+    #: to a full-matrix evaluation; cross-row operators (lags, rolling
+    #: windows, group statistics) and stateful operators keep the
+    #: conservative default and are rejected by the streaming path.
+    rowwise: bool = False
 
     # -- abstract-interpretation annotations (repro.analysis.plan) -----
     #: Static output bounds (lo, hi) holding for *any* input, or None.

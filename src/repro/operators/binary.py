@@ -29,6 +29,7 @@ class AddOp(Operator):
     commutative = True
     symbol = "+"
     batchable = True
+    rowwise = True
     # add(x, x) is 2x: linearly redundant with its child.
     degenerate_on_equal_children = True
 
@@ -42,6 +43,7 @@ class SubOp(Operator):
     commutative = False
     symbol = "-"
     batchable = True
+    rowwise = True
     degenerate_on_equal_children = True  # x - x == 0
 
     def apply(self, state, a, b):
@@ -54,6 +56,7 @@ class MulOp(Operator):
     commutative = True
     symbol = "*"
     batchable = True
+    rowwise = True
 
     def apply(self, state, a, b):
         return a * b
@@ -67,6 +70,7 @@ class DivOp(Operator):
     commutative = False
     symbol = "/"
     batchable = True
+    rowwise = True
     # Protected against exact 0 only; a subnormal denominator overflows.
     introduces_inf = True
     degenerate_on_equal_children = True  # x / x is 1 (or 0 at x == 0)
@@ -90,6 +94,7 @@ class _LogicalOp(Operator):
 
     arity = 2
     batchable = True
+    rowwise = True
     abstract_bounds = (0.0, 1.0)
     # `x != 0` is defined for NaN (False), and every connective of a
     # subtree with itself collapses to a constant or to the child.

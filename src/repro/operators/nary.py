@@ -22,6 +22,7 @@ class ConditionalOp(Operator):
     commutative = False
     symbol = "cond"
     batchable = True
+    rowwise = True
 
     def apply(self, state, a, b, c):
         return np.where(np.asarray(a, dtype=np.float64) != 0, b, c)
@@ -41,6 +42,7 @@ class _NaryReduceOp(Operator):
 
     commutative = True
     batchable = True
+    rowwise = True
     degenerate_on_equal_children = True  # reduce(x, x, ...) == x
     reducer = None  # type: ignore[assignment]
 

@@ -22,6 +22,7 @@ class LogOp(Operator):
     arity = 1
     symbol = "log"
     batchable = True
+    rowwise = True
 
     def apply(self, state, x):
         return np.sign(x) * np.log1p(np.abs(x))
@@ -34,6 +35,7 @@ class SqrtOp(Operator):
     arity = 1
     symbol = "sqrt"
     batchable = True
+    rowwise = True
 
     def apply(self, state, x):
         return np.sign(x) * np.sqrt(np.abs(x))
@@ -44,6 +46,7 @@ class SquareOp(Operator):
     arity = 1
     symbol = "square"
     batchable = True
+    rowwise = True
     abstract_bounds = (0.0, float("inf"))
 
     def apply(self, state, x):
@@ -55,6 +58,7 @@ class SigmoidOp(Operator):
     arity = 1
     symbol = "sigmoid"
     batchable = True
+    rowwise = True
     abstract_bounds = (0.0, 1.0)
 
     def apply(self, state, x):
@@ -66,6 +70,7 @@ class TanhOp(Operator):
     arity = 1
     symbol = "tanh"
     batchable = True
+    rowwise = True
     abstract_bounds = (-1.0, 1.0)
 
     def apply(self, state, x):
@@ -77,6 +82,7 @@ class RoundOp(Operator):
     arity = 1
     symbol = "round"
     batchable = True
+    rowwise = True
 
     def apply(self, state, x):
         return np.round(x)
@@ -87,6 +93,7 @@ class AbsOp(Operator):
     arity = 1
     symbol = "abs"
     batchable = True
+    rowwise = True
     abstract_bounds = (0.0, float("inf"))
 
     def apply(self, state, x):
@@ -98,6 +105,7 @@ class NegateOp(Operator):
     arity = 1
     symbol = "neg"
     batchable = True
+    rowwise = True
 
     def apply(self, state, x):
         return -np.asarray(x, dtype=np.float64)
@@ -110,6 +118,7 @@ class ReciprocalOp(Operator):
     arity = 1
     symbol = "reciprocal"
     batchable = True
+    rowwise = True
     # Protected against exact 0 only; a subnormal input still overflows.
     introduces_inf = True
 

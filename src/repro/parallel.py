@@ -11,7 +11,11 @@ Algorithm 2 ranking over combinations, and
 stage over the surviving combinations, and
 :func:`parallel_max_abs_correlation` chunks the redundancy stage's
 candidate-vs-kept correlation reductions (all enabled with
-``SAFEConfig(n_jobs=...)``).
+``SAFEConfig(n_jobs=...)``). :func:`parallel_stream_iv_counts` is the
+row-sharded variant for the out-of-core fit: workers receive contiguous
+:class:`~repro.tabular.ChunkedDataset` shards (paths, not rows) and
+return mergeable count partials, so the fan-out axis is rows rather
+than columns/combinations.
 
 Design notes:
 
@@ -401,6 +405,73 @@ def parallel_max_abs_correlation(
     for idx, values in zip(chunks, results):
         out[idx] = values
     return out
+
+
+def _stream_iv_shard(payload) -> "np.ndarray | None":
+    """Worker: merged IV bin counts over one dataset row shard.
+
+    The shard is a :class:`~repro.tabular.ChunkedDataset` view — file
+    backing ships as paths and re-opens its memory maps in the worker,
+    so no rows cross the process boundary. Returns the shard's merged
+    ``(2, n_cols, stride)`` counts, or None for an empty shard.
+    """
+    shard, expressions, edges_per_col, scorable, stride = payload
+    from .core.stream import forest_chunks
+    from .metrics.batched import iv_bin_counts, merge_counts
+
+    counts = None
+    for _, block, y_chunk in forest_chunks(shard, expressions)():
+        pos_mask = np.asarray(y_chunk, dtype=np.float64).ravel() == 1
+        part = iv_bin_counts(
+            np.ascontiguousarray(block.T),
+            pos_mask,
+            edges_per_col,
+            scorable,
+            stride,
+        )
+        counts = part if counts is None else merge_counts(counts, part)
+    return counts
+
+
+def parallel_stream_iv_counts(
+    data,
+    expressions,
+    edges_per_col,
+    scorable: np.ndarray,
+    stride: int,
+    n_jobs: "int | None" = None,
+) -> np.ndarray:
+    """Row-sharded IV bin counts for the streaming fit, optionally parallel.
+
+    Unlike the column-chunked :func:`parallel_information_values`, this
+    fans *rows* out: the dataset splits into contiguous shards
+    (``ChunkedDataset.shards``), each worker evaluates the candidate
+    expressions over its shard's chunks and accumulates
+    :func:`~repro.metrics.batched.iv_bin_counts` partials, and the
+    parent merges the shard counts. Integer merges are exact, so the
+    result is bit-identical to the serial single-shard pass regardless
+    of worker count.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    shards = data.shards(jobs) if jobs > 1 else [data]
+    payloads = [
+        (shard, expressions, edges_per_col, scorable, stride)
+        for shard in shards
+    ]
+    if len(payloads) == 1:
+        results = [_stream_iv_shard(payloads[0])]
+    else:
+        results = _run_pool(_stream_iv_shard, payloads, jobs, "stream-iv")
+    from .metrics.batched import merge_counts
+
+    counts = None
+    for part in results:
+        if part is None:
+            continue
+        counts = part if counts is None else merge_counts(counts, part)
+    if counts is None:
+        raise ConfigurationError("parallel_stream_iv_counts needs a non-empty dataset")
+    return counts
 
 
 def _ig_chunk(payload: "tuple[np.ndarray, np.ndarray, int]") -> list[float]:

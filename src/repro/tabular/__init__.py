@@ -2,15 +2,26 @@
 
 from .binning import (
     Binner,
+    QuantileSketch,
     chimerge_edges,
     codes_from_edges,
     codes_from_edges_matrix,
     equal_frequency_edges,
     equal_width_edges,
+    merge_quantile_sketches,
     quantile_codes_matrix,
+    quantile_sketch_partial,
+    streamed_quantile_edges,
 )
 from .dataset import Dataset, default_names
-from .io import load_csv, save_csv
+from .io import (
+    ChunkedDataset,
+    csv_to_npy,
+    iter_csv_chunks,
+    load_csv,
+    save_csv,
+    save_npy,
+)
 from .preprocess import MeanImputer, MinMaxScaler, StandardScaler, clean_matrix
 from .split import (
     bootstrap_indices,
@@ -21,22 +32,30 @@ from .split import (
 
 __all__ = [
     "Binner",
+    "ChunkedDataset",
     "Dataset",
     "MeanImputer",
     "MinMaxScaler",
+    "QuantileSketch",
     "StandardScaler",
     "bootstrap_indices",
     "chimerge_edges",
     "clean_matrix",
     "codes_from_edges",
     "codes_from_edges_matrix",
+    "csv_to_npy",
     "default_names",
     "equal_frequency_edges",
     "equal_width_edges",
     "fraction_split",
+    "iter_csv_chunks",
     "kfold_indices",
     "load_csv",
+    "merge_quantile_sketches",
     "quantile_codes_matrix",
+    "quantile_sketch_partial",
     "save_csv",
+    "save_npy",
+    "streamed_quantile_edges",
     "train_valid_test_split",
 ]

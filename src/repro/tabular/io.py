@@ -1,7 +1,19 @@
-"""Minimal CSV read/write for :class:`~repro.tabular.Dataset`.
+"""CSV and ``.npy`` I/O for tabular data, in-memory and out-of-core.
 
-Only numeric CSVs with a header row are supported — enough for the
-examples to persist and reload generated feature sets without pandas.
+Two tiers:
+
+* :func:`save_csv` / :func:`load_csv` — minimal numeric CSV round-trip
+  for :class:`~repro.tabular.Dataset` (header row, ``repr`` floats for
+  exact round-trips, no pandas). ``save_csv`` streams rows straight from
+  the source — it never materializes a concatenated copy of the matrix,
+  so it also serializes datasets that do not fit in memory.
+* :class:`ChunkedDataset` + :func:`iter_csv_chunks` /
+  :func:`csv_to_npy` — the out-of-core substrate for the streaming fit:
+  a row-chunked view over memory-mapped ``.npy`` arrays (or in-memory
+  arrays, for tests and small data) yielding ``(rows, X_chunk, y_chunk)``
+  triples, re-iterable any number of times at O(chunk) resident memory.
+  ``SAFE.fit`` accepts a :class:`ChunkedDataset` directly (see
+  :mod:`repro.core.stream`).
 """
 
 from __future__ import annotations
@@ -12,23 +24,52 @@ from pathlib import Path
 import numpy as np
 
 from ..exceptions import DataError
-from .dataset import Dataset
+from .dataset import Dataset, default_names
+
+#: Default rows per chunk: 64k rows x 16 float64 columns is an 8 MB slab.
+DEFAULT_CHUNK_ROWS = 65_536
 
 
-def save_csv(data: Dataset, path: "str | Path", label_column: str = "label") -> None:
-    """Write a dataset (features + optional label column) to CSV."""
+def _format_row(row) -> "list[str]":
+    # repr() of a python float is the shortest string that round-trips,
+    # so load_csv(save_csv(ds)) reproduces the matrix bit-for-bit.
+    return [repr(float(v)) for v in row]
+
+
+def save_csv(
+    data: "Dataset | ChunkedDataset",
+    path: "str | Path",
+    label_column: str = "label",
+) -> None:
+    """Write a dataset (features + optional label column) to CSV.
+
+    Rows are streamed to the writer one at a time: no ``np.hstack`` of
+    the whole matrix, no per-file list of formatted rows. Accepts either
+    an in-memory :class:`Dataset` or a :class:`ChunkedDataset` (whose
+    chunks are visited in order), so a memory-mapped table can be
+    exported without ever being resident.
+    """
     path = Path(path)
     header = list(data.names)
-    cols = [data.X]
-    if data.y is not None:
+    if isinstance(data, ChunkedDataset):
+        chunks = ((X, y) for _, X, y in data.iter_chunks())
+        labeled = data.has_labels
+    else:
+        chunks = iter([(data.X, data.y)])
+        labeled = data.y is not None
+    if labeled:
         header.append(label_column)
-        cols.append(data.y.reshape(-1, 1))
-    matrix = np.hstack(cols)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(header)
-        for row in matrix:
-            writer.writerow([repr(float(v)) for v in row])
+        for X_chunk, y_chunk in chunks:
+            if labeled:
+                writer.writerows(
+                    _format_row(row) + [repr(float(target))]
+                    for row, target in zip(X_chunk, y_chunk)
+                )
+            else:
+                writer.writerows(_format_row(row) for row in X_chunk)
 
 
 def load_csv(path: "str | Path", label_column: "str | None" = "label") -> Dataset:
@@ -64,3 +105,325 @@ def load_csv(path: "str | Path", label_column: "str | None" = "label") -> Datase
         names = [h for i, h in enumerate(header) if i != k]
         return Dataset(X=X, names=tuple(names), y=y)
     return Dataset(X=matrix, names=tuple(header), y=None)
+
+
+class ChunkedDataset:
+    """A labeled table visited in row chunks instead of held in memory.
+
+    Backed either by ``.npy`` files opened with ``mmap_mode="r"`` (the
+    out-of-core path: resident memory stays O(chunk) regardless of
+    ``n_rows``) or by in-memory arrays (tests, small data). The object is
+    re-iterable — the streaming fit makes many passes — and picklable:
+    file-backed instances ship only their paths to worker processes,
+    which re-open the memory maps locally, so row-sharded workers in
+    :mod:`repro.parallel` never serialize the matrix.
+
+    ``shards(n)`` splits the row range into ``n`` contiguous sub-views
+    sharing the same backing storage, the unit of row-parallel work.
+    """
+
+    def __init__(
+        self,
+        names: "tuple[str, ...]",
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        *,
+        X: "np.ndarray | None" = None,
+        y: "np.ndarray | None" = None,
+        x_path: "str | Path | None" = None,
+        y_path: "str | Path | None" = None,
+        start: int = 0,
+        stop: "int | None" = None,
+    ) -> None:
+        if (X is None) == (x_path is None):
+            raise DataError("ChunkedDataset needs exactly one of X or x_path")
+        if chunk_rows < 1:
+            raise DataError("chunk_rows must be >= 1")
+        self.chunk_rows = int(chunk_rows)
+        self._X_mem = None if X is None else np.asarray(X, dtype=np.float64)
+        self._y_mem = None if y is None else np.asarray(y, dtype=np.float64).ravel()
+        self.x_path = None if x_path is None else str(x_path)
+        self.y_path = None if y_path is None else str(y_path)
+        if y is not None and x_path is not None:
+            raise DataError("in-memory y cannot back a file-based ChunkedDataset")
+        self._X_map: "np.ndarray | None" = None
+        self._y_map: "np.ndarray | None" = None
+        total_rows, n_cols = self._backing_shape()
+        self.names = tuple(str(n) for n in (names or default_names(n_cols)))
+        if len(self.names) != n_cols:
+            raise DataError(f"{len(self.names)} column names for {n_cols} columns")
+        stop = total_rows if stop is None else int(stop)
+        start = int(start)
+        if not 0 <= start <= stop <= total_rows:
+            raise DataError(
+                f"row range [{start}, {stop}) outside table of {total_rows} rows"
+            )
+        self.start = start
+        self.stop = stop
+        y_rows = self._label_rows()
+        if y_rows is not None and y_rows != total_rows:
+            raise DataError(f"y has {y_rows} rows but X has {total_rows}")
+
+    # -- backing ------------------------------------------------------
+    def _backing_shape(self) -> "tuple[int, int]":
+        X = self._open_X()
+        if X.ndim != 2:
+            raise DataError("ChunkedDataset expects a 2-D feature matrix")
+        return int(X.shape[0]), int(X.shape[1])
+
+    def _label_rows(self) -> "int | None":
+        y = self._open_y()
+        return None if y is None else int(y.shape[0])
+
+    def _open_X(self) -> np.ndarray:
+        if self._X_mem is not None:
+            return self._X_mem
+        if self._X_map is None:
+            self._X_map = np.load(self.x_path, mmap_mode="r")
+        return self._X_map
+
+    def _open_y(self) -> "np.ndarray | None":
+        if self._y_mem is not None:
+            return self._y_mem
+        if self.y_path is None:
+            return None
+        if self._y_map is None:
+            self._y_map = np.load(self.y_path, mmap_mode="r")
+        return self._y_map
+
+    # -- shape / schema ----------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.names)
+
+    @property
+    def has_labels(self) -> bool:
+        return self._y_mem is not None or self.y_path is not None
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        src = self.x_path or "arrays"
+        return (
+            f"ChunkedDataset({self.n_rows} rows x {self.n_cols} cols, "
+            f"chunk_rows={self.chunk_rows}, backing={src})"
+        )
+
+    # -- iteration ----------------------------------------------------
+    def iter_chunks(self):
+        """Yield ``(rows, X_chunk, y_chunk)`` over the row range in order.
+
+        ``rows`` is the global ``range`` the chunk covers; ``X_chunk``
+        is a ``(len(rows), n_cols)`` float64 block (a memory-map view
+        for file backing — pages stream in on access and are evictable,
+        so resident memory stays O(chunk)); ``y_chunk`` is the matching
+        label slice or None.
+        """
+        X = self._open_X()
+        y = self._open_y()
+        for lo in range(self.start, self.stop, self.chunk_rows):
+            hi = min(lo + self.chunk_rows, self.stop)
+            y_chunk = None if y is None else y[lo:hi]
+            yield range(lo, hi), X[lo:hi], y_chunk
+
+    def shards(self, n_shards: int) -> "list[ChunkedDataset]":
+        """Split the row range into ``n_shards`` contiguous sub-views."""
+        if n_shards < 1:
+            raise DataError("n_shards must be >= 1")
+        n_shards = min(n_shards, max(self.n_rows, 1))
+        bounds = np.linspace(self.start, self.stop, n_shards + 1).astype(np.int64)
+        out = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo:
+                out.append(self._view(int(lo), int(hi)))
+        return out
+
+    def _view(self, start: int, stop: int) -> "ChunkedDataset":
+        return ChunkedDataset(
+            self.names,
+            self.chunk_rows,
+            X=self._X_mem,
+            y=self._y_mem,
+            x_path=self.x_path,
+            y_path=self.y_path,
+            start=start,
+            stop=stop,
+        )
+
+    def materialize(self) -> Dataset:
+        """Load the full row range into an in-memory :class:`Dataset`."""
+        X = np.asarray(self._open_X()[self.start : self.stop], dtype=np.float64)
+        y = self._open_y()
+        y = None if y is None else np.asarray(y[self.start : self.stop])
+        return Dataset(X=X, names=self.names, y=y)
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        X: "np.ndarray | list",
+        y: "np.ndarray | list | None" = None,
+        names: "tuple[str, ...] | None" = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> "ChunkedDataset":
+        X = np.asarray(X, dtype=np.float64)
+        if names is None:
+            names = default_names(X.shape[1] if X.ndim == 2 else 0)
+        return cls(tuple(names), chunk_rows, X=X,
+                   y=None if y is None else np.asarray(y))
+
+    @classmethod
+    def from_dataset(
+        cls, data: Dataset, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> "ChunkedDataset":
+        return cls(data.names, chunk_rows, X=data.X, y=data.y)
+
+    @classmethod
+    def from_npy(
+        cls,
+        x_path: "str | Path",
+        y_path: "str | Path | None" = None,
+        names: "tuple[str, ...] | None" = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> "ChunkedDataset":
+        """Open memory-mapped ``.npy`` feature/label files as a dataset."""
+        if names is None:
+            probe = np.load(x_path, mmap_mode="r")
+            if probe.ndim != 2:
+                raise DataError("ChunkedDataset expects a 2-D feature matrix")
+            names = default_names(int(probe.shape[1]))
+            del probe
+        return cls(tuple(names), chunk_rows, x_path=x_path, y_path=y_path)
+
+    # -- pickling (row-sharded workers) -------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Memory-map handles are per-process; workers re-open lazily.
+        state["_X_map"] = None
+        state["_y_map"] = None
+        return state
+
+
+def iter_csv_chunks(
+    path: "str | Path",
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    label_column: "str | None" = "label",
+):
+    """Stream a numeric CSV as ``(rows, X_chunk, y_chunk)`` triples.
+
+    The row-chunked counterpart of :func:`load_csv`: at most
+    ``chunk_rows`` parsed rows are resident at a time. ``y_chunk`` is
+    None when ``label_column`` is absent from the header. CSV parsing is
+    single-pass — for the many-pass streaming fit, convert once with
+    :func:`csv_to_npy` and iterate the memory maps instead.
+    """
+    path = Path(path)
+    if chunk_rows < 1:
+        raise DataError("chunk_rows must be >= 1")
+    with path.open("r", newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        label_idx = None
+        if label_column is not None and label_column in header:
+            label_idx = header.index(label_column)
+        n_fields = len(header)
+        start = 0
+        buffer: "list[list[float]]" = []
+
+        def flush():
+            block = np.asarray(buffer, dtype=np.float64)
+            if label_idx is None:
+                return block, None
+            y_chunk = block[:, label_idx]
+            X_chunk = np.delete(block, label_idx, axis=1)
+            return X_chunk, y_chunk
+
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != n_fields:
+                raise DataError(
+                    f"{path}:{lineno}: ragged row (header has {n_fields} fields)"
+                )
+            try:
+                buffer.append([float(v) if v != "" else float("nan") for v in row])
+            except ValueError as exc:
+                raise DataError(f"{path}:{lineno}: non-numeric value ({exc})") from None
+            if len(buffer) == chunk_rows:
+                X_chunk, y_chunk = flush()
+                yield range(start, start + len(buffer)), X_chunk, y_chunk
+                start += len(buffer)
+                buffer = []
+        if buffer:
+            X_chunk, y_chunk = flush()
+            yield range(start, start + len(buffer)), X_chunk, y_chunk
+
+
+def csv_to_npy(
+    csv_path: "str | Path",
+    x_path: "str | Path",
+    y_path: "str | Path | None" = None,
+    label_column: "str | None" = "label",
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> ChunkedDataset:
+    """Convert a numeric CSV to memory-mapped ``.npy`` files, streaming.
+
+    Two passes over the file (count rows, then fill the pre-sized
+    memmaps chunk by chunk) with O(chunk) resident memory, returning a
+    ready :class:`ChunkedDataset` over the written files. A labeled CSV
+    requires ``y_path``.
+    """
+    csv_path = Path(csv_path)
+    n_rows = 0
+    names: "tuple[str, ...] | None" = None
+    labeled = False
+    for rows, X_chunk, y_chunk in iter_csv_chunks(csv_path, chunk_rows, label_column):
+        n_rows += len(rows)
+        labeled = y_chunk is not None
+        if names is None:
+            names = default_names(X_chunk.shape[1])
+    if names is None:
+        raise DataError(f"{csv_path} has a header but no data rows")
+    if labeled and y_path is None:
+        raise DataError("labeled CSV needs a y_path for the label memmap")
+    X_out = np.lib.format.open_memmap(
+        x_path, mode="w+", dtype=np.float64, shape=(n_rows, len(names))
+    )
+    y_out = None
+    if labeled:
+        y_out = np.lib.format.open_memmap(
+            y_path, mode="w+", dtype=np.float64, shape=(n_rows,)
+        )
+    for rows, X_chunk, y_chunk in iter_csv_chunks(csv_path, chunk_rows, label_column):
+        X_out[rows.start : rows.stop] = X_chunk
+        if y_out is not None:
+            y_out[rows.start : rows.stop] = y_chunk
+    X_out.flush()
+    del X_out
+    if y_out is not None:
+        y_out.flush()
+        del y_out
+    return ChunkedDataset.from_npy(
+        x_path, y_path if labeled else None, names=names, chunk_rows=chunk_rows
+    )
+
+
+def save_npy(
+    data: Dataset, x_path: "str | Path", y_path: "str | Path | None" = None
+) -> ChunkedDataset:
+    """Persist a :class:`Dataset` as ``.npy`` files; return the mapped view."""
+    np.save(x_path, np.ascontiguousarray(data.X))
+    if data.y is not None:
+        if y_path is None:
+            raise DataError("labeled dataset needs a y_path")
+        np.save(y_path, data.y)
+    return ChunkedDataset.from_npy(
+        x_path, y_path if data.y is not None else None, names=data.names
+    )

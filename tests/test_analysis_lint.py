@@ -474,3 +474,121 @@ class TestRegistryCompleteness:
                 f"kernel {contract.name} declares oracle {contract.oracle!r} "
                 "which is not marked @kernel_oracle"
             )
+
+
+class TestFullMatrixInChunkLoopRule:
+    """Streaming-contract rule: mergeable kernels and iter_chunks loops."""
+
+    KERNEL_PREAMBLE = (
+        "import numpy as np\n"
+        "from repro.analysis.registry import chunk_mergeable\n"
+        "def merge(a, b):\n"
+        "    return a + b\n"
+    )
+
+    def test_order_statistic_in_mergeable_kernel_fires(self):
+        findings = _lint_src(
+            self.KERNEL_PREAMBLE
+            + "@chunk_mergeable(merge=merge, exact=True)\n"
+            "def bad_partial(chunk):\n"
+            "    return np.median(chunk, axis=0)\n"
+        )
+        assert "full-matrix-in-chunk-loop" in _rule_ids(findings)
+
+    def test_sort_in_mergeable_kernel_fires(self):
+        findings = _lint_src(
+            self.KERNEL_PREAMBLE
+            + "@chunk_mergeable(merge=merge, exact=True)\n"
+            "def bad_partial(chunk):\n"
+            "    return np.sort(chunk, axis=0)[0]\n"
+        )
+        assert "full-matrix-in-chunk-loop" in _rule_ids(findings)
+
+    def test_no_axis_reduction_on_chunk_parameter_fires(self):
+        findings = _lint_src(
+            self.KERNEL_PREAMBLE
+            + "@chunk_mergeable(merge=merge, exact=False)\n"
+            "def bad_partial(chunk):\n"
+            "    return chunk.sum()\n"
+        )
+        assert "full-matrix-in-chunk-loop" in _rule_ids(findings)
+
+    def test_axis_reduction_on_chunk_parameter_is_clean(self):
+        findings = _lint_src(
+            self.KERNEL_PREAMBLE
+            + "@chunk_mergeable(merge=merge, exact=False)\n"
+            "def good_partial(chunk):\n"
+            "    return chunk.sum(axis=0)\n"
+        )
+        assert "full-matrix-in-chunk-loop" not in _rule_ids(findings)
+
+    def test_parameter_subscript_copy_fires(self):
+        findings = _lint_src(
+            self.KERNEL_PREAMBLE
+            + "@chunk_mergeable(merge=merge, exact=True)\n"
+            "def bad_partial(chunk, mask):\n"
+            "    return chunk[mask].copy()\n"
+        )
+        assert "full-matrix-in-chunk-loop" in _rule_ids(findings)
+
+    def test_local_variable_calls_are_clean(self):
+        # The shapes iv_bin_counts legitimately uses: whole-array `.all()`
+        # on a locally derived mask and `.ravel()` on a local buffer.
+        findings = _lint_src(
+            self.KERNEL_PREAMBLE
+            + "@chunk_mergeable(merge=merge, exact=True)\n"
+            "def good_partial(chunk):\n"
+            "    col_finite = np.isfinite(chunk)\n"
+            "    if col_finite.all():\n"
+            "        pass\n"
+            "    flat = chunk + 0\n"
+            "    return flat.ravel()\n"
+        )
+        assert "full-matrix-in-chunk-loop" not in _rule_ids(findings)
+
+    def test_undecorated_function_is_out_of_scope(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def batch_quantiles(X):\n"
+            "    return np.quantile(X, 0.5, axis=0)\n"
+        )
+        assert "full-matrix-in-chunk-loop" not in _rule_ids(findings)
+
+    def test_concatenate_in_iter_chunks_loop_fires(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def gather(data):\n"
+            "    parts = np.zeros((0, 3))\n"
+            "    for rows, X_chunk, y_chunk in data.iter_chunks():\n"
+            "        parts = np.concatenate([parts, X_chunk])\n"
+            "    return parts\n"
+        )
+        assert "full-matrix-in-chunk-loop" in _rule_ids(findings)
+
+    def test_concatenate_outside_chunk_loop_is_clean(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def stack_two(a, b):\n"
+            "    for i in range(3):\n"
+            "        a = a + i\n"
+            "    return np.concatenate([a, b])\n"
+        )
+        assert "full-matrix-in-chunk-loop" not in _rule_ids(findings)
+
+    def test_suppression_comment_silences(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def gather(data):\n"
+            "    parts = np.zeros((0, 3))\n"
+            "    for rows, X_chunk, y_chunk in data.iter_chunks():\n"
+            "        parts = np.concatenate([parts, X_chunk])  # repro: ignore[full-matrix-in-chunk-loop] test helper gathers on purpose\n"
+            "    return parts\n"
+        )
+        assert "full-matrix-in-chunk-loop" not in _rule_ids(findings)
+
+    def test_rule_is_registered_in_default_rules(self):
+        from repro.analysis.linter import default_rules
+
+        assert "full-matrix-in-chunk-loop" in {
+            r.rule_id for r in default_rules()
+        }

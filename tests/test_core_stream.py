@@ -1,0 +1,274 @@
+"""Tests for the out-of-core SAFE fit (repro.core.stream).
+
+The contract under test: ``SAFE.fit`` on a :class:`ChunkedDataset`
+streams the rows chunk-at-a-time and, with ``sketch="exact"``, yields
+the *same kept Ψ* as the in-memory fit — bit-identical expression keys —
+because every fit-time statistic is accumulated through the mergeable
+kernels (integer counts merge exactly; float sums agree to <=1e-9 and
+the miners' shared split search breaks gain near-ties deterministically
+in (feature, bin) order via ``tie_rtol=GAIN_TIE_RTOL``).
+
+Also covered: the streaming GBM grower against the in-memory one on
+tie-heavy inputs (duplicate columns, tiny leaves), quarantine and
+checkpoint-resume parity across the two paths, the streamability
+rejections, and the tier-1 memory gate — the streaming fit's tracemalloc
+peak stays under a fixed ceiling that the in-memory fit on the same
+workload exceeds severalfold.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.boosting import GradientBoostingClassifier
+from repro.boosting.tree import GAIN_TIE_RTOL
+from repro.boosting.stream import fit_gbm_streaming
+from repro.core import SAFE, SAFEConfig
+from repro.exceptions import ConfigurationError, DataError
+from repro.runtime.failpoints import active
+from repro.tabular.dataset import Dataset
+from repro.tabular.io import ChunkedDataset
+
+
+def _workload(seed, n, k):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, k))
+    X[rng.random(size=(n, k)) < 0.02] = np.nan
+    logits = X[:, 0] - 0.5 * np.nan_to_num(X[:, 1]) + 0.3 * rng.normal(size=n)
+    y = (logits > 0).astype(np.float64)
+    return X, y, tuple(f"f{i}" for i in range(k))
+
+
+def _keys(transformer):
+    return tuple(e.key for e in transformer.expressions)
+
+
+class TestPsiParity:
+    """Streaming fit == in-memory fit, bit-identical Ψ (sketch="exact")."""
+
+    @pytest.mark.parametrize(
+        "seed,n,k,iters,chunk",
+        [
+            (7, 2867, 5, 1, 311),
+            (11, 4000, 5, 2, 512),  # regression: near-tied ranking gains
+            (13, 2048, 5, 3, 300),
+        ],
+    )
+    def test_arrays_backed(self, seed, n, k, iters, chunk):
+        X, y, names = _workload(seed, n, k)
+        cfg = SAFEConfig(n_iterations=iters, sketch="exact", random_state=0)
+        t_mem = SAFE(cfg).fit(Dataset(X=X.copy(), y=y.copy(), names=names))
+        t_stream = SAFE(cfg).fit(ChunkedDataset(names, chunk, X=X, y=y))
+        assert _keys(t_stream) == _keys(t_mem)
+
+    def test_file_backed(self, tmp_path):
+        X, y, names = _workload(11, 4000, 5)
+        cfg = SAFEConfig(n_iterations=2, sketch="exact", random_state=0)
+        t_mem = SAFE(cfg).fit(Dataset(X=X.copy(), y=y.copy(), names=names))
+        xp, yp = tmp_path / "X.npy", tmp_path / "y.npy"
+        np.save(xp, X)
+        np.save(yp, y)
+        t_stream = SAFE(cfg).fit(ChunkedDataset(names, 512, x_path=xp, y_path=yp))
+        assert _keys(t_stream) == _keys(t_mem)
+
+    def test_row_sharded_workers_match_serial(self):
+        X, y, names = _workload(31, 3000, 5)
+        kwargs = dict(n_iterations=2, sketch="exact", random_state=0)
+        t_serial = SAFE(SAFEConfig(n_jobs=1, **kwargs)).fit(
+            ChunkedDataset(names, 417, X=X, y=y)
+        )
+        t_sharded = SAFE(SAFEConfig(n_jobs=2, **kwargs)).fit(
+            ChunkedDataset(names, 417, X=X, y=y)
+        )
+        assert _keys(t_sharded) == _keys(t_serial)
+
+    def test_merge_sketch_fits_and_serves(self):
+        X, y, names = _workload(21, 5000, 6)
+        cfg = SAFEConfig(n_iterations=2, sketch="merge", random_state=0)
+        t = SAFE(cfg).fit(ChunkedDataset(names, 700, X=X, y=y))
+        assert len(t.expressions) >= 1
+        out = t.transform(Dataset(X=X, y=y, names=names))
+        assert out.X.shape == (5000, len(t.expressions))
+        assert np.isfinite(np.nan_to_num(out.X)).all()
+
+    def test_traces_match_in_memory(self):
+        X, y, names = _workload(8, 1500, 4)
+        cfg = SAFEConfig(n_iterations=2, sketch="exact", random_state=0)
+        s_mem, s_stream = SAFE(cfg), SAFE(cfg)
+        s_mem.fit(Dataset(X=X.copy(), y=y.copy(), names=names))
+        s_stream.fit(ChunkedDataset(names, 257, X=X, y=y))
+        assert len(s_stream.traces_) == len(s_mem.traces_)
+        for a, b in zip(s_stream.traces_, s_mem.traces_):
+            assert (a.n_paths, a.n_combinations, a.n_generated, a.n_candidates) == (
+                b.n_paths,
+                b.n_combinations,
+                b.n_generated,
+                b.n_candidates,
+            )
+
+
+class TestGbmStreamingParity:
+    def test_tree_structures_match_on_tie_heavy_data(self):
+        """Duplicate columns + tiny leaves: the near-tie break must hold."""
+        rng = np.random.default_rng(123)
+        for _ in range(6):
+            n = int(rng.integers(300, 2000))
+            k = int(rng.integers(3, 8))
+            X = rng.normal(size=(n, k))
+            X[:, -1] = X[:, 0]  # exact duplicate => mathematically tied gains
+            y = (X[:, 0] + 0.5 * rng.normal(size=n) > 0).astype(np.float64)
+            params = dict(
+                n_estimators=4,
+                max_depth=int(rng.integers(2, 5)),
+                learning_rate=0.2,
+                max_bins=int(rng.integers(16, 64)),
+                min_samples_leaf=int(rng.integers(1, 4)),
+                random_state=0,
+                tie_rtol=GAIN_TIE_RTOL,
+            )
+            ref = GradientBoostingClassifier(**params)
+            ref.fit(X, y)
+            streamed = GradientBoostingClassifier(**params)
+            chunk = int(rng.integers(64, 700))
+
+            def chunks():
+                for lo in range(0, n, chunk):
+                    hi = min(lo + chunk, n)
+                    yield range(lo, hi), X[lo:hi], y[lo:hi]
+
+            fit_gbm_streaming(streamed, chunks, n, k, sketch="exact")
+            for a, b in zip(ref.trees_, streamed.trees_):
+                assert np.array_equal(a.feature, b.feature)
+                assert np.array_equal(a.threshold_bin, b.threshold_bin)
+                np.testing.assert_allclose(a.value, b.value, rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(
+                ref.predict_proba(X), streamed.predict_proba(X), rtol=1e-9, atol=1e-12
+            )
+
+
+class TestRuntimeParity:
+    def test_quarantine_parity(self):
+        X, y, names = _workload(51, 1200, 5)
+        cfg = SAFEConfig(
+            n_iterations=1,
+            sketch="exact",
+            random_state=0,
+            on_operator_error="quarantine",
+        )
+        with active("generation.operator", mode="nth", nth=3):
+            s_mem = SAFE(cfg)
+            t_mem = s_mem.fit(Dataset(X=X.copy(), y=y.copy(), names=names))
+        with active("generation.operator", mode="nth", nth=3):
+            s_stream = SAFE(cfg)
+            t_stream = s_stream.fit(ChunkedDataset(names, 300, X=X, y=y))
+        assert _keys(t_stream) == _keys(t_mem)
+        q_mem = [(i, r.key, r.operator) for i, r in s_mem.runtime_report_.quarantined]
+        q_stream = [
+            (i, r.key, r.operator) for i, r in s_stream.runtime_report_.quarantined
+        ]
+        assert q_stream == q_mem and len(q_stream) == 1
+
+    def test_checkpoint_resume_parity(self, tmp_path):
+        X, y, names = _workload(61, 2000, 5)
+        cfg = SAFEConfig(n_iterations=2, sketch="exact", random_state=0)
+        t_ref = SAFE(cfg).fit(ChunkedDataset(names, 333, X=X, y=y))
+        with pytest.raises(Exception):
+            with active("pipeline.iteration", mode="nth", nth=1):
+                SAFE(cfg).fit(
+                    ChunkedDataset(names, 333, X=X, y=y),
+                    checkpoint_dir=str(tmp_path),
+                )
+        resumed = SAFE(cfg)
+        t_resumed = resumed.fit(
+            ChunkedDataset(names, 333, X=X, y=y), checkpoint_dir=str(tmp_path)
+        )
+        assert _keys(t_resumed) == _keys(t_ref)
+        assert resumed.runtime_report_.resumed_from_iteration == 0
+
+
+class TestStreamabilityRejections:
+    def _data(self):
+        X, y, names = _workload(41, 400, 4)
+        return ChunkedDataset(names, 100, X=X, y=y)
+
+    def test_non_rowwise_operator_rejected(self):
+        cfg = SAFEConfig(n_iterations=1, operators=("add", "lag1"))
+        with pytest.raises(ConfigurationError, match="not streamable"):
+            SAFE(cfg).fit(self._data())
+
+    def test_stateful_operator_rejected(self):
+        cfg = SAFEConfig(n_iterations=1, operators=("add", "zscore"))
+        with pytest.raises(ConfigurationError, match="not streamable"):
+            SAFE(cfg).fit(self._data())
+
+    def test_validation_set_rejected(self):
+        X, y, names = _workload(41, 400, 4)
+        cfg = SAFEConfig(n_iterations=1)
+        with pytest.raises(ConfigurationError, match="validation set"):
+            SAFE(cfg).fit(self._data(), valid=Dataset(X=X, y=y, names=names))
+
+    def test_bogus_sketch_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="sketch"):
+            SAFEConfig(sketch="bogus")
+
+    def test_single_class_labels_rejected(self):
+        X, _, names = _workload(41, 400, 4)
+        y = np.zeros(400)
+        with pytest.raises(DataError, match="both classes"):
+            SAFE(SAFEConfig(n_iterations=1)).fit(
+                ChunkedDataset(names, 100, X=X, y=y)
+            )
+
+
+class TestMemoryGate:
+    def test_streaming_fit_is_out_of_core(self, tmp_path):
+        """Tracemalloc gate: O(chunk + state), not O(rows x candidates).
+
+        The ceiling is fixed at 48 MB. The in-memory fit on the *same*
+        workload — which materializes the working matrix, the candidate
+        matrix, and the binned code matrices at full row count — must
+        exceed the streaming peak at least 8-fold (measured ~16x), so
+        the gate genuinely separates the two paths rather than passing
+        both.
+        """
+        n, k = 80_000, 8
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(n, k))
+        y = (X[:, 0] + 0.5 * rng.normal(size=n) > 0).astype(np.float64)
+        names = tuple(f"f{i}" for i in range(k))
+        xp, yp = tmp_path / "X.npy", tmp_path / "y.npy"
+        np.save(xp, X)
+        np.save(yp, y)
+        del X, y
+
+        cfg = SAFEConfig(n_iterations=1, sketch="merge", random_state=0)
+        data = ChunkedDataset(names, 4096, x_path=xp, y_path=yp)
+        tracemalloc.start()
+        try:
+            t_stream = SAFE(cfg).fit(data)
+            _, stream_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert len(t_stream.expressions) >= 1
+        ceiling = 48 * 1024 * 1024
+        assert stream_peak < ceiling, (
+            f"streaming fit peaked at {stream_peak / 1e6:.1f} MB, "
+            f"over the {ceiling / 1e6:.0f} MB out-of-core ceiling"
+        )
+
+        tracemalloc.start()
+        try:
+            t_mem = SAFE(cfg).fit(
+                Dataset(X=np.load(xp), y=np.load(yp), names=names)
+            )
+            _, mem_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert len(t_mem.expressions) >= 1
+        assert mem_peak >= 8 * stream_peak, (
+            f"in-memory peak {mem_peak / 1e6:.1f} MB is not 8x the streaming "
+            f"peak {stream_peak / 1e6:.1f} MB; the gate is not discriminating"
+        )
