@@ -57,7 +57,7 @@ A single workload can be re-timed and merged into the existing
 ``BENCH_perf.json`` without re-running the others:
 ``PYTHONPATH=src python benchmarks/run_perf.py --stage selection``
 (repeatable; stages: scoring, generation, boosting, end_to_end,
-selection, fit_stream).
+selection, fit_stream, fit_recovery).
 
 The ``fit_stream`` stage is the out-of-core acceptance run: a SAFE.fit
 over a 5M-row ``.npy``-memmapped ``ChunkedDataset`` recording rows/sec
@@ -65,6 +65,11 @@ and the tracemalloc peak, gated on that peak staying at least 8x under
 the bytes materializing the matrix would cost, with an exact-sketch
 Ψ-parity sub-record (streaming vs in-memory, bit-identical keys) at
 reduced scale.
+
+The ``fit_recovery`` stage is the crash-safety acceptance run: it
+records resume-vs-refit wall time after a failpoint kill (gate: resume
+>= 3x faster) and the chunk-manifest verification overhead on a clean
+fit (gate: <= 10%).
 """
 
 from __future__ import annotations
@@ -141,6 +146,8 @@ FS_CHUNK_ROWS = 8_192
 #: Fixed out-of-core ceiling: one eighth of the materialized matrix.
 FS_PEAK_CEILING_BYTES = FS_N_ROWS * FS_N_COLS * 8 // 8
 FS_PARITY_ROWS = 200_000
+FR_N_ROWS = 100_000
+FR_ITERATIONS = 4
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
@@ -762,6 +769,83 @@ def run_fit_stream_benchmark() -> dict:
     }
 
 
+def run_fit_recovery_benchmark() -> dict:
+    """Crash-safe fit: resume-vs-refit wall time and manifest overhead.
+
+    Three measured fits over the same ``FR_N_ROWS``-row chunked
+    workload:
+
+    1. a clean fit without a manifest — the refit cost a crash without
+       checkpoints would pay;
+    2. a clean fit with chunk-integrity verification on — its time over
+       (1) is the manifest overhead (verification is digested once per
+       chunk and cached, so a multi-iteration fit amortizes it);
+    3. a fit killed by the ``pipeline.iteration`` failpoint after
+       ``FR_ITERATIONS - 1`` of ``FR_ITERATIONS`` iterations have
+       checkpointed, then resumed from the checkpoint directory — the
+       resume replays the checkpointed plan and recomputes only the
+       final iteration.
+
+    The gate requires resume to be >= 3x faster than refit and the
+    manifest overhead to stay within 10%.
+    """
+    import os
+    import tempfile
+
+    from repro.core import SAFE, SAFEConfig
+    from repro.exceptions import InjectedFault
+    from repro.runtime.failpoints import active
+    from repro.tabular.io import ChunkedDataset, write_manifest
+
+    with tempfile.TemporaryDirectory() as td:
+        xp, yp = _write_fit_stream_workload(td, FR_N_ROWS)
+        cfg = SAFEConfig(
+            n_iterations=FR_ITERATIONS, sketch="merge", random_state=0
+        )
+
+        def data(manifest: bool) -> ChunkedDataset:
+            return ChunkedDataset.from_npy(
+                xp, y_path=yp, chunk_rows=FS_CHUNK_ROWS, manifest=manifest
+            )
+
+        t0 = time.perf_counter()
+        psi = SAFE(cfg).fit(data(manifest=False))
+        refit_s = time.perf_counter() - t0
+
+        write_manifest(data(manifest=False))
+        t0 = time.perf_counter()
+        SAFE(cfg).fit(data(manifest=True))
+        manifest_s = time.perf_counter() - t0
+
+        ckpt = os.path.join(td, "ckpt")
+        with active("pipeline.iteration", mode="nth", nth=FR_ITERATIONS - 1):
+            try:
+                SAFE(cfg).fit(data(manifest=False), checkpoint_dir=ckpt)
+            except InjectedFault:
+                pass
+        t0 = time.perf_counter()
+        resumed = SAFE(cfg)
+        resumed_psi = resumed.fit(data(manifest=False), checkpoint_dir=ckpt)
+        resume_s = time.perf_counter() - t0
+
+    refit_keys = [e.key for e in psi.expressions]
+    resumed_keys = [e.key for e in resumed_psi.expressions]
+    return {
+        "n_rows": FR_N_ROWS,
+        "n_cols": FS_N_COLS,
+        "chunk_rows": FS_CHUNK_ROWS,
+        "n_iterations": FR_ITERATIONS,
+        "refit_seconds": refit_s,
+        "resume_seconds": resume_s,
+        "resume_speedup": refit_s / resume_s,
+        "manifest_seconds": manifest_s,
+        "manifest_overhead": manifest_s / refit_s - 1.0,
+        "resumed_from_iteration": resumed.runtime_report_.resumed_from_iteration,
+        "psi_identical": resumed_keys == refit_keys,
+        "n_output_features": len(refit_keys),
+    }
+
+
 def best_of(fn, repeats: int = 3) -> tuple[float, object]:
     best = float("inf")
     result = None
@@ -859,6 +943,7 @@ STAGE_RUNNERS = {
     "end_to_end": lambda: {"end_to_end_fit": run_end_to_end_fit()},
     "selection": lambda: {"selection": run_selection_benchmark()},
     "fit_stream": lambda: {"fit_stream": run_fit_stream_benchmark()},
+    "fit_recovery": lambda: {"fit_recovery": run_fit_recovery_benchmark()},
 }
 ALL_STAGES = tuple(STAGE_RUNNERS)
 
@@ -906,6 +991,14 @@ def _print_stage_summaries(report: dict) -> None:
             f"peak {r['tracemalloc_peak_bytes'] / 1e6:.1f}MB "
             f"({r['matrix_to_peak_ratio']:.1f}x under the matrix)  "
             f"psi identical: {r['parity']['psi_identical']}"
+        )
+    if "fit_recovery" in report:
+        r = report["fit_recovery"]
+        print(
+            f"fit_recovery: refit {r['refit_seconds']:.1f}s vs resume "
+            f"{r['resume_seconds']:.1f}s ({r['resume_speedup']:.1f}x)  "
+            f"manifest overhead {r['manifest_overhead'] * 100:+.1f}%  "
+            f"psi identical: {r['psi_identical']}"
         )
     if "combined_speedup" in report:
         print(
@@ -969,6 +1062,11 @@ STAGE_GATES = {
         and r["fit_stream"]["matrix_to_peak_ratio"] >= 8.0
         and r["fit_stream"]["parity"]["psi_identical"]
         and r["fit_stream"]["n_output_features"] >= 1
+    ),
+    "fit_recovery": lambda r: (
+        r["fit_recovery"]["resume_speedup"] >= 3.0
+        and r["fit_recovery"]["manifest_overhead"] <= 0.10
+        and r["fit_recovery"]["psi_identical"]
     ),
 }
 

@@ -42,3 +42,22 @@ def test_exact_sketch_psi_is_bit_identical(record):
     assert record["parity"]["n_rows"] >= 100_000
     assert record["parity"]["psi_identical"] is True
     assert record["parity"]["n_kept"] >= 1
+
+
+@pytest.fixture(scope="module")
+def recovery():
+    return run_perf.run_fit_recovery_benchmark()
+
+
+def test_resume_is_at_least_3x_faster_than_refit(recovery):
+    assert recovery["resumed_from_iteration"] is not None
+    assert recovery["resume_speedup"] >= 3.0
+
+
+def test_manifest_verification_overhead_within_10_percent(recovery):
+    assert recovery["manifest_overhead"] <= 0.10
+
+
+def test_resumed_psi_matches_refit(recovery):
+    assert recovery["psi_identical"] is True
+    assert recovery["n_output_features"] >= 1

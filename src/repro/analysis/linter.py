@@ -91,6 +91,7 @@ def default_rules() -> "list[LintRule]":
     # Imported lazily so constructing a custom rule set never pays for
     # (or cycles through) rules it does not use.
     from .rules_aliasing import InplaceAliasRule
+    from .rules_artifacts import ArtifactWriteRule
     from .rules_float import (
         EmptyFillRule,
         Float32CastRule,
@@ -117,6 +118,7 @@ def default_rules() -> "list[LintRule]":
         KernelContractRule(),
         BatchableParityRule(),
         FullMatrixInChunkLoopRule(),
+        ArtifactWriteRule(),
     ]
 
 

@@ -39,6 +39,8 @@ subsampling, early stopping / eval sets, and layouts needing more than
 
 from __future__ import annotations
 
+import hashlib
+import os
 import shutil
 import tempfile
 
@@ -46,6 +48,7 @@ import numpy as np
 
 from ..analysis.registry import inplace_mutator
 from ..exceptions import ConfigurationError, DataError
+from ..runtime.checkpoint import MISSING
 from ..tabular.binning import (
     DEFAULT_SKETCH_CAPACITY,
     codes_from_edges_matrix,
@@ -61,6 +64,67 @@ from .tree import Tree, level_split_search
 #: pass holds ~``_SCRATCH_ROWS * n_cols`` bytes of codes plus O(chunk)
 #: float vectors).
 _SCRATCH_ROWS = 1 << 18
+
+
+#: Persisted per-tree array attributes; together they define a fitted tree.
+_TREE_FIELDS = (
+    "feature",
+    "threshold",
+    "threshold_bin",
+    "left",
+    "right",
+    "value",
+    "gain",
+    "n_samples",
+)
+
+
+def _file_digest(path) -> str:
+    """Content digest of a scratch file (binds snapshots to their memmaps)."""
+    digest = hashlib.blake2b(digest_size=20)
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 22), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _tree_state(tree: Tree) -> dict:
+    return {name: getattr(tree, name) for name in _TREE_FIELDS}
+
+
+def _tree_from_state(model: GradientBoostingClassifier, state: dict) -> Tree:
+    tree = Tree(
+        max_depth=model.max_depth,
+        min_samples_leaf=model.min_samples_leaf,
+        min_child_weight=model.min_child_weight,
+        reg_lambda=model.reg_lambda,
+        gamma=model.gamma,
+        colsample=model.colsample,
+    )
+    for name in _TREE_FIELDS:
+        setattr(tree, name, np.asarray(state[name]))
+    tree.fit_leaf_ids_ = None
+    return tree
+
+
+def _tree_leaf_ids(tree: Tree, codes_block: np.ndarray) -> np.ndarray:
+    """Leaf id per row of a code block, by vectorized level descent.
+
+    Uses the same ``code <= threshold_bin`` comparison the streaming
+    partition pass uses, so a replayed tree routes every row to exactly
+    the leaf ``node_of_row`` held when the tree was grown.
+    """
+    nid = np.zeros(codes_block.shape[0], dtype=np.int64)
+    pending = np.flatnonzero(tree.feature[nid] >= 0)
+    while pending.size:
+        cur = nid[pending]
+        features = tree.feature[cur]
+        go_left = (
+            codes_block[pending, features] <= tree.threshold_bin[cur]
+        )
+        nid[pending] = np.where(go_left, tree.left[cur], tree.right[cur])
+        pending = pending[tree.feature[nid[pending]] >= 0]
+    return nid
 
 
 def _check_streamable(model: GradientBoostingClassifier) -> None:
@@ -84,6 +148,7 @@ def fit_gbm_streaming(
     sketch: str = "merge",
     sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
     scratch_dir: "str | None" = None,
+    stats=None,
 ) -> GradientBoostingClassifier:
     """Fit ``model`` from a restartable chunk stream, out of core.
 
@@ -98,37 +163,88 @@ def fit_gbm_streaming(
     temporary directory, removed afterwards, when ``None``). Scratch disk
     is ~``n_rows * (n_cols + 29)`` bytes; resident memory stays
     O(chunk + histogram state) regardless of ``n_rows``.
+
+    ``stats`` (a :class:`~repro.runtime.StatsCheckpointStore` or scoped
+    view) makes the fit crash-resumable: the sketch edges, the binned
+    code/label memmaps (digest-bound to a ``codes-ready`` snapshot so a
+    torn scratch file is detected, not trusted), and every grown tree
+    checkpoint as sufficient statistics. A resumed call restores the
+    completed trees, rebuilds the margin by replaying them over the code
+    memmap (the same per-element add order, hence bit-identical), and
+    continues growing from the first missing tree.
     """
     _check_streamable(model)
     if n_rows < 1 or n_cols < 1:
         raise DataError("streaming fit needs n_rows >= 1 and n_cols >= 1")
     loss = get_loss(model.loss_name)
     if edges is None:
-        edges, _, _, _ = streamed_quantile_edges(
-            chunk_iter,
-            n_cols,
-            model.max_bins,
-            sketch=sketch,
-            capacity=sketch_capacity,
-        )
+        def compute_edges():
+            return streamed_quantile_edges(
+                chunk_iter,
+                n_cols,
+                model.max_bins,
+                sketch=sketch,
+                capacity=sketch_capacity,
+            )
+
+        if stats is None:
+            edges_state = compute_edges()
+        else:
+            edges_state = stats.run("edges", compute_edges)
+        edges = edges_state[0]
     stride = histogram_stride(edges)
     if stride > 256:
         raise ConfigurationError(
             f"streaming fit needs <= 256 codes per column, got stride {stride}"
         )
 
-    scratch = scratch_dir or tempfile.mkdtemp(prefix="repro-gbm-stream-")
-    own_scratch = scratch_dir is None
+    if scratch_dir is not None:
+        scratch = scratch_dir
+        own_scratch = False
+    elif stats is not None:
+        scratch = stats.scratch_dir("scratch")
+        own_scratch = False  # lives until the store is cleared
+    else:
+        scratch = tempfile.mkdtemp(prefix="repro-gbm-stream-")
+        own_scratch = True
     try:
         open_memmap = np.lib.format.open_memmap
-        codes = open_memmap(
-            f"{scratch}/codes.npy",
-            mode="w+",
-            dtype=np.uint8,
-            shape=(n_rows, n_cols),
-            fortran_order=True,
-        )
-        y = open_memmap(f"{scratch}/y.npy", mode="w+", dtype=np.float64, shape=(n_rows,))
+        codes_path = f"{scratch}/codes.npy"
+        y_path = f"{scratch}/y.npy"
+
+        # A codes-ready snapshot says the binning pass completed; trust it
+        # only if the scratch files still match their recorded digests
+        # (a crash mid-write leaves a mismatch, which costs one re-bin).
+        ready = MISSING
+        if stats is not None:
+            snapshot = stats.load("codes-ready")
+            if snapshot is not MISSING:
+                if (
+                    int(snapshot["n_rows"]) == n_rows
+                    and int(snapshot["n_cols"]) == n_cols
+                    and os.path.exists(codes_path)
+                    and os.path.exists(y_path)
+                    and _file_digest(codes_path) == snapshot["codes_digest"]
+                    and _file_digest(y_path) == snapshot["y_digest"]
+                ):
+                    ready = snapshot
+                else:
+                    stats.note_skip(
+                        "codes-ready: scratch files missing or digest "
+                        "mismatch; re-binning"
+                    )
+        if ready is not MISSING:
+            codes = open_memmap(codes_path, mode="r+")
+            y = open_memmap(y_path, mode="r+")
+        else:
+            codes = open_memmap(
+                codes_path,
+                mode="w+",
+                dtype=np.uint8,
+                shape=(n_rows, n_cols),
+                fortran_order=True,
+            )
+            y = open_memmap(y_path, mode="w+", dtype=np.float64, shape=(n_rows,))
         margin = open_memmap(
             f"{scratch}/margin.npy", mode="w+", dtype=np.float64, shape=(n_rows,)
         )
@@ -142,29 +258,48 @@ def fit_gbm_streaming(
             f"{scratch}/node.npy", mode="w+", dtype=np.int32, shape=(n_rows,)
         )
 
-        # One pass: bin each chunk against the fitted edges, validate and
-        # stash the labels, and accumulate the exact label sum (sums of
-        # 0/1 floats are exact integers in any association order, so the
-        # streamed base score is bit-identical to the in-memory one).
-        y_total = 0.0
-        seen = 0
-        for rows, X_chunk, y_chunk in chunk_iter():
-            if y_chunk is None:
-                raise DataError("streaming fit needs labeled chunks")
-            if rows.start != seen:
-                raise DataError("chunk stream must cover rows in order")
-            if model.loss_name == "logistic":
-                y_chunk = as_label_vector(y_chunk, len(rows))
-            else:
-                y_chunk = np.asarray(y_chunk, dtype=np.float64).ravel()
-            codes[rows.start : rows.stop] = codes_from_edges_matrix(
-                np.asarray(X_chunk, dtype=np.float64), edges
-            ).astype(np.uint8)
-            y[rows.start : rows.stop] = y_chunk
-            y_total += float(y_chunk.sum())
-            seen = rows.stop
-        if seen != n_rows:
-            raise DataError(f"chunk stream covered {seen} rows, expected {n_rows}")
+        if ready is not MISSING:
+            y_total = float(ready["y_total"])
+        else:
+            # One pass: bin each chunk against the fitted edges, validate
+            # and stash the labels, and accumulate the exact label sum
+            # (sums of 0/1 floats are exact integers in any association
+            # order, so the streamed base score is bit-identical to the
+            # in-memory one).
+            y_total = 0.0
+            seen = 0
+            for rows, X_chunk, y_chunk in chunk_iter():
+                if y_chunk is None:
+                    raise DataError("streaming fit needs labeled chunks")
+                if rows.start != seen:
+                    raise DataError("chunk stream must cover rows in order")
+                if model.loss_name == "logistic":
+                    y_chunk = as_label_vector(y_chunk, len(rows))
+                else:
+                    y_chunk = np.asarray(y_chunk, dtype=np.float64).ravel()
+                codes[rows.start : rows.stop] = codes_from_edges_matrix(
+                    np.asarray(X_chunk, dtype=np.float64), edges
+                ).astype(np.uint8)
+                y[rows.start : rows.stop] = y_chunk
+                y_total += float(y_chunk.sum())
+                seen = rows.stop
+            if seen != n_rows:
+                raise DataError(
+                    f"chunk stream covered {seen} rows, expected {n_rows}"
+                )
+            if stats is not None:
+                codes.flush()
+                y.flush()
+                stats.save(
+                    "codes-ready",
+                    {
+                        "n_rows": n_rows,
+                        "n_cols": n_cols,
+                        "y_total": y_total,
+                        "codes_digest": _file_digest(codes_path),
+                        "y_digest": _file_digest(y_path),
+                    },
+                )
 
         model.n_features_ = n_cols
         # base_score is a function of mean(y) for both losses; feeding the
@@ -176,7 +311,25 @@ def fit_gbm_streaming(
             node_of_row[lo : lo + _SCRATCH_ROWS] = 0
 
         model.trees_ = []
-        for _ in range(model.n_estimators):
+        start_tree = 0
+        if stats is not None:
+            while start_tree < model.n_estimators:
+                state = stats.load(f"tree-{start_tree:04d}")
+                if state is MISSING:
+                    break
+                model.trees_.append(_tree_from_state(model, state))
+                start_tree += 1
+            # Replay the restored trees over the code memmap: the margin
+            # accumulates the same learning_rate * leaf_value terms in
+            # the same per-element order the uninterrupted fit used, so
+            # the resumed margin is bit-identical.
+            for tree in model.trees_:
+                values = tree.value
+                for lo in range(0, n_rows, _SCRATCH_ROWS):
+                    hi = min(lo + _SCRATCH_ROWS, n_rows)
+                    leaf_ids = _tree_leaf_ids(tree, codes[lo:hi])
+                    margin[lo:hi] += model.learning_rate * values[leaf_ids]
+        for t in range(start_tree, model.n_estimators):
             for lo in range(0, n_rows, _SCRATCH_ROWS):
                 hi = min(lo + _SCRATCH_ROWS, n_rows)
                 g, h = loss.grad_hess(y[lo:hi], margin[lo:hi])
@@ -186,6 +339,8 @@ def fit_gbm_streaming(
                 model, codes, grad, hess, node_of_row, edges, stride, n_rows
             )
             model.trees_.append(tree)
+            if stats is not None:
+                stats.save(f"tree-{t:04d}", _tree_state(tree))
             # After growth every row's node id is its leaf: one gather
             # updates the margin, then the ids reset for the next round.
             values = tree.value

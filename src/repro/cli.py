@@ -47,13 +47,47 @@ from .tabular.dataset import Dataset
 from .tabular.io import load_csv, save_csv
 
 
-def _cmd_fit(args: argparse.Namespace) -> int:
-    train = load_csv(args.train, label_column=args.label_column)
-    valid = (
-        load_csv(args.valid, label_column=args.label_column)
-        if args.valid
-        else None
+def _stream_dataset(args: argparse.Namespace):
+    """Open the training CSV as a manifest-verified chunked dataset.
+
+    The CSV converts once into memory-mapped ``.npy`` files plus an
+    integrity manifest under a cache directory (inside the checkpoint
+    directory when one is given, so a resumed ``fit --stream`` reuses
+    the conversion and still verifies every chunk it reads).
+    """
+    import tempfile
+
+    from .tabular.io import ChunkedDataset, csv_to_npy, manifest_path_for
+
+    if args.checkpoint_dir is not None:
+        cache = Path(args.checkpoint_dir) / "stream-cache"
+    else:
+        cache = Path(tempfile.mkdtemp(prefix="repro-stream-"))
+    cache.mkdir(parents=True, exist_ok=True)
+    x_path = cache / "X.npy"
+    y_path = cache / "y.npy"
+    if not (
+        x_path.exists() and y_path.exists()
+        and manifest_path_for(x_path).exists()
+    ):
+        csv_to_npy(
+            args.train,
+            x_path,
+            y_path,
+            label_column=args.label_column,
+            chunk_rows=args.chunk_rows,
+            manifest=True,
+        )
+    return ChunkedDataset.from_npy(
+        x_path,
+        y_path=y_path,
+        chunk_rows=args.chunk_rows,
+        manifest=True,
+        on_chunk_error=args.on_chunk_error,
     )
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
     method = make_method(
         args.method,
         gamma=args.gamma,
@@ -61,12 +95,35 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         n_iterations=args.iterations,
         max_output_features=args.max_features,
     )
-    if isinstance(method, SAFE):
+    if args.stream:
+        if not isinstance(method, SAFE):
+            raise ReproError("--stream is supported for --method SAFE only")
+        if args.valid:
+            raise ReproError("--stream does not support a validation set")
+        train = _stream_dataset(args)
         transformer = method.fit(
-            train, valid, checkpoint_dir=args.checkpoint_dir
+            train, checkpoint_dir=args.checkpoint_dir
         )
+        report = method.runtime_report_
+        if report.chunks_quarantined:
+            print(
+                f"quarantined {len(report.chunks_quarantined)} corrupt "
+                "chunk(s); fit used the surviving rows",
+                file=sys.stderr,
+            )
     else:
-        transformer = method.fit(train, valid)
+        train = load_csv(args.train, label_column=args.label_column)
+        valid = (
+            load_csv(args.valid, label_column=args.label_column)
+            if args.valid
+            else None
+        )
+        if isinstance(method, SAFE):
+            transformer = method.fit(
+                train, valid, checkpoint_dir=args.checkpoint_dir
+            )
+        else:
+            transformer = method.fit(train, valid)
     transformer.save(args.plan)
     print(f"fitted {args.method}: {transformer.n_output_features} features "
           f"-> {args.plan}")
@@ -135,7 +192,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         counts[response.status] = counts.get(response.status, 0) + 1
     summary = session.report.summary()
     if args.report:
-        Path(args.report).write_text(json.dumps(summary, indent=2))
+        from .utils import atomic_write
+
+        with atomic_write(args.report) as fh:
+            fh.write(json.dumps(summary, indent=2))
     print(
         f"served {len(responses)} requests: "
         + ", ".join(f"{counts.get(s, 0)} {s}" for s in
@@ -224,7 +284,20 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--checkpoint-dir", type=Path, default=None,
                      help="persist per-iteration checkpoints here (SAFE only); "
                           "a restarted fit pointed at the same directory "
-                          "resumes from the last completed iteration")
+                          "resumes from the last completed iteration (with "
+                          "--stream, also mid-iteration via sufficient-"
+                          "statistic snapshots)")
+    fit.add_argument("--stream", action="store_true",
+                     help="fit out of core: convert the CSV to memory-mapped "
+                          "chunks with an integrity manifest and stream the "
+                          "fit (SAFE only)")
+    fit.add_argument("--chunk-rows", type=int, default=65536,
+                     help="rows per streamed chunk (with --stream)")
+    fit.add_argument("--on-chunk-error", default="raise",
+                     choices=["raise", "quarantine"],
+                     help="what to do when a chunk fails its integrity "
+                          "manifest: abort the fit, or exclude the chunk "
+                          "deterministically and record it")
     fit.add_argument("--show", type=int, default=10,
                      help="number of feature formulas to print")
     fit.set_defaults(func=_cmd_fit)

@@ -47,13 +47,14 @@ from ..boosting.gbm import GradientBoostingClassifier
 from ..boosting.stream import fit_gbm_streaming
 from ..boosting.tree import GAIN_TIE_RTOL
 from ..exceptions import ConfigurationError, DataError
-from ..metrics.batched import iv_bin_counts, iv_from_counts, merge_counts
+from ..metrics.batched import iv_from_counts
 from ..metrics.information import entropy_from_counts
 from ..operators.base import resolve_operators
 from ..operators.engine import EvalCache, evaluate_forest
 from ..operators.expressions import Applied, Expression, Var
 from ..runtime.checkpoint import (
     CheckpointManager,
+    StatsCheckpointStore,
     config_fingerprint,
     schema_fingerprint,
 )
@@ -132,21 +133,29 @@ def _count_positives(data: ChunkedDataset) -> int:
 
 
 def _rank_combinations_streamed(
-    chunks, combos, gamma: int, n_rows: int, n_pos: int
+    chunks, combos, gamma: int, n_rows: int, n_pos: int, stats=None
 ):
     """Algorithm 2 over the stream: merged count cells, shared finalize."""
     kept = [c for c in combos if c.features]
     if not kept:
         return []
     dense_limit = 2 * max(_DENSE_CELL_FACTOR * n_rows, _DENSE_CELL_FLOOR)
-    partials = None
-    for _, block, y_chunk in chunks():
-        part = combination_count_partial(block, y_chunk, kept, dense_limit)
-        partials = (
-            part
-            if partials is None
-            else merge_combination_counts(partials, part)
-        )
+
+    def compute_partials():
+        partials = None
+        for _, block, y_chunk in chunks():
+            part = combination_count_partial(block, y_chunk, kept, dense_limit)
+            partials = (
+                part
+                if partials is None
+                else merge_combination_counts(partials, part)
+            )
+        return partials
+
+    if stats is None:
+        partials = compute_partials()
+    else:
+        partials = stats.run("rank-combos", compute_partials)
     base = entropy_from_counts(np.array([n_rows - n_pos, n_pos]))
     ratios = gain_ratio_from_combination_counts(partials, n_rows, base)
     return rank_from_scores(kept, ratios, gamma)
@@ -156,6 +165,7 @@ def _generate_streamed(
     plan,
     data: ChunkedDataset,
     quarantine: "list[QuarantineRecord] | None",
+    stats=None,
 ) -> list[Expression]:
     """Generation passes 2/3 over the stream (all operators stateless).
 
@@ -173,24 +183,34 @@ def _generate_streamed(
         return [Applied(op.name, children, None) for op, children in plan]
 
     exprs = [Applied(op.name, children, None) for op, children in plan]
-    reasons: "list[str | None]" = [None] * len(plan)
-    any_finite = np.zeros(len(plan), dtype=bool)
-    first_chunk = True
-    for _, X_chunk, _ in data.iter_chunks():
-        cache = EvalCache(np.asarray(X_chunk, dtype=np.float64))
-        for i, expr in enumerate(exprs):
-            if reasons[i] is not None:
-                continue
-            try:
-                if first_chunk:
-                    failpoint("generation.operator")
-                column = cache.column(expr)
-            except Exception as exc:
-                reasons[i] = repr(exc)
-                continue
-            if not any_finite[i] and np.isfinite(column).any():
-                any_finite[i] = True
-        first_chunk = False
+
+    def compute_screen():
+        reasons: "list[str | None]" = [None] * len(plan)
+        any_finite = np.zeros(len(plan), dtype=bool)
+        first_chunk = True
+        for _, X_chunk, _ in data.iter_chunks():
+            cache = EvalCache(np.asarray(X_chunk, dtype=np.float64))
+            for i, expr in enumerate(exprs):
+                if reasons[i] is not None:
+                    continue
+                try:
+                    if first_chunk:
+                        failpoint("generation.operator")
+                    column = cache.column(expr)
+                except Exception as exc:
+                    reasons[i] = repr(exc)
+                    continue
+                if not any_finite[i] and np.isfinite(column).any():
+                    any_finite[i] = True
+            first_chunk = False
+        return {"reasons": reasons, "any_finite": any_finite}
+
+    if stats is None:
+        screen = compute_screen()
+    else:
+        screen = stats.run("generate-screen", compute_screen)
+    reasons = screen["reasons"]
+    any_finite = screen["any_finite"]
 
     out: list[Expression] = []
     for i, (op, children) in enumerate(plan):
@@ -219,6 +239,7 @@ def _select_streamed(
     n_pos: int,
     cfg,
     max_output: "int | None",
+    stats=None,
 ) -> SelectionReport:
     """The three selection stages over the stream; same report shape."""
     failpoint("selection.select")
@@ -229,35 +250,43 @@ def _select_streamed(
     # Equal-frequency edges come from the sketch pass (exact mode is
     # bit-identical to the in-memory matrix kernel's sort-derived edges);
     # the side stats reproduce its scorability mask.
-    edges_per_col, n_finite, col_min, col_max = streamed_quantile_edges(
-        chunks_cand,
-        len(candidates),
-        cfg.iv_bins,
-        sketch=cfg.sketch,
-        capacity=DEFAULT_SKETCH_CAPACITY,
-    )
+    def compute_edges():
+        return streamed_quantile_edges(
+            chunks_cand,
+            len(candidates),
+            cfg.iv_bins,
+            sketch=cfg.sketch,
+            capacity=DEFAULT_SKETCH_CAPACITY,
+        )
+
+    if stats is None:
+        edges_state = compute_edges()
+    else:
+        edges_state = stats.run("sel-edges", compute_edges)
+    edges_per_col, n_finite, col_min, col_max = edges_state
     with np.errstate(invalid="ignore"):
         scorable = (n_finite > 0) & (col_min < col_max)
     n_edges = np.array([e.size for e in edges_per_col], dtype=np.int64)
     stride = int(n_edges.max()) + 2
-    if cfg.n_jobs != 1:
-        from ..parallel import parallel_stream_iv_counts
+    from ..parallel import parallel_stream_iv_counts
 
-        counts = parallel_stream_iv_counts(
-            data, candidates, edges_per_col, scorable, stride, n_jobs=cfg.n_jobs
+    def compute_counts():
+        # The shard reducer owns retries and merged-prefix checkpoints;
+        # with n_jobs=1 it runs the single shard serially in-process.
+        return parallel_stream_iv_counts(
+            data,
+            candidates,
+            edges_per_col,
+            scorable,
+            stride,
+            n_jobs=cfg.n_jobs,
+            stats=None if stats is None else stats.scoped("sel-iv"),
         )
+
+    if stats is None:
+        counts = compute_counts()
     else:
-        counts = None
-        for _, block, y_chunk in chunks_cand():
-            pos_mask = np.asarray(y_chunk, dtype=np.float64).ravel() == 1
-            part = iv_bin_counts(
-                np.ascontiguousarray(block.T),
-                pos_mask,
-                edges_per_col,
-                scorable,
-                stride,
-            )
-            counts = part if counts is None else merge_counts(counts, part)
+        counts = stats.run("sel-iv-counts", compute_counts)
     ivs = iv_from_counts(counts[0], counts[1], n_pos, n_neg, scorable)
     kept_iv = np.flatnonzero(ivs > cfg.iv_threshold)
     if kept_iv.size < 1:  # min_keep fallback of the in-memory filter
@@ -267,16 +296,34 @@ def _select_streamed(
     # -- Algorithm 4: redundancy removal ---------------------------------
     exprs_iv = [candidates[i] for i in kept_iv]
     chunks_iv = forest_chunks(data, exprs_iv)
-    moments = None
-    for _, F_chunk, _ in chunks_iv():
-        part = column_moments_partial(F_chunk)
-        moments = part if moments is None else merge_column_moments(moments, part)
+
+    def compute_moments():
+        moments = None
+        for _, F_chunk, _ in chunks_iv():
+            part = column_moments_partial(F_chunk)
+            moments = (
+                part if moments is None else merge_column_moments(moments, part)
+            )
+        return moments
+
+    if stats is None:
+        moments = compute_moments()
+    else:
+        moments = stats.run("sel-moments", compute_moments)
     mean = moments[1] / moments[0]  # repro: ignore[div-guard] n_rows >= 1 validated at fit entry
     scale = np.maximum(moments[2], -moments[3])
-    gram = None
-    for _, F_chunk, _ in chunks_iv():
-        part = centered_gram_partial(F_chunk, mean)
-        gram = part if gram is None else merge_grams(gram, part)
+
+    def compute_gram():
+        gram = None
+        for _, F_chunk, _ in chunks_iv():
+            part = centered_gram_partial(F_chunk, mean)
+            gram = part if gram is None else merge_grams(gram, part)
+        return gram
+
+    if stats is None:
+        gram = compute_gram()
+    else:
+        gram = stats.run("sel-gram", compute_gram)
     corr = correlations_from_gram(gram, scale, n_rows)
     kept_local = greedy_decorrelate(corr, ivs[kept_iv], cfg.pearson_threshold)
     kept_red = kept_iv[kept_local]
@@ -295,6 +342,7 @@ def _select_streamed(
         n_rows,
         len(exprs_red),
         sketch=cfg.sketch,
+        stats=None if stats is None else stats.scoped("sel-rank-gbm"),
     )
     importance = ranking.feature_importances_
     order_local = np.lexsort((np.arange(importance.size), -importance))
@@ -347,9 +395,11 @@ def fit_safe_streaming(
     safe.traces_ = []
     runtime_report = RuntimeReport()
     safe.runtime_report_ = runtime_report
+    runtime_report.chunks_quarantined.extend(train.quarantined_chunks())
     fingerprint = config_fingerprint(cfg, train.names)
     start_iteration = 0
     manager: "CheckpointManager | None" = None
+    stats_store: "StatsCheckpointStore | None" = None
     if checkpoint_dir is not None:
         manager = CheckpointManager(checkpoint_dir)
         state, skipped = manager.latest(expected_config_hash=fingerprint)
@@ -359,6 +409,9 @@ def fit_safe_streaming(
             start_iteration = state.iteration + 1
             runtime_report.resumed_from_iteration = state.iteration
             safe.traces_ = [_trace_from_scalars(t) for t in state.traces]
+        stats_store = StatsCheckpointStore(
+            manager.directory / "stats", fingerprint
+        )
 
     for iteration in range(start_iteration, cfg.n_iterations):
         if (
@@ -368,6 +421,11 @@ def fit_safe_streaming(
             break
         iter_timer = Timer()
         chunks_cur = forest_chunks(train, expressions)
+        it_stats = (
+            None
+            if stats_store is None
+            else stats_store.scoped(f"it{iteration:05d}")
+        )
 
         # -- Generation --------------------------------------------------
         mining = GradientBoostingClassifier(
@@ -378,19 +436,24 @@ def fit_safe_streaming(
             tie_rtol=GAIN_TIE_RTOL,
         )
         fit_gbm_streaming(
-            mining, chunks_cur, n_rows, len(expressions), sketch=cfg.sketch
+            mining,
+            chunks_cur,
+            n_rows,
+            len(expressions),
+            sketch=cfg.sketch,
+            stats=None if it_stats is None else it_stats.scoped("mine-gbm"),
         )
         paths = mining.paths()
         combos = combinations_from_paths(paths, max_size=cfg.max_combination_size)
         ranked = _rank_combinations_streamed(
-            chunks_cur, combos, cfg.gamma, n_rows, n_pos
+            chunks_cur, combos, cfg.gamma, n_rows, n_pos, stats=it_stats
         )
         existing = {e.key for e in expressions}
         plan = plan_features(ranked, cfg.operators, expressions, existing)
         quarantined: "list[QuarantineRecord] | None" = (
             [] if cfg.on_operator_error == "quarantine" else None
         )
-        new_exprs = _generate_streamed(plan, train, quarantined)
+        new_exprs = _generate_streamed(plan, train, quarantined, stats=it_stats)
         if quarantined:
             runtime_report.record_quarantine(iteration, quarantined)
         if not new_exprs and iteration > 0:
@@ -402,7 +465,7 @@ def fit_safe_streaming(
         else:
             candidates = new_exprs
         report = _select_streamed(
-            train, candidates, n_rows, n_pos, cfg, max_output
+            train, candidates, n_rows, n_pos, cfg, max_output, stats=it_stats
         )
         chosen = list(report.final_order)
         if not chosen:
@@ -428,8 +491,16 @@ def fit_safe_streaming(
                 traces=[_trace_scalars(t) for t in safe.traces_],
             )
             runtime_report.checkpoints_written += 1
+            # The iteration's survivors are durable; its mid-iteration
+            # statistics can never be needed again and must not leak
+            # into the next iteration's stage keys.
+            stats_store.clear()
         failpoint("pipeline.iteration")
 
+    if stats_store is not None:
+        runtime_report.stats_checkpoints_written = stats_store.written
+        runtime_report.stats_stages_resumed = list(stats_store.resumed)
+        runtime_report.stats_checkpoints_skipped = list(stats_store.skipped)
     return FeatureTransformer(
         expressions=tuple(expressions),
         original_names=train.names,

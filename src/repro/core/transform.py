@@ -36,6 +36,7 @@ from ..operators.expressions import (
 from ..runtime.checkpoint import schema_fingerprint
 from ..runtime.failpoints import failpoint
 from ..tabular.dataset import Dataset
+from ..utils import atomic_write
 
 #: Plan-file format version this library writes and the newest it reads.
 #: Bump when ``to_dict`` gains fields whose *absence* on read would change
@@ -252,7 +253,8 @@ class FeatureTransformer:
         )
 
     def save(self, path: "str | Path") -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        with atomic_write(path) as fh:
+            fh.write(json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load(cls, path: "str | Path") -> "FeatureTransformer":

@@ -64,6 +64,38 @@ class CheckpointError(ReproError, RuntimeError):
     """A fit checkpoint is missing, corrupt, or from another config."""
 
 
+class ChunkIntegrityError(DataError):
+    """A chunk of an out-of-core table failed its integrity manifest.
+
+    Raised when a memory-mapped ``.npy`` backing file is truncated,
+    reshaped, or bit-rotted relative to its sidecar manifest — or when
+    the manifest itself is corrupt. Under
+    ``ChunkedDataset(on_chunk_error="quarantine")`` the bad chunks are
+    excluded and recorded instead of raising, but a corrupt chunk is
+    never silently consumed.
+    """
+
+
+class ShardFailureError(ReproError, RuntimeError):
+    """One row shard of a streamed reduction exhausted its retry budget.
+
+    Carries the failing shard's contiguous row range so an operator (or
+    a resume pass) knows exactly which rows never merged; the partial
+    results of the other shards are discarded rather than trusted.
+    """
+
+    def __init__(self, label: str, shard_index: int, row_start: int, row_stop: int, attempts: int):
+        self.label = label
+        self.shard_index = shard_index
+        self.row_start = int(row_start)
+        self.row_stop = int(row_stop)
+        self.attempts = int(attempts)
+        super().__init__(
+            f"shard {shard_index} of {label} (rows [{row_start}, {row_stop})) "
+            f"failed after {attempts} attempt(s)"
+        )
+
+
 class RetryExhaustedError(ReproError, RuntimeError):
     """Every attempt allowed by a :class:`RetryPolicy` failed."""
 

@@ -10,6 +10,8 @@ import json
 from pathlib import Path
 from typing import Sequence
 
+from ..utils import atomic_write
+
 
 def format_table(
     headers: Sequence[str],
@@ -38,9 +40,11 @@ def format_table(
 
 
 def save_results(payload: dict, path: "str | Path") -> None:
-    """Persist raw experiment output as JSON."""
+    """Persist raw experiment output as JSON (atomically: a crashed run
+    never leaves a torn results file that parses)."""
     Path(path).parent.mkdir(parents=True, exist_ok=True)
-    Path(path).write_text(json.dumps(payload, indent=2, default=_jsonify))
+    with atomic_write(path) as fh:
+        fh.write(json.dumps(payload, indent=2, default=_jsonify))
 
 
 def _jsonify(obj: object) -> object:

@@ -38,6 +38,15 @@ single warning. The ``parallel.pool`` failpoint sits inside each
 attempt so chaos tests can kill the pool deterministically. Because the
 serial fallback runs the exact same chunk payloads in order, results
 are identical to a healthy pool run.
+
+The streaming reducers use :func:`parallel_shard_reduce` instead, which
+tracks completion *per row shard*: only failed or lost shards are
+re-submitted (under per-shard attempt caps), exhaustion raises a typed
+:class:`~repro.exceptions.ShardFailureError` carrying the shard's row
+range, merges happen in deterministic shard order, and an optional
+sufficient-statistic store persists the merged prefix between rounds so
+a killed fit resumes without recounting finished shards. The
+``stream.shard.run`` failpoint sits at the top of each shard worker.
 """
 
 from __future__ import annotations
@@ -52,8 +61,8 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
-from .exceptions import ConfigurationError, InjectedFault
-from .runtime.failpoints import failpoint
+from .exceptions import ConfigurationError, InjectedFault, ShardFailureError
+from .runtime.failpoints import failpoint, mark_worker_process
 from .runtime.retry import RetryPolicy
 
 T = TypeVar("T")
@@ -419,6 +428,7 @@ def _stream_iv_shard(payload) -> "np.ndarray | None":
     from .core.stream import forest_chunks
     from .metrics.batched import iv_bin_counts, merge_counts
 
+    failpoint("stream.shard.run")
     counts = None
     for _, block, y_chunk in forest_chunks(shard, expressions)():
         pos_mask = np.asarray(y_chunk, dtype=np.float64).ravel() == 1
@@ -433,6 +443,148 @@ def _stream_iv_shard(payload) -> "np.ndarray | None":
     return counts
 
 
+#: Placeholder for a shard whose result has not arrived yet.
+_SHARD_PENDING = object()
+
+
+def parallel_shard_reduce(
+    worker: "Callable[[T], R | None]",
+    payloads: "Sequence[T]",
+    shard_ranges: "Sequence[tuple[int, int]]",
+    merge: "Callable[[R, R], R]",
+    n_jobs: int,
+    label: str,
+    stats=None,
+    stage: str = "shards",
+) -> "R | None":
+    """Run one worker per row shard, retrying and merging in shard order.
+
+    This is the recovery-aware counterpart of :func:`_run_pool` for the
+    streaming reducers: instead of all-or-nothing attempts over the whole
+    payload list, each shard is tracked individually. A round submits one
+    future per outstanding shard (workers are marked via
+    :func:`~repro.runtime.failpoints.mark_worker_process` so ``kill``
+    failpoints may take them down); shards whose futures fail with an
+    infrastructure error (broken pool, timeout, pickling, injected fault)
+    are re-submitted in later rounds while completed shards keep their
+    results. Attempts are capped *per shard* by the installed
+    :class:`~repro.runtime.RetryPolicy`; a shard's final attempt always
+    runs serially in-process (rescuing flaky pool infrastructure, and
+    degrading ``kill`` faults to catchable exceptions). When a shard
+    exhausts its attempts a :class:`~repro.exceptions.ShardFailureError`
+    carrying the shard's row range propagates. Exceptions the worker
+    raises about its *data* propagate unchanged on the first failure.
+
+    Results merge strictly in shard-index order (never completion
+    order), so the reduction is bit-identical to a serial pass. ``None``
+    results (empty shards) are skipped; returns ``None`` only if every
+    shard was empty.
+
+    ``stats`` (a :class:`~repro.runtime.StatsCheckpointStore` or scoped
+    view) enables merged-prefix snapshots: after each round the longest
+    contiguous prefix of merged shard results is persisted under
+    ``stage``, and a later call with the same store resumes past those
+    shards without recomputing them.
+    """
+    global _pool_unavailable
+    n = len(payloads)
+    if n == 0:
+        return None
+    if len(shard_ranges) != n:
+        raise ConfigurationError(
+            "parallel_shard_reduce needs one (row_start, row_stop) per payload"
+        )
+    policy = _retry_policy
+    results: list = [_SHARD_PENDING] * n
+    merged: "R | None" = None
+    next_shard = 0
+    if stats is not None:
+        from .runtime.checkpoint import MISSING
+
+        snapshot = stats.load(stage)
+        if snapshot is not MISSING and int(snapshot.get("n_shards", -1)) == n:
+            next_shard = int(snapshot["next_shard"])
+            merged = snapshot["state"]
+
+    def advance_prefix() -> None:
+        """Fold newly contiguous results into ``merged``; snapshot progress."""
+        nonlocal merged, next_shard
+        moved = False
+        while next_shard < n and results[next_shard] is not _SHARD_PENDING:
+            part = results[next_shard]
+            if part is not None:
+                merged = part if merged is None else merge(merged, part)
+            results[next_shard] = None
+            next_shard += 1
+            moved = True
+        if moved and next_shard < n and stats is not None:
+            stats.save(
+                stage,
+                {"n_shards": n, "next_shard": next_shard, "state": merged},
+            )
+
+    attempts = [0] * n
+    pending = list(range(next_shard, n))
+    delay_schedule = policy.delays()
+    while pending:
+        delay = next(delay_schedule, policy.max_delay)
+        if delay > 0.0:
+            policy_sleep(delay)
+        # Shards on their last permitted attempt run serially in-process.
+        last_chance = [i for i in pending if attempts[i] >= policy.max_attempts - 1]
+        poolable = [i for i in pending if attempts[i] < policy.max_attempts - 1]
+        failures: "dict[int, BaseException]" = {}
+        if poolable and n_jobs > 1 and not _pool_unavailable:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(poolable)),
+                    initializer=mark_worker_process,
+                ) as pool:
+                    futures = {
+                        i: pool.submit(worker, payloads[i]) for i in poolable
+                    }
+                    for i, future in futures.items():
+                        try:
+                            results[i] = future.result(
+                                timeout=policy.per_attempt_timeout
+                            )
+                        except _RETRYABLE as exc:
+                            failures[i] = exc
+            except (OSError, ImportError, NotImplementedError) as exc:
+                _pool_unavailable = True
+                warnings.warn(
+                    "process pools are unavailable in this environment "
+                    f"({exc!r}); running all parallel work serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue  # same shards, same attempt budget, now serial
+        else:
+            for i in poolable:
+                try:
+                    results[i] = worker(payloads[i])
+                except _RETRYABLE as exc:
+                    failures[i] = exc
+        for i in last_chance:
+            try:
+                results[i] = worker(payloads[i])
+            except _RETRYABLE as exc:
+                failures[i] = exc
+        still_pending = []
+        for i in sorted(failures):
+            attempts[i] += 1
+            if attempts[i] >= policy.max_attempts:
+                advance_prefix()
+                row_start, row_stop = shard_ranges[i]
+                raise ShardFailureError(
+                    label, i, row_start, row_stop, attempts[i]
+                ) from failures[i]
+            still_pending.append(i)
+        advance_prefix()
+        pending = still_pending
+    return merged
+
+
 def parallel_stream_iv_counts(
     data,
     expressions,
@@ -440,6 +592,7 @@ def parallel_stream_iv_counts(
     scorable: np.ndarray,
     stride: int,
     n_jobs: "int | None" = None,
+    stats=None,
 ) -> np.ndarray:
     """Row-sharded IV bin counts for the streaming fit, optionally parallel.
 
@@ -448,9 +601,12 @@ def parallel_stream_iv_counts(
     (``ChunkedDataset.shards``), each worker evaluates the candidate
     expressions over its shard's chunks and accumulates
     :func:`~repro.metrics.batched.iv_bin_counts` partials, and the
-    parent merges the shard counts. Integer merges are exact, so the
-    result is bit-identical to the serial single-shard pass regardless
-    of worker count.
+    parent merges the shard counts through :func:`parallel_shard_reduce`
+    — failed or lost shards are re-submitted individually, and a
+    ``stats`` store checkpoints the merged prefix so a crashed fit
+    resumes past already-counted shards. Integer merges are exact, so
+    the result is bit-identical to the serial single-shard pass
+    regardless of worker count or recovery history.
     """
     jobs = resolve_n_jobs(n_jobs)
     shards = data.shards(jobs) if jobs > 1 else [data]
@@ -458,17 +614,19 @@ def parallel_stream_iv_counts(
         (shard, expressions, edges_per_col, scorable, stride)
         for shard in shards
     ]
-    if len(payloads) == 1:
-        results = [_stream_iv_shard(payloads[0])]
-    else:
-        results = _run_pool(_stream_iv_shard, payloads, jobs, "stream-iv")
+    shard_ranges = [(shard.start, shard.stop) for shard in shards]
     from .metrics.batched import merge_counts
 
-    counts = None
-    for part in results:
-        if part is None:
-            continue
-        counts = part if counts is None else merge_counts(counts, part)
+    counts = parallel_shard_reduce(
+        _stream_iv_shard,
+        payloads,
+        shard_ranges,
+        merge_counts,
+        jobs,
+        "stream-iv",
+        stats=stats,
+        stage="iv-shards",
+    )
     if counts is None:
         raise ConfigurationError("parallel_stream_iv_counts needs a non-empty dataset")
     return counts

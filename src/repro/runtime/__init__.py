@@ -17,8 +17,10 @@ Four pieces, layered under the SAFE pipeline and the serving path:
 
 from .checkpoint import (
     CHECKPOINT_FORMAT,
+    STATS_FORMAT,
     CheckpointManager,
     CheckpointState,
+    StatsCheckpointStore,
     config_fingerprint,
     schema_fingerprint,
 )
@@ -33,15 +35,17 @@ from .failpoints import (
     parse_spec,
 )
 from ..exceptions import FailpointSpecError
-from .report import QuarantineRecord, RuntimeReport
+from .report import ChunkQuarantineRecord, QuarantineRecord, RuntimeReport
 from .retry import RetryPolicy
 
 __all__ = [
     "Activation",
     "FailpointSpecError",
     "CHECKPOINT_FORMAT",
+    "STATS_FORMAT",
     "CheckpointManager",
     "CheckpointState",
+    "ChunkQuarantineRecord",
     "ENV_VAR",
     "FAILPOINTS",
     "FailpointRegistry",
@@ -49,6 +53,7 @@ __all__ = [
     "QuarantineRecord",
     "RetryPolicy",
     "RuntimeReport",
+    "StatsCheckpointStore",
     "active",
     "config_fingerprint",
     "failpoint",

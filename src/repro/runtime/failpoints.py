@@ -18,7 +18,14 @@ Activation modes (all deterministic):
 * ``nth``    — exactly the *n*-th hit of the site raises (1-based);
 * ``prob``   — each hit raises with probability *p* drawn from a
   *seeded* ``random.Random`` stream, so a given seed yields the same
-  hit pattern on every run.
+  hit pattern on every run;
+* ``kill``   — every hit (or exactly the *K*-th with ``kill:K``)
+  hard-exits the process via ``os._exit`` — but only in processes that
+  declared themselves pool workers (:func:`mark_worker_process`, the
+  executor initializer in :mod:`repro.parallel`). Anywhere else the
+  mode degrades to raising, so arming it can never take down the
+  driver process. In a worker it emulates a SIGKILL mid-shard: the
+  parent observes a ``BrokenProcessPool``.
 
 Activation is per-process: via the API (:func:`activate` /
 :func:`active`, typically from a test) or via the ``REPRO_FAILPOINTS``
@@ -44,30 +51,107 @@ from typing import Iterator
 
 from ..exceptions import ConfigurationError, FailpointSpecError, InjectedFault
 
-#: Every plantable site. Extend this set when planting a new failpoint.
-KNOWN_SITES = frozenset(
-    {
-        "parallel.pool",
-        "generation.operator",
-        "selection.select",
-        "checkpoint.write",
-        "checkpoint.read",
-        "transform.evaluate",
-        "pipeline.iteration",
-        # Serving-loop sites (see repro.serving): admission, one per
-        # expression-evaluation step, a deadline-burning slow operator,
-        # and a hot-swap candidate that fails its self-test.
-        "serve.admit",
-        "serve.operator",
-        "serve.slow_operator",
-        "serve.bad_swap_plan",
-    }
-)
+#: Every plantable site, with a one-paragraph docstring describing where
+#: the site sits and what real-world fault it models. Extend this dict
+#: when planting a new failpoint — the site-registry meta-test fails on
+#: an undocumented (or orphaned) entry.
+SITE_DOCS: "dict[str, str]" = {
+    "parallel.pool": (
+        "Inside each process-pool attempt in repro.parallel._run_pool, "
+        "before the executor is built. Models a pool that dies wholesale "
+        "(BrokenProcessPool, pickling failure) so retry and serial-fallback "
+        "paths can be driven deterministically."
+    ),
+    "generation.operator": (
+        "Once per planned expression during feature generation. Models an "
+        "operator implementation raising on real data; drives the "
+        "quarantine-vs-raise policy (SAFEConfig.on_operator_error)."
+    ),
+    "selection.select": (
+        "At the top of the selection stage (IV filter onward). Models a "
+        "selection pass dying before any statistic is merged."
+    ),
+    "checkpoint.write": (
+        "Between the two halves of a plan-checkpoint temp-file write in "
+        "CheckpointManager.save. Models a crash mid-write: only the hidden "
+        ".tmp is partial, the previous checkpoint survives."
+    ),
+    "checkpoint.read": (
+        "At the top of CheckpointManager.load. Models an unreadable or "
+        "poisoned checkpoint file, driving the skip-with-reason path."
+    ),
+    "transform.evaluate": (
+        "Once per expression inside FeatureTransformer.transform. Models a "
+        "serving-time evaluation fault; drives errors=\"null\" degradation."
+    ),
+    "pipeline.iteration": (
+        "At the end of each completed SAFE.fit iteration, after its "
+        "checkpoint is persisted. Models a process killed between "
+        "iterations — the canonical resume-from-checkpoint scenario."
+    ),
+    # Serving-loop sites (see repro.serving): admission, one per
+    # expression-evaluation step, a deadline-burning slow operator,
+    # and a hot-swap candidate that fails its self-test.
+    "serve.admit": (
+        "During request admission in ServingSession.serve_one. Models an "
+        "admission-path fault turning into a rejected (never wrong) response."
+    ),
+    "serve.operator": (
+        "Once per expression evaluation in the serving loop. Models a "
+        "poisoned expression; drives per-expression circuit breakers."
+    ),
+    "serve.slow_operator": (
+        "Inside expression evaluation in the serving loop, burning the "
+        "request deadline instead of raising. Drives deadline degradation."
+    ),
+    "serve.bad_swap_plan": (
+        "Inside the hot-swap self-test in ServingSession.swap_plan. Models "
+        "a candidate plan that loads but fails its probe row; the swap must "
+        "roll back."
+    ),
+    # Streaming-fit recovery sites (see repro.core.stream and friends).
+    "stream.shard.run": (
+        "At the top of one row-shard reduction in a stream worker "
+        "(repro.parallel shard runners, e.g. _stream_iv_shard). Models a "
+        "worker failing (or dying, with the kill mode) mid-shard; drives "
+        "per-shard retry, re-queue, and ShardFailureError exhaustion."
+    ),
+    "stream.chunk.read": (
+        "Before each chunk yield in ChunkedDataset.iter_chunks. Models an "
+        "I/O fault reading one chunk of the backing store mid-pass."
+    ),
+    "stream.stats.checkpoint": (
+        "Between the temp-file write and the atomic rename of a "
+        "sufficient-statistic snapshot in StatsCheckpointStore.save. Models "
+        "a crash mid-checkpoint: the snapshot directory never holds a torn "
+        "file, and a resume falls back to recomputing the stage."
+    ),
+}
+
+#: Every plantable site. Derived from :data:`SITE_DOCS`.
+KNOWN_SITES = frozenset(SITE_DOCS)
 
 #: Environment variable holding comma-separated ``site=spec`` activations.
 ENV_VAR = "REPRO_FAILPOINTS"
 
-_MODES = ("always", "once", "nth", "prob")
+_MODES = ("always", "once", "nth", "prob", "kill")
+
+#: True only in processes that declared themselves pool workers (see
+#: :func:`mark_worker_process`). The ``kill`` mode hard-exits only then;
+#: anywhere else it degrades to raising, so an armed kill can never take
+#: down the driver process (or the test runner).
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Declare this process a disposable pool worker (pool initializer).
+
+    ``repro.parallel`` passes this as the ``ProcessPoolExecutor``
+    initializer so the ``kill`` failpoint mode knows it may ``os._exit``
+    here to emulate a SIGKILL'd worker.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
 
 
 @dataclass
@@ -97,6 +181,8 @@ class Activation:
         if self.mode == "nth":
             if self.nth is None or self.nth < 1:
                 raise ConfigurationError("nth mode needs nth >= 1 (1-based)")
+        if self.mode == "kill" and self.nth is not None and self.nth < 1:
+            raise ConfigurationError("kill mode needs nth >= 1 (1-based) or none")
         if self.mode == "prob":
             if self.probability is None or not 0.0 <= self.probability <= 1.0:
                 raise ConfigurationError("prob mode needs probability in [0, 1]")
@@ -110,12 +196,14 @@ class Activation:
             return hit == 1
         if self.mode == "nth":
             return hit == self.nth
+        if self.mode == "kill":
+            return True if self.nth is None else hit == self.nth
         return self._rng.random() < self.probability  # type: ignore[union-attr]
 
 
 def parse_spec(name: str, spec: str) -> Activation:
     """Parse one ``site=spec`` value: ``always`` | ``once`` | ``nth:K`` |
-    ``prob:P[:SEED]``.
+    ``prob:P[:SEED]`` | ``kill[:K]``.
 
     Every failure — unknown site, unknown mode, malformed numbers, out of
     range parameters — raises :class:`~repro.exceptions.FailpointSpecError`
@@ -127,7 +215,7 @@ def parse_spec(name: str, spec: str) -> Activation:
     def bad(why: str, cause: "Exception | None" = None) -> FailpointSpecError:
         err = FailpointSpecError(
             f"bad failpoint spec {name}={spec!r}: {why} "
-            "(expected always | once | nth:K | prob:P[:SEED])"
+            "(expected always | once | nth:K | prob:P[:SEED] | kill[:K])"
         )
         err.__cause__ = cause
         return err
@@ -137,6 +225,12 @@ def parse_spec(name: str, spec: str) -> Activation:
     try:
         if mode in ("always", "once") and len(parts) == 1:
             return Activation(name, mode=mode)
+        if mode == "kill" and len(parts) in (1, 2):
+            try:
+                nth = int(parts[1]) if len(parts) == 2 else None
+            except ValueError as exc:
+                raise bad(f"{parts[1]!r} is not an integer", exc) from exc
+            return Activation(name, mode="kill", nth=nth)
         if mode == "nth" and len(parts) == 2:
             try:
                 nth = int(parts[1])
@@ -251,6 +345,12 @@ class FailpointRegistry:
             if fire:
                 activation.fired += 1
         if fire:
+            if activation.mode == "kill" and _IN_WORKER:
+                # Emulate a SIGKILL'd pool worker: no exception, no
+                # cleanup, the parent sees a BrokenProcessPool. Outside a
+                # declared worker this degrades to raising below, so an
+                # armed kill can never take down the driver process.
+                os._exit(86)
             raise activation.raises(
                 f"injected fault at failpoint {name!r} (hit {hit})"
             )

@@ -21,18 +21,42 @@ class QuarantineRecord:
     reason: str
 
 
+@dataclass(frozen=True)
+class ChunkQuarantineRecord:
+    """One corrupt backing-store chunk excluded from a streaming fit.
+
+    Produced by :class:`~repro.tabular.ChunkedDataset` under
+    ``on_chunk_error="quarantine"`` when a chunk fails its integrity
+    manifest; the row range is in *backing-file* coordinates.
+    """
+
+    chunk_index: int
+    row_start: int
+    row_stop: int
+    path: str
+    reason: str
+
+
 @dataclass
 class RuntimeReport:
     """Aggregated fault/degradation bookkeeping for one ``SAFE.fit`` run."""
 
     #: ``(iteration, record)`` for every quarantined expression.
     quarantined: "list[tuple[int, QuarantineRecord]]" = field(default_factory=list)
+    #: Backing-store chunks excluded by the integrity manifest.
+    chunks_quarantined: "list[ChunkQuarantineRecord]" = field(default_factory=list)
     #: Iteration a resumed fit restarted *after* (None = fresh fit).
     resumed_from_iteration: "int | None" = None
     #: Checkpoints successfully persisted during this run.
     checkpoints_written: int = 0
     #: Reasons for every checkpoint file skipped as corrupt/mismatched.
     checkpoints_skipped: "list[str]" = field(default_factory=list)
+    #: Sufficient-statistic snapshots persisted during this run.
+    stats_checkpoints_written: int = 0
+    #: Stage keys restored from sufficient-statistic snapshots on resume.
+    stats_stages_resumed: "list[str]" = field(default_factory=list)
+    #: Reasons for every stats snapshot skipped as corrupt/mismatched.
+    stats_checkpoints_skipped: "list[str]" = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def record_quarantine(self, iteration: int, records) -> None:
@@ -55,7 +79,20 @@ class RuntimeReport:
                 }
                 for iteration, record in self.quarantined
             ],
+            "chunks_quarantined": [
+                {
+                    "chunk_index": record.chunk_index,
+                    "row_start": record.row_start,
+                    "row_stop": record.row_stop,
+                    "path": record.path,
+                    "reason": record.reason,
+                }
+                for record in self.chunks_quarantined
+            ],
             "resumed_from_iteration": self.resumed_from_iteration,
             "checkpoints_written": self.checkpoints_written,
             "checkpoints_skipped": list(self.checkpoints_skipped),
+            "stats_checkpoints_written": self.stats_checkpoints_written,
+            "stats_stages_resumed": list(self.stats_stages_resumed),
+            "stats_checkpoints_skipped": list(self.stats_checkpoints_skipped),
         }

@@ -15,12 +15,16 @@ from .binning import (
 )
 from .dataset import Dataset, default_names
 from .io import (
+    MANIFEST_FORMAT,
     ChunkedDataset,
     csv_to_npy,
     iter_csv_chunks,
     load_csv,
+    load_manifest,
+    manifest_path_for,
     save_csv,
     save_npy,
+    write_manifest,
 )
 from .preprocess import MeanImputer, MinMaxScaler, StandardScaler, clean_matrix
 from .split import (
@@ -51,11 +55,15 @@ __all__ = [
     "iter_csv_chunks",
     "kfold_indices",
     "load_csv",
+    "load_manifest",
+    "MANIFEST_FORMAT",
+    "manifest_path_for",
     "merge_quantile_sketches",
     "quantile_codes_matrix",
     "quantile_sketch_partial",
     "save_csv",
     "save_npy",
     "streamed_quantile_edges",
+    "write_manifest",
     "train_valid_test_split",
 ]

@@ -7,9 +7,11 @@ of mainstream ML libraries so the public API feels familiar.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from pathlib import Path
+from typing import IO, Iterator
 
 import numpy as np
 
@@ -85,6 +87,53 @@ def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
     shifted = z - z.max(axis=axis, keepdims=True)
     ez = np.exp(shifted)
     return ez / ez.sum(axis=axis, keepdims=True)
+
+
+@contextmanager
+def atomic_path(path: "str | Path", suffix: str = "") -> "Iterator[Path]":
+    """Yield a hidden temp path beside ``path``; rename into place on success.
+
+    The durable-artifact write pattern: the caller writes the *complete*
+    artifact to the yielded temp path, and only an exception-free exit
+    publishes it via ``os.replace`` — an atomic rename within the target
+    directory, so readers observe either the previous artifact or the
+    new one, never a torn mix. On failure the temp file is removed and
+    the previous artifact (if any) is untouched.
+
+    ``suffix`` extends the temp name for writers that are picky about
+    extensions (``np.save`` appends ``.npy`` to names without it).
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp{suffix}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+@contextmanager
+def atomic_write(
+    path: "str | Path",
+    mode: str = "w",
+    newline: "str | None" = None,
+    encoding: "str | None" = None,
+) -> "Iterator[IO]":
+    """Open a file handle whose contents only become ``path`` on success.
+
+    Text/bytes counterpart of :func:`atomic_path`: the handle writes to
+    a hidden temp file which is flushed, ``fsync``'d, and atomically
+    renamed over ``path`` when the block exits cleanly. A crash (or an
+    exception) mid-write leaves the previous file intact.
+    """
+    if "r" in mode or "+" in mode or "a" in mode:
+        raise DataError(f"atomic_write needs a fresh write mode, got {mode!r}")
+    with atomic_path(path) as tmp:
+        with open(tmp, mode, newline=newline, encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
 
 
 class Timer:

@@ -592,3 +592,86 @@ class TestFullMatrixInChunkLoopRule:
         assert "full-matrix-in-chunk-loop" in {
             r.rule_id for r in default_rules()
         }
+
+
+class TestArtifactWriteRule:
+    def test_direct_np_save_fires(self):
+        findings = _lint_src(
+            "import numpy as np\n"
+            "def export(plan, path):\n"
+            "    np.save(path, plan)\n"
+        )
+        assert "non-atomic-artifact-write" in _rule_ids(findings)
+
+    def test_open_with_write_mode_fires(self):
+        findings = _lint_src(
+            "def dump(report, path):\n"
+            "    with open(path, 'w') as fh:\n"
+            "        fh.write(report)\n"
+        )
+        assert "non-atomic-artifact-write" in _rule_ids(findings)
+
+    def test_path_write_text_fires(self):
+        findings = _lint_src(
+            "def publish(path, payload):\n"
+            "    path.write_text(payload)\n"
+        )
+        assert "non-atomic-artifact-write" in _rule_ids(findings)
+
+    def test_open_for_reading_is_clean(self):
+        findings = _lint_src(
+            "def load(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert "non-atomic-artifact-write" not in _rule_ids(findings)
+
+    def test_atomic_helper_in_scope_exempts(self):
+        findings = _lint_src(
+            "from repro.utils import atomic_path\n"
+            "import numpy as np\n"
+            "def export(plan, path):\n"
+            "    with atomic_path(path) as tmp:\n"
+            "        np.save(tmp, plan)\n"
+        )
+        assert "non-atomic-artifact-write" not in _rule_ids(findings)
+
+    def test_os_replace_in_scope_exempts(self):
+        findings = _lint_src(
+            "import os\n"
+            "def export(report, path):\n"
+            "    tmp = str(path) + '.tmp'\n"
+            "    with open(tmp, 'w') as fh:\n"
+            "        fh.write(report)\n"
+            "    os.replace(tmp, path)\n"
+        )
+        assert "non-atomic-artifact-write" not in _rule_ids(findings)
+
+    def test_nested_function_scope_is_independent(self):
+        # the outer function's os.replace must NOT launder a raw write
+        # inside a nested function, which has its own publication duty
+        findings = _lint_src(
+            "import os\n"
+            "def outer(path):\n"
+            "    def inner(p):\n"
+            "        with open(p, 'w') as fh:\n"
+            "            fh.write('x')\n"
+            "    os.replace('a', 'b')\n"
+            "    return inner\n"
+        )
+        assert "non-atomic-artifact-write" in _rule_ids(findings)
+
+    def test_suppression_comment_silences(self):
+        findings = _lint_src(
+            "def append_log(path, line):\n"
+            "    with open(path, 'a') as fh:  # repro: ignore[non-atomic-artifact-write] append-only log\n"
+            "        fh.write(line)\n"
+        )
+        assert "non-atomic-artifact-write" not in _rule_ids(findings)
+
+    def test_rule_is_registered_in_default_rules(self):
+        from repro.analysis.linter import default_rules
+
+        assert "non-atomic-artifact-write" in {
+            r.rule_id for r in default_rules()
+        }

@@ -156,3 +156,116 @@ class TestLatest:
         state, skipped = manager.latest(expected_config_hash="new-config")
         assert state is None
         assert len(skipped) == 1 and "fingerprint" in skipped[0]
+
+
+class TestStatsCheckpointStore:
+    """Sufficient-statistic snapshots: bit-exact, checksummed, guarded."""
+
+    def _store(self, tmp_path, config_hash="cfg"):
+        from repro.runtime.checkpoint import StatsCheckpointStore
+
+        return StatsCheckpointStore(tmp_path / "stats", config_hash)
+
+    def test_state_round_trips_bit_exactly(self, tmp_path):
+        import numpy as np
+
+        store = self._store(tmp_path)
+        state = {
+            "none": None,
+            "flag": True,
+            "count": 7,
+            "tiny": 2.0 ** -1074,  # denormal: survives hex encoding
+            "nan": float("nan"),
+            "text": "Ψ",
+            "arr": np.arange(6, dtype=np.int64).reshape(2, 3),
+            "nested": [(1.5, np.array([0.1, 0.2])), {"k": None}],
+        }
+        store.save("stage", state)
+        back = store.load("stage")
+        assert back["none"] is None and back["flag"] is True
+        assert back["count"] == 7
+        assert back["tiny"].hex() == state["tiny"].hex()
+        assert np.isnan(back["nan"])
+        assert back["text"] == "Ψ"
+        assert back["arr"].dtype == np.int64
+        assert np.array_equal(back["arr"], state["arr"])
+        assert back["nested"][0][1].dtype == np.float64
+        assert store.resumed == ["stage"]
+
+    def test_missing_stage_returns_sentinel_without_a_skip(self, tmp_path):
+        from repro.runtime.checkpoint import MISSING
+
+        store = self._store(tmp_path)
+        assert store.load("never-saved") is MISSING
+        assert store.skipped == []
+
+    def test_corrupt_snapshot_is_skipped_with_reason(self, tmp_path):
+        from repro.runtime.checkpoint import MISSING
+
+        store = self._store(tmp_path)
+        path = store.save("stage", {"x": 1})
+        path.write_bytes(b"not a zip at all")  # repro: ignore comment n/a in tests
+        assert store.load("stage") is MISSING
+        assert any("stage" in reason for reason in store.skipped)
+
+    def test_config_hash_mismatch_is_skipped(self, tmp_path):
+        from repro.runtime.checkpoint import MISSING
+
+        self._store(tmp_path, "cfg-a").save("stage", {"x": 1})
+        other = self._store(tmp_path, "cfg-b")
+        assert other.load("stage") is MISSING
+        assert len(other.skipped) == 1
+
+    def test_crash_mid_checkpoint_leaves_no_snapshot(self, tmp_path):
+        from repro.runtime.checkpoint import MISSING
+
+        store = self._store(tmp_path)
+        with active("stream.stats.checkpoint", mode="once"):
+            with pytest.raises(InjectedFault):
+                store.save("stage", {"x": 1})
+        assert store.load("stage") is MISSING
+        assert store.skipped == []  # absence, not corruption
+        # the interrupted temp file must not linger as a valid-looking npz
+        assert list((tmp_path / "stats").glob("*.npz")) == []
+
+    def test_run_computes_once_then_resumes(self, tmp_path):
+        store = self._store(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 41}
+
+        assert store.run("stage", compute)["v"] == 41
+        assert store.run("stage", compute)["v"] == 41
+        assert len(calls) == 1
+        assert store.written == 1 and store.resumed == ["stage"]
+
+    def test_scoped_view_prefixes_keys_and_shares_counters(self, tmp_path):
+        store = self._store(tmp_path)
+        scoped = store.scoped("it00000").scoped("mine-gbm")
+        scoped.save("edges", {"x": 1})
+        assert store.load("it00000/mine-gbm/edges")["x"] == 1
+        assert store.written == 1
+        scoped.note_skip("oops")
+        assert store.skipped == ["it00000/mine-gbm/oops"]
+
+    def test_clear_drops_snapshots_and_scratch(self, tmp_path):
+        from repro.runtime.checkpoint import MISSING
+
+        store = self._store(tmp_path)
+        store.save("stage", {"x": 1})
+        scratch = store.scratch_dir("gbm")
+        (tmp_path / "stats").joinpath("marker").write_text("x")  # repro: ignore n/a
+        store.clear()
+        assert store.load("stage") is MISSING
+        import os
+
+        assert not os.path.exists(scratch)
+
+    def test_object_dtype_arrays_are_rejected(self, tmp_path):
+        import numpy as np
+
+        store = self._store(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.save("stage", {"bad": np.array([object()])})

@@ -174,6 +174,70 @@ class TestPlantedSiteAudit:
         assert planted == set(KNOWN_SITES)
 
 
+class TestSiteDocs:
+    """Every registered site carries a real docstring, and vice versa."""
+
+    def test_registry_is_backed_by_site_docs(self):
+        from repro.runtime.failpoints import SITE_DOCS
+
+        assert set(SITE_DOCS) == set(KNOWN_SITES)
+
+    def test_every_site_doc_is_non_empty_prose(self):
+        from repro.runtime.failpoints import SITE_DOCS
+
+        for name, doc in sorted(SITE_DOCS.items()):
+            assert isinstance(doc, str) and len(doc.strip()) >= 20, (
+                f"site {name!r} needs a meaningful docstring"
+            )
+
+
+class TestKillMode:
+    """kill takes the process down only when it is a marked worker."""
+
+    def test_kill_spec_parses(self):
+        activation = parse_spec("stream.shard.run", "kill")
+        assert activation.mode == "kill" and activation.nth is None
+        activation = parse_spec("stream.shard.run", "kill:3")
+        assert activation.mode == "kill" and activation.nth == 3
+
+    def test_kill_degrades_to_raise_outside_workers(self):
+        # The driver (and the test process) must never be os._exit'd:
+        # unmarked processes surface the fault as an InjectedFault, which
+        # the shard reducer's retry machinery treats like any crash.
+        with active("stream.shard.run", "kill"):
+            with pytest.raises(InjectedFault):
+                failpoint("stream.shard.run")
+        with active("stream.shard.run", "kill", nth=2):
+            failpoint("stream.shard.run")  # first hit survives
+            with pytest.raises(InjectedFault):
+                failpoint("stream.shard.run")
+
+    def test_kill_exits_hard_in_a_marked_worker_process(self):
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.runtime.failpoints import ("
+            "FAILPOINTS, failpoint, mark_worker_process)\n"
+            "FAILPOINTS.activate('stream.shard.run', 'kill')\n"
+            "mark_worker_process()\n"
+            "failpoint('stream.shard.run')\n"
+            "print('unreachable')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_ROOT.parent)
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert result.returncode == 86
+        assert "unreachable" not in result.stdout
+
+
 class TestSpecErrors:
     """Malformed specs fail loudly, with the offending entry named."""
 
